@@ -1,0 +1,30 @@
+//! # hyparview-baselines
+//!
+//! The baseline membership protocols against which the HyParView paper
+//! evaluates its contribution (§5):
+//!
+//! * [`Cyclon`] — the cyclic-strategy baseline: one fixed-size partial view
+//!   refreshed by periodic age-based shuffles (view 35, shuffle length 14,
+//!   join-walk TTL 5 in the paper's setting).
+//! * [`Scamp`] — the reactive-strategy baseline: probabilistic subscription
+//!   integration producing views of expected size `(c + 1) · log n`
+//!   (`c = 4` in the paper's setting).
+//! * [`CyclonAcked`] — Cyclon augmented with dissemination-time failure
+//!   detection, isolating the contribution of fast failure detection from
+//!   the contribution of HyParView's hybrid two-view design.
+//!
+//! All three implement [`hyparview_gossip::Membership`], so the simulator
+//! and the broadcast layer treat them exactly like HyParView.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod cyclon;
+pub mod cyclon_acked;
+pub mod scamp;
+
+pub use config::{CyclonConfig, ScampConfig};
+pub use cyclon::{Cyclon, CyclonMessage, Entry};
+pub use cyclon_acked::CyclonAcked;
+pub use scamp::{Scamp, ScampMessage};

@@ -1,0 +1,87 @@
+//! End-to-end experiment benchmarks: one Criterion group per table/figure
+//! of the paper, at smoke scale. These track the wall-clock cost of
+//! regenerating each result (the binaries in `src/bin` print the results
+//! themselves at any scale).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyparview_bench::experiments::{
+    fanout_sweep, graph_properties, healing_time, in_degree_distribution, recovery_series,
+    reliability_after_failures,
+};
+use hyparview_bench::Params;
+use hyparview_sim::protocols::ProtocolKind;
+
+fn params() -> Params {
+    Params::smoke().with_messages(20)
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_fanout_sweep");
+    group.sample_size(10);
+    group.bench_function("cyclon_fanouts_1_4", |b| {
+        b.iter(|| black_box(fanout_sweep(&params(), &[ProtocolKind::Cyclon], &[1, 4])))
+    });
+    group.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_reliability");
+    group.sample_size(10);
+    for kind in ProtocolKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("failure_50pct", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| black_box(reliability_after_failures(&params(), &[kind], &[0.5])))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_recovery");
+    group.sample_size(10);
+    group.bench_function("hyparview_60pct", |b| {
+        b.iter(|| black_box(recovery_series(&params(), ProtocolKind::HyParView, 0.6)))
+    });
+    group.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_healing");
+    group.sample_size(10);
+    group.bench_function("hyparview_50pct", |b| {
+        b.iter(|| black_box(healing_time(&params(), ProtocolKind::HyParView, 0.5, 20)))
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_indegree");
+    group.sample_size(10);
+    group.bench_function("all_protocols", |b| {
+        b.iter(|| black_box(in_degree_distribution(&params(), &ProtocolKind::ALL)))
+    });
+    group.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_graph_props");
+    group.sample_size(10);
+    group.bench_function("all_protocols", |b| {
+        b.iter(|| black_box(graph_properties(&params(), &ProtocolKind::ALL)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_table1
+);
+criterion_main!(benches);

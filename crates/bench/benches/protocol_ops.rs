@@ -1,0 +1,208 @@
+//! Micro-benchmarks of per-operation protocol costs: message handling,
+//! shuffle ticks, target selection, wire codec and graph metrics. These
+//! quantify the "low maintenance cost" claim that motivates gossip
+//! overlays (§6).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyparview_baselines::{Cyclon, CyclonConfig, Scamp, ScampConfig};
+use hyparview_core::{Actions, Config, HyParView, Message};
+use hyparview_gossip::{Membership, Outbox};
+use hyparview_graph::{clustering_coefficient, in_degrees, shortest_path_stats, Overlay};
+use hyparview_sim::protocols::build_hyparview;
+use hyparview_sim::Scenario;
+
+fn populated_hyparview() -> HyParView<u32> {
+    let mut node = HyParView::new(0u32, Config::default(), 7).unwrap();
+    let mut actions = Actions::new();
+    for peer in 1..=5 {
+        node.handle_message(peer, Message::Join, &mut actions);
+    }
+    node.handle_message(1, Message::ShuffleReply { nodes: (100..130).collect() }, &mut actions);
+    node
+}
+
+fn bench_hyparview_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hyparview");
+
+    group.bench_function("handle_join", |b| {
+        let mut node = populated_hyparview();
+        let mut actions = Actions::new();
+        let mut peer = 1000u32;
+        b.iter(|| {
+            peer += 1;
+            node.handle_message(peer, Message::Join, &mut actions);
+            actions.drain().count()
+        });
+    });
+
+    group.bench_function("shuffle_tick", |b| {
+        let mut node = populated_hyparview();
+        let mut actions = Actions::new();
+        b.iter(|| {
+            node.shuffle_tick(&mut actions);
+            actions.drain().count()
+        });
+    });
+
+    group.bench_function("handle_shuffle_walk", |b| {
+        let mut node = populated_hyparview();
+        let mut actions = Actions::new();
+        b.iter(|| {
+            node.handle_message(
+                1,
+                Message::Shuffle { origin: 99, ttl: 4, nodes: vec![200, 201, 202, 203] },
+                &mut actions,
+            );
+            actions.drain().count()
+        });
+    });
+
+    group.bench_function("broadcast_targets", |b| {
+        let node = populated_hyparview();
+        b.iter(|| black_box(node.broadcast_targets(Some(1))));
+    });
+
+    group.bench_function("on_peer_failed_and_repair", |b| {
+        let mut actions = Actions::new();
+        b.iter_batched(
+            populated_hyparview,
+            |mut node| {
+                node.on_peer_failed(1, &mut actions);
+                actions.drain().count()
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+fn bench_baseline_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+
+    group.bench_function("cyclon_shuffle_cycle", |b| {
+        let mut node = Cyclon::new(0u32, CyclonConfig::default(), 7);
+        let mut out = Outbox::new();
+        for peer in 1..=35 {
+            node.handle_message(
+                99,
+                hyparview_baselines::CyclonMessage::JoinReply {
+                    entry: hyparview_baselines::Entry::fresh(peer),
+                },
+                &mut out,
+            );
+        }
+        b.iter(|| {
+            node.on_cycle(&mut out);
+            // Re-add an entry so the view never drains.
+            node.handle_message(
+                99,
+                hyparview_baselines::CyclonMessage::JoinReply {
+                    entry: hyparview_baselines::Entry::fresh(1),
+                },
+                &mut out,
+            );
+            out.drain().count()
+        });
+    });
+
+    group.bench_function("scamp_forwarded_subscription", |b| {
+        let mut node = Scamp::new(0u32, ScampConfig::default(), 7);
+        let mut out = Outbox::new();
+        for peer in 1..=30 {
+            node.handle_message(peer, hyparview_baselines::ScampMessage::AddedYou, &mut out);
+            node.handle_message(
+                peer,
+                hyparview_baselines::ScampMessage::ForwardedSubscription {
+                    joiner: peer + 1000,
+                    hops: 64,
+                },
+                &mut out,
+            );
+        }
+        let mut joiner = 5000u32;
+        b.iter(|| {
+            joiner += 1;
+            node.handle_message(
+                1,
+                hyparview_baselines::ScampMessage::ForwardedSubscription { joiner, hops: 0 },
+                &mut out,
+            );
+            out.drain().count()
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_graph_metrics(c: &mut Criterion) {
+    let scenario = Scenario::new(1_000, 7);
+    let mut sim = build_hyparview(&scenario, Config::default());
+    sim.run_cycles(5);
+    let overlay = Overlay::new(
+        sim.out_views()
+            .into_iter()
+            .map(|v| v.map(|ids| ids.into_iter().map(|id| id.index()).collect()))
+            .collect(),
+    );
+
+    let mut group = c.benchmark_group("graph_metrics_n1000");
+    group.sample_size(20);
+    group.bench_function("in_degrees", |b| b.iter(|| black_box(in_degrees(&overlay))));
+    group.bench_function("clustering_coefficient", |b| {
+        b.iter(|| black_box(clustering_coefficient(&overlay)))
+    });
+    group.bench_function("shortest_paths_50_sources", |b| {
+        b.iter(|| black_box(shortest_path_stats(&overlay, 50, 7)))
+    });
+    group.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    use hyparview_net::wire::{decode, encode, Frame};
+    let addr: std::net::SocketAddr = "10.0.0.1:9000".parse().unwrap();
+    let shuffle = Frame::Membership(Message::Shuffle {
+        origin: addr,
+        ttl: 6,
+        nodes: (0..8)
+            .map(|i| format!("10.0.0.{}:900{i}", i + 2).parse().unwrap())
+            .collect(),
+    });
+    let encoded = encode(&shuffle);
+
+    let mut group = c.benchmark_group("wire");
+    group.bench_function("encode_shuffle", |b| b.iter(|| black_box(encode(&shuffle))));
+    group.bench_function("decode_shuffle", |b| {
+        b.iter(|| {
+            let mut payload = encoded.clone();
+            use bytes::Buf;
+            payload.advance(4);
+            black_box(decode(payload).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_join_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_construction");
+    group.sample_size(10);
+    for n in [100usize, 500, 1_000] {
+        group.bench_with_input(BenchmarkId::new("join_all", n), &n, |b, &n| {
+            b.iter(|| {
+                let scenario = Scenario::new(n, 7);
+                black_box(build_hyparview(&scenario, Config::default()).alive_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hyparview_ops,
+    bench_baseline_ops,
+    bench_graph_metrics,
+    bench_wire_codec,
+    bench_join_scaling
+);
+criterion_main!(benches);

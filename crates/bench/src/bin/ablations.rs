@@ -1,0 +1,56 @@
+//! Ablation suite: isolates the design choices behind HyParView's
+//! resilience (§5.5) and answers §6's open question on passive view size.
+//!
+//! ```text
+//! cargo run --release -p hyparview-bench --bin ablations -- --quick
+//! ```
+
+use hyparview_bench::experiments::{
+    flood_vs_random, passive_size_sweep, shuffle_payload_sweep, walk_length_sweep, AblationPoint,
+};
+use hyparview_bench::table::{pct, render};
+use hyparview_bench::Params;
+
+fn print_points(title: &str, points: &[AblationPoint]) {
+    println!("\n## {title}");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                pct(p.mean_reliability),
+                pct(p.isolated_fraction),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["configuration", "mean reliability", "isolated nodes"], &rows)
+    );
+}
+
+fn main() {
+    let (params, _) = Params::default().apply_args(std::env::args().skip(1));
+    println!("# HyParView ablations");
+    println!("# {}", params.describe());
+
+    print_points(
+        "Passive view size vs resilience at 80% failures (§6 future work)",
+        &passive_size_sweep(&params, 0.8, &[1, 5, 10, 20, 30, 60]),
+    );
+
+    print_points(
+        "Deterministic flood vs random fanout at 50% failures (§5.5)",
+        &flood_vs_random(&params, 0.5),
+    );
+
+    print_points(
+        "Join walk lengths (ARWL/PRWL) at 60% failures",
+        &walk_length_sweep(&params, 0.6, &[(6, 3), (3, 1), (1, 1), (10, 5)]),
+    );
+
+    print_points(
+        "Shuffle payload (ka/kp) at 60% failures",
+        &shuffle_payload_sweep(&params, 0.6, &[(3, 4), (1, 1), (0, 7), (6, 8)]),
+    );
+}

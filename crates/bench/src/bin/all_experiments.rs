@@ -1,0 +1,173 @@
+//! Runs the complete evaluation — every table and figure — and prints a
+//! markdown report suitable for `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p hyparview-bench --bin all_experiments -- --quick
+//! ```
+
+use hyparview_bench::experiments::{
+    fanout_sweep, graph_properties, healing_time, in_degree_distribution,
+    recovery_series, reliability_after_failures,
+};
+use hyparview_bench::table::{num, pct, sparkline};
+use hyparview_bench::{Params, ALL_PROTOCOLS, FIG2_FAILURES, FIG3_FAILURES};
+use hyparview_sim::protocols::ProtocolKind;
+
+fn main() {
+    let (params, _) = Params::default().apply_args(std::env::args().skip(1));
+    let started = std::time::Instant::now();
+    println!("# HyParView reproduction — full experiment suite\n");
+    println!("Scale: {}\n", params.describe());
+
+    fig1(&params);
+    fig1c(&params);
+    fig2(&params);
+    fig3(&params);
+    fig4(&params);
+    table1(&params);
+    fig5(&params);
+
+    println!("\n_Total wall time: {:.1}s_", started.elapsed().as_secs_f64());
+}
+
+fn md_table(headers: &[&str], rows: &[Vec<String>]) {
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+    println!();
+}
+
+fn fig1(params: &Params) {
+    println!("## Figure 1a/1b — fanout x reliability (stable overlay)\n");
+    // The paper measures 50 broadcasts in this experiment (§3.1).
+    let params = &params.clone().with_messages(50.min(params.messages));
+    let kinds = [ProtocolKind::Cyclon, ProtocolKind::Scamp, ProtocolKind::HyParView];
+    let points = fanout_sweep(params, &kinds, &[1, 2, 3, 4, 5, 6, 7, 8]);
+    let mut rows = Vec::new();
+    for fanout in [1usize, 2, 3, 4, 5, 6, 7, 8] {
+        let mut row = vec![fanout.to_string()];
+        for kind in kinds {
+            let p = points.iter().find(|p| p.kind == kind && p.fanout == fanout).unwrap();
+            row.push(pct(p.mean_reliability));
+        }
+        rows.push(row);
+    }
+    md_table(&["fanout", "Cyclon", "Scamp", "HyParView"], &rows);
+}
+
+fn fig1c(params: &Params) {
+    println!("## Figure 1c — 50% failures, messages before the next cycle\n");
+    let mut p = params.clone();
+    p.messages = p.messages.min(100);
+    let mut rows = Vec::new();
+    for kind in [ProtocolKind::Cyclon, ProtocolKind::Scamp] {
+        let s = recovery_series(&p, kind, 0.5);
+        let mean = s.reliability.iter().sum::<f64>() / s.reliability.len() as f64;
+        let best = s.reliability.iter().copied().fold(0.0, f64::max);
+        rows.push(vec![
+            kind.label().to_owned(),
+            pct(mean),
+            pct(best),
+            format!("`{}`", sparkline(&s.reliability, 20)),
+        ]);
+    }
+    md_table(&["protocol", "mean", "best message", "evolution"], &rows);
+}
+
+fn fig2(params: &Params) {
+    println!("## Figure 2 — reliability for {} messages after failures\n", params.messages);
+    let data = reliability_after_failures(params, &ALL_PROTOCOLS, &FIG2_FAILURES);
+    let mut headers = vec!["failure"];
+    for kind in ALL_PROTOCOLS {
+        headers.push(kind.label());
+    }
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|row| {
+            let mut cells = vec![format!("{:.0}%", row.failure * 100.0)];
+            cells.extend(row.cells.iter().map(|c| pct(c.mean_reliability)));
+            cells
+        })
+        .collect();
+    md_table(&headers, &rows);
+}
+
+fn fig3(params: &Params) {
+    println!("## Figure 3 — per-message recovery after failures\n");
+    // Recovery is visible within the first few hundred messages; cap the
+    // series so the full-scale suite stays tractable.
+    let params = &params.clone().with_messages(params.messages.min(300));
+    for &failure in &FIG3_FAILURES {
+        println!("### {:.0}% failures\n", failure * 100.0);
+        let mut rows = Vec::new();
+        for kind in ALL_PROTOCOLS {
+            let s = recovery_series(params, kind, failure);
+            rows.push(vec![
+                kind.label().to_owned(),
+                pct(s.reliability.first().copied().unwrap_or(0.0)),
+                pct(s.plateau()),
+                format!("`{}`", sparkline(&s.reliability, 20)),
+            ]);
+        }
+        md_table(&["protocol", "1st message", "plateau", "evolution"], &rows);
+    }
+}
+
+fn fig4(params: &Params) {
+    println!("## Figure 4 — healing time (membership cycles)\n");
+    let kinds = [ProtocolKind::HyParView, ProtocolKind::CyclonAcked, ProtocolKind::Cyclon];
+    let mut rows = Vec::new();
+    for failure in [0.1, 0.3, 0.5, 0.7, 0.8, 0.9] {
+        let mut row = vec![format!("{:.0}%", failure * 100.0)];
+        for kind in kinds {
+            let r = healing_time(params, kind, failure, 40);
+            let strict = r.cycles.map(|c| c.to_string()).unwrap_or_else(|| "> 40".to_owned());
+            let near = r.cycles_near.map(|c| c.to_string()).unwrap_or_else(|| "> 40".to_owned());
+            row.push(format!("{strict} / {near}"));
+        }
+        rows.push(row);
+    }
+    md_table(&["failure", "HyParView", "CyclonAcked", "Cyclon"], &rows);
+    println!("_cells are `strict / within-99.5%-of-baseline` cycles; a few survivors of extreme failures are permanently isolated (empty active + all-dead passive view), so the strict threshold can be unreachable._\n");
+}
+
+fn table1(params: &Params) {
+    println!("## Table 1 — graph properties after stabilization\n");
+    let data = graph_properties(params, &ALL_PROTOCOLS);
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            vec![
+                r.kind.label().to_owned(),
+                num(r.clustering, 6),
+                num(r.avg_shortest_path, 3),
+                num(r.mean_max_hops, 1),
+                num(r.mean_view_size, 1),
+            ]
+        })
+        .collect();
+    md_table(
+        &["protocol", "clustering", "avg shortest path", "max hops to delivery", "mean view"],
+        &rows,
+    );
+}
+
+fn fig5(params: &Params) {
+    println!("## Figure 5 — in-degree distribution\n");
+    let data = in_degree_distribution(params, &ALL_PROTOCOLS);
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            vec![
+                r.kind.label().to_owned(),
+                num(r.summary.mean, 2),
+                r.summary.min.to_string(),
+                r.summary.max.to_string(),
+                num(r.summary.stddev, 2),
+            ]
+        })
+        .collect();
+    md_table(&["protocol", "mean in-degree", "min", "max", "stddev"], &rows);
+}

@@ -1,0 +1,51 @@
+//! Figure 1a/1b — *Fanout × Reliability* on a stable overlay.
+//!
+//! ```text
+//! cargo run --release -p hyparview-bench --bin fig1_fanout -- --quick
+//! ```
+
+use hyparview_bench::experiments::fanout_sweep;
+use hyparview_bench::table::{num, pct, render};
+use hyparview_bench::{Params, FIG1_FANOUTS};
+use hyparview_sim::protocols::ProtocolKind;
+
+fn main() {
+    let (mut params, _) = Params::default().apply_args(std::env::args().skip(1));
+    // The paper measures 50 broadcasts per fanout in this experiment.
+    params.messages = params.messages.min(50);
+    println!("# Figure 1a/1b — fanout x reliability (stable overlay)");
+    println!("# {}", params.describe());
+
+    let kinds = [ProtocolKind::Cyclon, ProtocolKind::Scamp, ProtocolKind::HyParView];
+    let points = fanout_sweep(&params, &kinds, &FIG1_FANOUTS);
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.kind.label().to_owned(),
+                p.fanout.to_string(),
+                pct(p.mean_reliability),
+                pct(p.min_reliability),
+                num(p.atomic_fraction, 3),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["protocol", "fanout", "mean reliability", "min reliability", "atomic frac"], &rows)
+    );
+
+    // The paper's headline thresholds.
+    for kind in [ProtocolKind::Cyclon, ProtocolKind::Scamp] {
+        let needed = points
+            .iter()
+            .filter(|p| p.kind == kind && p.mean_reliability >= 0.99)
+            .map(|p| p.fanout)
+            .min();
+        match needed {
+            Some(f) => println!("{kind}: first fanout reaching 99% reliability = {f}"),
+            None => println!("{kind}: never reached 99% reliability in the sweep"),
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 1c — reliability of the messages sent right after 50% of the
+//! nodes crash, for Cyclon and Scamp (the motivation experiment, §3.2).
+//!
+//! ```text
+//! cargo run --release -p hyparview-bench --bin fig1c_after_failure -- --quick
+//! ```
+
+use hyparview_bench::experiments::recovery_series;
+use hyparview_bench::table::{pct, render, sparkline};
+use hyparview_bench::Params;
+use hyparview_sim::protocols::ProtocolKind;
+
+fn main() {
+    let (mut params, _) = Params::default().apply_args(std::env::args().skip(1));
+    // The paper sends 100 messages in this experiment.
+    if params.messages > 100 {
+        params.messages = 100;
+    }
+    println!("# Figure 1c — effect of 50% node failures (Cyclon, Scamp)");
+    println!("# {}", params.describe());
+
+    let mut rows = Vec::new();
+    for kind in [ProtocolKind::Cyclon, ProtocolKind::Scamp] {
+        let series = recovery_series(&params, kind, 0.5);
+        let max = series.reliability.iter().copied().fold(0.0, f64::max);
+        let mean = series.reliability.iter().sum::<f64>() / series.reliability.len() as f64;
+        rows.push(vec![
+            kind.label().to_owned(),
+            pct(mean),
+            pct(max),
+            sparkline(&series.reliability, 25),
+        ]);
+    }
+    println!("{}", render(&["protocol", "mean reliability", "best message", "evolution"], &rows));
+    println!("(paper: no message delivered to more than ~85% of nodes; no recovery before the next cycle)");
+}

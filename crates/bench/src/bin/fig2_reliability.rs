@@ -1,0 +1,34 @@
+//! Figure 2 — mean reliability of 1000 broadcasts sent right after crashing
+//! 10%–95% of all nodes, for all four protocols.
+//!
+//! ```text
+//! cargo run --release -p hyparview-bench --bin fig2_reliability -- --quick
+//! ```
+
+use hyparview_bench::experiments::reliability_after_failures;
+use hyparview_bench::table::{pct, render};
+use hyparview_bench::{Params, ALL_PROTOCOLS, FIG2_FAILURES};
+
+fn main() {
+    let (params, _) = Params::default().apply_args(std::env::args().skip(1));
+    println!("# Figure 2 — reliability for {} messages after massive failures", params.messages);
+    println!("# {}", params.describe());
+
+    let rows_data = reliability_after_failures(&params, &ALL_PROTOCOLS, &FIG2_FAILURES);
+
+    let mut headers = vec!["failure %"];
+    for kind in ALL_PROTOCOLS {
+        headers.push(kind.label());
+    }
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|row| {
+            let mut cells = vec![format!("{:.0}%", row.failure * 100.0)];
+            cells.extend(row.cells.iter().map(|c| pct(c.mean_reliability)));
+            cells
+        })
+        .collect();
+    println!("{}", render(&headers, &rows));
+    println!("(paper: HyParView ~100% up to 90%, ~90% at 95%; CyclonAcked competitive to 70%;");
+    println!(" Cyclon and Scamp below 50% reliability for failure rates above 50%)");
+}

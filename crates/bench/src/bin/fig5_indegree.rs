@@ -1,0 +1,42 @@
+//! Figure 5 — in-degree distribution after stabilization.
+//!
+//! ```text
+//! cargo run --release -p hyparview-bench --bin fig5_indegree -- --quick
+//! ```
+
+use hyparview_bench::experiments::in_degree_distribution;
+use hyparview_bench::table::{num, render};
+use hyparview_bench::{Params, ALL_PROTOCOLS};
+
+fn main() {
+    let (params, _) = Params::default().apply_args(std::env::args().skip(1));
+    println!("# Figure 5 — in-degree distribution after stabilization");
+    println!("# {}", params.describe());
+
+    let rows_data = in_degree_distribution(&params, &ALL_PROTOCOLS);
+
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|row| {
+            vec![
+                row.kind.label().to_owned(),
+                num(row.summary.mean, 2),
+                row.summary.min.to_string(),
+                row.summary.max.to_string(),
+                num(row.summary.stddev, 2),
+            ]
+        })
+        .collect();
+    println!("{}", render(&["protocol", "mean", "min", "max", "stddev"], &rows));
+
+    for row in &rows_data {
+        println!("\n{} in-degree histogram (degree: nodes):", row.kind);
+        let max_count = row.histogram.values().copied().max().unwrap_or(1);
+        for (degree, count) in &row.histogram {
+            let bar_len = (count * 50).div_ceil(max_count);
+            println!("  {degree:>4}: {:<50} {count}", "#".repeat(bar_len));
+        }
+    }
+    println!("\n(paper: HyParView concentrated at the active view size; Cyclon spread wide;");
+    println!(" Scamp long-tailed with some nodes known by a single peer)");
+}

@@ -1,0 +1,41 @@
+//! Message-overhead experiment (§3.1): transmissions and redundancy per
+//! broadcast across fanouts, for every protocol.
+//!
+//! ```text
+//! cargo run --release -p hyparview-bench --bin overhead -- --quick
+//! ```
+
+use hyparview_bench::experiments::overhead::message_overhead;
+use hyparview_bench::table::{num, pct, render};
+use hyparview_bench::{Params, ALL_PROTOCOLS};
+
+fn main() {
+    let (mut params, _) = Params::default().apply_args(std::env::args().skip(1));
+    params.messages = params.messages.min(100);
+    println!("# Message overhead per broadcast (stable overlay, §3.1)");
+    println!("# {}", params.describe());
+
+    let points = message_overhead(&params, &ALL_PROTOCOLS, &[4, 5, 6]);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.kind.label().to_owned(),
+                p.fanout.to_string(),
+                num(p.sent_per_broadcast, 0),
+                num(p.redundant_per_broadcast, 0),
+                pct(p.redundancy_ratio()),
+                pct(p.mean_reliability),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["protocol", "fanout", "msgs/broadcast", "redundant", "redundancy", "reliability"],
+            &rows
+        )
+    );
+    println!("(paper @ n=10k: fanout 6 vs 4 costs ~20,000 extra messages per broadcast,");
+    println!(" >99% of which are redundant; HyParView reaches 100% at fanout 4)");
+}

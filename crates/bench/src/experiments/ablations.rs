@@ -1,0 +1,169 @@
+//! Ablations of HyParView's design choices.
+//!
+//! §5.5 attributes the result to three ingredients — fast failure
+//! detection, the symmetric flooded active view, and the passive view as a
+//! repair reservoir — and §6 explicitly asks how the passive view size
+//! relates to resilience. These experiments isolate each ingredient.
+
+use crate::params::Params;
+use hyparview_core::Config;
+use hyparview_gossip::{HyParViewMembership, ReliabilitySummary};
+use hyparview_sim::Sim;
+
+/// Result of one ablation configuration.
+#[derive(Debug, Clone)]
+pub struct AblationPoint {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Mean reliability after the failure.
+    pub mean_reliability: f64,
+    /// Fraction of alive nodes left isolated (empty active view) after the
+    /// measured broadcasts.
+    pub isolated_fraction: f64,
+}
+
+fn run_hyparview_ablation(
+    params: &Params,
+    failure: f64,
+    label: String,
+    config: Config,
+    random_fanout: bool,
+) -> AblationPoint {
+    let scenario = params.scenario(0);
+    let mut sim: Sim<HyParViewMembership<hyparview_core::SimId>> =
+        scenario.build_with(move |id, seed| {
+            let node = HyParViewMembership::new(id, config.clone(), seed)
+                .expect("valid ablation config");
+            if random_fanout {
+                node.with_random_fanout(seed ^ 0xFA17)
+            } else {
+                node
+            }
+        });
+    sim.run_cycles(params.stabilization_cycles);
+    sim.fail_fraction(failure);
+    let mut summary = ReliabilitySummary::new();
+    for _ in 0..params.messages {
+        summary.add(&sim.broadcast_random());
+    }
+    let alive = sim.alive_ids();
+    let isolated = alive
+        .iter()
+        .filter(|id| sim.node(**id).protocol().is_isolated())
+        .count();
+    AblationPoint {
+        label,
+        mean_reliability: summary.mean_reliability(),
+        isolated_fraction: isolated as f64 / alive.len().max(1) as f64,
+    }
+}
+
+/// §6 future work: passive view size vs resilience. Sweeps the passive
+/// capacity at a fixed failure rate.
+pub fn passive_size_sweep(
+    params: &Params,
+    failure: f64,
+    passive_sizes: &[usize],
+) -> Vec<AblationPoint> {
+    passive_sizes
+        .iter()
+        .map(|&size| {
+            let config = Config::default().with_passive_capacity(size);
+            run_hyparview_ablation(params, failure, format!("passive={size}"), config, false)
+        })
+        .collect()
+}
+
+/// Deterministic flood vs random fanout selection over the active view
+/// (§5.5's first design claim).
+pub fn flood_vs_random(params: &Params, failure: f64) -> Vec<AblationPoint> {
+    vec![
+        run_hyparview_ablation(
+            params,
+            failure,
+            "flood (paper)".to_owned(),
+            Config::default(),
+            false,
+        ),
+        run_hyparview_ablation(
+            params,
+            failure,
+            format!("random fanout={}", params.fanout),
+            Config::default(),
+            true,
+        ),
+    ]
+}
+
+/// ARWL/PRWL sweep: how the join walk lengths shape the overlay's repair
+/// material (passive views).
+pub fn walk_length_sweep(params: &Params, failure: f64, walks: &[(u8, u8)]) -> Vec<AblationPoint> {
+    walks
+        .iter()
+        .map(|&(arwl, prwl)| {
+            let config = Config::default().with_arwl(arwl).with_prwl(prwl);
+            run_hyparview_ablation(
+                params,
+                failure,
+                format!("ARWL={arwl} PRWL={prwl}"),
+                config,
+                false,
+            )
+        })
+        .collect()
+}
+
+/// Shuffle payload sweep (`ka`/`kp`): how much active/passive material each
+/// shuffle carries.
+pub fn shuffle_payload_sweep(
+    params: &Params,
+    failure: f64,
+    payloads: &[(usize, usize)],
+) -> Vec<AblationPoint> {
+    payloads
+        .iter()
+        .map(|&(ka, kp)| {
+            let config = Config::default().with_shuffle_active(ka).with_shuffle_passive(kp);
+            run_hyparview_ablation(params, failure, format!("ka={ka} kp={kp}"), config, false)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_passive_views_hurt_resilience() {
+        let params = Params::smoke().with_messages(30);
+        let points = passive_size_sweep(&params, 0.8, &[1, 30]);
+        assert!(
+            points[1].mean_reliability >= points[0].mean_reliability,
+            "passive=30 ({}) should not be worse than passive=1 ({})",
+            points[1].mean_reliability,
+            points[0].mean_reliability
+        );
+    }
+
+    #[test]
+    fn flood_beats_random_fanout_under_failures() {
+        let params = Params::smoke().with_messages(30);
+        let points = flood_vs_random(&params, 0.5);
+        assert!(
+            points[0].mean_reliability >= points[1].mean_reliability - 0.02,
+            "flood ({}) should not lose to random fanout ({})",
+            points[0].mean_reliability,
+            points[1].mean_reliability
+        );
+    }
+
+    #[test]
+    fn walk_sweep_produces_a_point_per_config() {
+        let params = Params::smoke().with_messages(10);
+        let points = walk_length_sweep(&params, 0.3, &[(6, 3), (2, 1)]);
+        assert_eq!(points.len(), 2);
+        for p in points {
+            assert!(p.mean_reliability > 0.0);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 2 — *Reliability for 1000 messages* after massive simultaneous
+//! failures (10%–95% of all nodes), for all four protocols.
+//!
+//! Paper finding: HyParView keeps ≈100% reliability up to 90% failures and
+//! ≈90% at 95%; CyclonAcked stays competitive to ~70%; Cyclon and Scamp
+//! drop below 50% reliability once more than half the system fails.
+
+use crate::params::Params;
+use hyparview_gossip::ReliabilitySummary;
+use hyparview_sim::protocols::ProtocolKind;
+use hyparview_sim::AnySim;
+
+/// Result for one `(protocol, failure percentage)` cell of Figure 2.
+#[derive(Debug, Clone)]
+pub struct Fig2Cell {
+    /// Protocol measured.
+    pub kind: ProtocolKind,
+    /// Mean reliability over the post-failure broadcasts.
+    pub mean_reliability: f64,
+    /// Minimum per-broadcast reliability.
+    pub min_reliability: f64,
+    /// Mean view accuracy (§2.3) right after the failures.
+    pub accuracy_after: f64,
+}
+
+/// One failure level with all protocol cells.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Fraction of nodes crashed.
+    pub failure: f64,
+    /// Per-protocol results.
+    pub cells: Vec<Fig2Cell>,
+}
+
+/// Measures mean reliability of `params.messages` broadcasts sent right
+/// after crashing `failure` of the nodes (no membership cycle runs in
+/// between; reactive steps still execute — the paper's §5.2 methodology).
+pub fn reliability_after_failures(
+    params: &Params,
+    kinds: &[ProtocolKind],
+    failures: &[f64],
+) -> Vec<Fig2Row> {
+    failures
+        .iter()
+        .map(|&failure| {
+            let cells = kinds
+                .iter()
+                .map(|&kind| single_cell(params, kind, failure))
+                .collect();
+            Fig2Row { failure, cells }
+        })
+        .collect()
+}
+
+/// One cell of Figure 2 (exposed for the Figure 3 series and tests).
+pub fn single_cell(params: &Params, kind: ProtocolKind, failure: f64) -> Fig2Cell {
+    let mut summary = ReliabilitySummary::new();
+    let mut accuracy_total = 0.0;
+    for run in 0..params.runs {
+        let scenario = params.scenario(run);
+        let mut sim = AnySim::build(kind, &scenario, &params.configs);
+        sim.run_cycles(params.stabilization_cycles);
+        sim.fail_fraction(failure);
+        accuracy_total += sim.accuracy();
+        for _ in 0..params.messages {
+            summary.add(&sim.broadcast_random());
+        }
+    }
+    Fig2Cell {
+        kind,
+        mean_reliability: summary.mean_reliability(),
+        min_reliability: summary.min_reliability(),
+        accuracy_after: accuracy_total / params.runs as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyparview_survives_moderate_failures() {
+        let params = Params::smoke().with_messages(30);
+        let cell = single_cell(&params, ProtocolKind::HyParView, 0.4);
+        assert!(
+            cell.mean_reliability > 0.95,
+            "HyParView at 40% failures: {}",
+            cell.mean_reliability
+        );
+    }
+
+    #[test]
+    fn hyparview_beats_cyclon_after_heavy_failures() {
+        let params = Params::smoke().with_messages(30);
+        let hpv = single_cell(&params, ProtocolKind::HyParView, 0.6);
+        let cyc = single_cell(&params, ProtocolKind::Cyclon, 0.6);
+        assert!(
+            hpv.mean_reliability > cyc.mean_reliability + 0.1,
+            "HyParView {} vs Cyclon {}",
+            hpv.mean_reliability,
+            cyc.mean_reliability
+        );
+    }
+
+    #[test]
+    fn rows_cover_all_requested_levels() {
+        let params = Params::smoke().with_messages(5);
+        let rows =
+            reliability_after_failures(&params, &[ProtocolKind::HyParView], &[0.1, 0.5]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].cells.len(), 1);
+        assert!(rows[0].failure < rows[1].failure);
+    }
+}

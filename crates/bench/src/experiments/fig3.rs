@@ -1,0 +1,135 @@
+//! Figure 3 (and Figure 1c) — per-message reliability evolution after a
+//! massive failure.
+//!
+//! The paper plots the reliability of each successive broadcast sent after
+//! the crash, before any membership cycle runs. HyParView recovers almost
+//! immediately (every broadcast implicitly tests the whole active view);
+//! CyclonAcked recovers after ~25 messages; Cyclon and Scamp stay flat.
+
+use crate::params::Params;
+use hyparview_sim::protocols::ProtocolKind;
+use hyparview_sim::AnySim;
+
+/// Per-message reliability series for one protocol at one failure level.
+#[derive(Debug, Clone)]
+pub struct RecoverySeries {
+    /// Protocol measured.
+    pub kind: ProtocolKind,
+    /// Fraction of nodes crashed.
+    pub failure: f64,
+    /// Reliability of the 1st, 2nd, … broadcast after the failure,
+    /// averaged over `runs`.
+    pub reliability: Vec<f64>,
+    /// View accuracy before the first and after the last broadcast
+    /// (averaged over runs) — shows the failure-detector effect.
+    pub accuracy_before: f64,
+    /// Accuracy after the measured broadcasts.
+    pub accuracy_after: f64,
+}
+
+impl RecoverySeries {
+    /// Index of the first message whose reliability reaches `threshold`
+    /// (`None` if never reached).
+    pub fn messages_to_reach(&self, threshold: f64) -> Option<usize> {
+        self.reliability.iter().position(|r| *r >= threshold)
+    }
+
+    /// Mean reliability over the last quarter of the series — the plateau
+    /// the protocol converges to.
+    pub fn plateau(&self) -> f64 {
+        let len = self.reliability.len();
+        if len == 0 {
+            return 0.0;
+        }
+        let tail = &self.reliability[len - (len / 4).max(1)..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// Produces the recovery series for one `(protocol, failure)` panel.
+pub fn recovery_series(params: &Params, kind: ProtocolKind, failure: f64) -> RecoverySeries {
+    let mut acc = vec![0.0f64; params.messages];
+    let mut accuracy_before = 0.0;
+    let mut accuracy_after = 0.0;
+    for run in 0..params.runs {
+        let scenario = params.scenario(run);
+        let mut sim = AnySim::build(kind, &scenario, &params.configs);
+        sim.run_cycles(params.stabilization_cycles);
+        sim.fail_fraction(failure);
+        accuracy_before += sim.accuracy();
+        for slot in acc.iter_mut() {
+            let report = sim.broadcast_random();
+            *slot += report.reliability();
+        }
+        accuracy_after += sim.accuracy();
+    }
+    let runs = params.runs as f64;
+    RecoverySeries {
+        kind,
+        failure,
+        reliability: acc.into_iter().map(|r| r / runs).collect(),
+        accuracy_before: accuracy_before / runs,
+        accuracy_after: accuracy_after / runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyparview_recovers_within_a_few_messages() {
+        let params = Params::smoke().with_messages(30);
+        let series = recovery_series(&params, ProtocolKind::HyParView, 0.5);
+        assert!(
+            series.plateau() > 0.95,
+            "HyParView plateau after 50% failures: {}",
+            series.plateau()
+        );
+        let reach = series.messages_to_reach(0.95);
+        assert!(
+            matches!(reach, Some(i) if i < 15),
+            "HyParView took too long to recover: {reach:?} (series {:?})",
+            series.reliability
+        );
+    }
+
+    #[test]
+    fn accuracy_improves_for_detecting_protocols() {
+        let params = Params::smoke().with_messages(40);
+        let series = recovery_series(&params, ProtocolKind::CyclonAcked, 0.5);
+        assert!(
+            series.accuracy_after > series.accuracy_before,
+            "CyclonAcked accuracy should improve ({} → {})",
+            series.accuracy_before,
+            series.accuracy_after
+        );
+    }
+
+    #[test]
+    fn plain_cyclon_stays_flat() {
+        let params = Params::smoke().with_messages(30);
+        let series = recovery_series(&params, ProtocolKind::Cyclon, 0.5);
+        // No failure detector, no cycle: accuracy cannot improve.
+        assert!(
+            (series.accuracy_after - series.accuracy_before).abs() < 1e-9,
+            "plain Cyclon accuracy moved: {} → {}",
+            series.accuracy_before,
+            series.accuracy_after
+        );
+    }
+
+    #[test]
+    fn messages_to_reach_and_plateau_edge_cases() {
+        let series = RecoverySeries {
+            kind: ProtocolKind::Cyclon,
+            failure: 0.5,
+            reliability: vec![0.2, 0.5, 0.9, 0.95],
+            accuracy_before: 0.5,
+            accuracy_after: 0.5,
+        };
+        assert_eq!(series.messages_to_reach(0.9), Some(2));
+        assert_eq!(series.messages_to_reach(0.99), None);
+        assert!((series.plateau() - 0.95).abs() < 1e-12);
+    }
+}

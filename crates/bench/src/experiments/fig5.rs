@@ -1,0 +1,91 @@
+//! Figure 5 — in-degree distribution after stabilization.
+//!
+//! Paper finding: HyParView's symmetric active views concentrate the
+//! in-degree at the active view size (5) — every node is known by the
+//! maximum possible number of peers. Cyclon spreads in-degrees over a wide
+//! range; Scamp has a long tail, with some nodes known by only one other
+//! node.
+
+use crate::params::Params;
+use hyparview_graph::{degree_histogram, degree_summary, in_degrees, DegreeSummary, Overlay};
+use hyparview_sim::protocols::ProtocolKind;
+use hyparview_sim::AnySim;
+use std::collections::BTreeMap;
+
+/// In-degree distribution of one protocol's stabilized overlay.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Protocol measured.
+    pub kind: ProtocolKind,
+    /// `in-degree → number of nodes`.
+    pub histogram: BTreeMap<usize, usize>,
+    /// Summary statistics of the distribution.
+    pub summary: DegreeSummary,
+}
+
+impl Fig5Row {
+    /// Fraction of nodes whose in-degree equals `degree`.
+    pub fn fraction_at(&self, degree: usize) -> f64 {
+        let total: usize = self.histogram.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.histogram.get(&degree).unwrap_or(&0) as f64 / total as f64
+    }
+}
+
+/// Computes the in-degree distribution for each protocol after
+/// stabilization.
+pub fn in_degree_distribution(params: &Params, kinds: &[ProtocolKind]) -> Vec<Fig5Row> {
+    kinds
+        .iter()
+        .map(|&kind| {
+            let scenario = params.scenario(0);
+            let mut sim = AnySim::build(kind, &scenario, &params.configs);
+            sim.run_cycles(params.stabilization_cycles);
+            let overlay = Overlay::new(sim.out_views());
+            let degrees = in_degrees(&overlay);
+            let alive_degrees: Vec<usize> =
+                overlay.alive_nodes().into_iter().map(|v| degrees[v]).collect();
+            Fig5Row {
+                kind,
+                histogram: degree_histogram(&degrees, &overlay),
+                summary: degree_summary(&alive_degrees),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyparview_in_degree_concentrates_at_active_size() {
+        let params = Params::smoke();
+        let rows = in_degree_distribution(&params, &[ProtocolKind::HyParView]);
+        let row = &rows[0];
+        // Symmetric views: in-degree == out-degree == 5 for almost everyone.
+        assert!(
+            row.fraction_at(5) > 0.7,
+            "expected most nodes at in-degree 5, histogram {:?}",
+            row.histogram
+        );
+        assert!(row.summary.stddev < 1.5, "stddev {}", row.summary.stddev);
+    }
+
+    #[test]
+    fn cyclon_in_degree_spreads_wider_than_hyparview() {
+        let params = Params::smoke();
+        let rows = in_degree_distribution(
+            &params,
+            &[ProtocolKind::HyParView, ProtocolKind::Cyclon],
+        );
+        assert!(
+            rows[1].summary.stddev > rows[0].summary.stddev,
+            "Cyclon stddev {} vs HyParView {}",
+            rows[1].summary.stddev,
+            rows[0].summary.stddev
+        );
+    }
+}

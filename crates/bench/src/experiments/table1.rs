@@ -1,0 +1,133 @@
+//! Table 1 — overlay graph properties after stabilization: average
+//! clustering coefficient, average shortest path, and mean maximum hops to
+//! delivery.
+//!
+//! Paper values (n = 10,000):
+//!
+//! | protocol  | clustering | avg shortest path | max hops to delivery |
+//! |-----------|-----------:|------------------:|---------------------:|
+//! | Cyclon    |   0.006836 |           2.60426 |                 10.6 |
+//! | Scamp     |   0.022476 |           3.35398 |                 14.1 |
+//! | HyParView |    0.00092 |           6.38542 |                  9.0 |
+//!
+//! The headline: HyParView's avg shortest path is *longer* (its view is
+//! tiny), yet broadcasts *arrive in fewer hops* because flooding uses every
+//! link instead of a random fanout sample.
+
+use crate::params::Params;
+use hyparview_graph::{
+    clustering_coefficient, connectivity, shortest_path_stats, Overlay,
+};
+use hyparview_gossip::ReliabilitySummary;
+use hyparview_sim::protocols::ProtocolKind;
+use hyparview_sim::AnySim;
+
+/// Graph properties of one protocol's stabilized overlay.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Protocol measured.
+    pub kind: ProtocolKind,
+    /// Average clustering coefficient.
+    pub clustering: f64,
+    /// Average shortest path (BFS-sampled).
+    pub avg_shortest_path: f64,
+    /// Mean over broadcasts of the maximum hop count at delivery.
+    pub mean_max_hops: f64,
+    /// Whether the overlay is connected.
+    pub connected: bool,
+    /// Mean out-view size (context for the other numbers).
+    pub mean_view_size: f64,
+}
+
+/// Number of BFS sources sampled for the average shortest path.
+pub const PATH_SAMPLES: usize = 100;
+
+/// Number of broadcasts used to measure "max hops to delivery".
+pub const HOP_BROADCASTS: usize = 50;
+
+/// Computes Table 1 for the given protocols.
+pub fn graph_properties(params: &Params, kinds: &[ProtocolKind]) -> Vec<Table1Row> {
+    kinds
+        .iter()
+        .map(|&kind| {
+            let scenario = params.scenario(0);
+            let mut sim = AnySim::build(kind, &scenario, &params.configs);
+            sim.run_cycles(params.stabilization_cycles);
+
+            let overlay = Overlay::new(sim.out_views());
+            let clustering = clustering_coefficient(&overlay);
+            let paths = shortest_path_stats(&overlay, PATH_SAMPLES, params.seed);
+            let conn = connectivity(&overlay);
+            let mean_view_size = overlay
+                .alive_nodes()
+                .iter()
+                .map(|v| overlay.out_degree(*v) as f64)
+                .sum::<f64>()
+                / overlay.alive_count().max(1) as f64;
+
+            let mut summary = ReliabilitySummary::new();
+            for _ in 0..HOP_BROADCASTS.min(params.messages) {
+                summary.add(&sim.broadcast_random());
+            }
+
+            Table1Row {
+                kind,
+                clustering,
+                avg_shortest_path: paths.average,
+                mean_max_hops: summary.mean_max_hops(),
+                connected: conn.is_connected(),
+                mean_view_size,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Table1Row> {
+        let params = Params::smoke();
+        graph_properties(
+            &params,
+            &[ProtocolKind::HyParView, ProtocolKind::Cyclon, ProtocolKind::Scamp],
+        )
+    }
+
+    #[test]
+    fn hyparview_has_lowest_clustering_and_longest_paths() {
+        let rows = rows();
+        let hpv = &rows[0];
+        let cyclon = &rows[1];
+        assert!(
+            hpv.clustering < cyclon.clustering,
+            "HyParView clustering {} must undercut Cyclon {}",
+            hpv.clustering,
+            cyclon.clustering
+        );
+        assert!(
+            hpv.avg_shortest_path > cyclon.avg_shortest_path,
+            "HyParView path {} must exceed Cyclon {}",
+            hpv.avg_shortest_path,
+            cyclon.avg_shortest_path
+        );
+    }
+
+    #[test]
+    fn overlays_are_connected_after_stabilization() {
+        for row in rows() {
+            assert!(row.connected, "{} overlay disconnected", row.kind);
+        }
+    }
+
+    #[test]
+    fn hyparview_view_size_matches_config() {
+        let rows = rows();
+        let hpv = &rows[0];
+        assert!(
+            (hpv.mean_view_size - 5.0).abs() < 0.5,
+            "HyParView mean view size {}",
+            hpv.mean_view_size
+        );
+    }
+}

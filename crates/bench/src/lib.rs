@@ -1,0 +1,26 @@
+//! # hyparview-bench
+//!
+//! The experiment harness of the HyParView reproduction: one module (and
+//! one binary) per table/figure of the paper's evaluation, plus ablations.
+//!
+//! * `fig1_fanout` — Figure 1a/1b: fanout × reliability (Cyclon, Scamp).
+//! * `fig1c_after_failure` — Figure 1c: reliability after 50% failures.
+//! * `fig2_reliability` — Figure 2: reliability vs failure percentage.
+//! * `fig3_recovery` — Figures 3a–3f: per-message recovery curves.
+//! * `fig4_healing` — Figure 4: healing time in membership cycles.
+//! * `fig5_indegree` — Figure 5: in-degree distributions.
+//! * `table1_graph_props` — Table 1: clustering / path length / hops.
+//! * `all_experiments` — everything above, in `EXPERIMENTS.md` format.
+//!
+//! Every binary accepts `--n`, `--messages`, `--seed`, `--runs`,
+//! `--fanout`, `--stabilization` and the `--paper` / `--quick` / `--smoke`
+//! presets.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod params;
+pub mod table;
+
+pub use params::{Params, ALL_PROTOCOLS, FIG1_FANOUTS, FIG2_FAILURES, FIG3_FAILURES};

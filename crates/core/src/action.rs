@@ -1,0 +1,157 @@
+//! Effects requested by the protocol state machine.
+//!
+//! `hyparview-core` is sans-io: event handlers never touch sockets or
+//! clocks. Instead they push [`Action`] values into an [`Actions`] buffer
+//! that the embedding runtime (simulator, TCP runtime, tests) drains and
+//! executes. This keeps the protocol deterministic and trivially testable.
+
+use crate::message::Message;
+use crate::Identity;
+
+/// An effect the runtime must carry out on behalf of the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<I> {
+    /// Send `message` to `to`. The runtime is responsible for connection
+    /// management; if delivery fails it must call
+    /// [`HyParView::on_peer_failed`](crate::HyParView::on_peer_failed).
+    Send {
+        /// Destination peer.
+        to: I,
+        /// Message to deliver.
+        message: Message<I>,
+    },
+    /// `peer` entered the active view: the overlay gained a link. Broadcast
+    /// layers use this to start flooding through `peer`; the TCP runtime
+    /// keeps the connection open.
+    NeighborUp {
+        /// The new active-view member.
+        peer: I,
+    },
+    /// `peer` left the active view: the overlay lost a link. The TCP runtime
+    /// may close the connection.
+    NeighborDown {
+        /// The removed active-view member.
+        peer: I,
+    },
+}
+
+/// Buffer of pending [`Action`]s produced by one protocol event.
+///
+/// # Examples
+///
+/// ```
+/// use hyparview_core::{Actions, Action, Message};
+///
+/// let mut actions: Actions<u32> = Actions::new();
+/// actions.send(7, Message::Join);
+/// let drained: Vec<Action<u32>> = actions.drain().collect();
+/// assert_eq!(drained.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Actions<I> {
+    queue: Vec<Action<I>>,
+}
+
+impl<I> Default for Actions<I> {
+    fn default() -> Self {
+        Actions { queue: Vec::new() }
+    }
+}
+
+impl<I: Identity> Actions<I> {
+    /// Creates an empty action buffer.
+    pub fn new() -> Self {
+        Actions { queue: Vec::new() }
+    }
+
+    /// Queues a [`Action::Send`].
+    pub fn send(&mut self, to: I, message: Message<I>) {
+        self.queue.push(Action::Send { to, message });
+    }
+
+    /// Queues a [`Action::NeighborUp`].
+    pub fn neighbor_up(&mut self, peer: I) {
+        self.queue.push(Action::NeighborUp { peer });
+    }
+
+    /// Queues a [`Action::NeighborDown`].
+    pub fn neighbor_down(&mut self, peer: I) {
+        self.queue.push(Action::NeighborDown { peer });
+    }
+
+    /// Number of queued actions.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Drains the queued actions in FIFO order.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Action<I>> {
+        self.queue.drain(..)
+    }
+
+    /// Read-only access to the queued actions (FIFO order).
+    pub fn as_slice(&self) -> &[Action<I>] {
+        &self.queue
+    }
+
+    /// Consumes the buffer, returning the queued actions.
+    pub fn into_vec(self) -> Vec<Action<I>> {
+        self.queue
+    }
+}
+
+impl<I: Identity> IntoIterator for Actions<I> {
+    type Item = Action<I>;
+    type IntoIter = std::vec::IntoIter<Action<I>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.queue.into_iter()
+    }
+}
+
+impl<I: Identity> Extend<Action<I>> for Actions<I> {
+    fn extend<T: IntoIterator<Item = Action<I>>>(&mut self, iter: T) {
+        self.queue.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_preserve_fifo_order() {
+        let mut a: Actions<u32> = Actions::new();
+        a.send(1, Message::Join);
+        a.neighbor_up(1);
+        a.neighbor_down(2);
+        let drained: Vec<_> = a.drain().collect();
+        assert_eq!(drained.len(), 3);
+        assert!(matches!(drained[0], Action::Send { to: 1, .. }));
+        assert!(matches!(drained[1], Action::NeighborUp { peer: 1 }));
+        assert!(matches!(drained[2], Action::NeighborDown { peer: 2 }));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn into_vec_and_as_slice_agree() {
+        let mut a: Actions<u32> = Actions::new();
+        a.send(3, Message::Disconnect);
+        assert_eq!(a.as_slice().len(), 1);
+        assert_eq!(a.len(), 1);
+        let v = a.into_vec();
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut a: Actions<u32> = Actions::new();
+        a.extend([Action::NeighborUp { peer: 9 }]);
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -1,0 +1,315 @@
+//! Protocol configuration.
+//!
+//! All parameters named in the paper (§5.1 "Experimental Setting") are
+//! exposed here with the paper's values as defaults:
+//!
+//! * active view size = 5 (`fanout + 1` with fanout 4)
+//! * passive view size = 30
+//! * Active Random Walk Length (ARWL) = 6
+//! * Passive Random Walk Length (PRWL) = 3
+//! * shuffle sends `ka = 3` active and `kp = 4` passive identifiers
+//!   (plus the sender's own identifier, for a total of 8)
+
+use std::fmt;
+
+/// Errors produced when validating a [`Config`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The active view must hold at least one peer.
+    ZeroActiveView,
+    /// The passive view must hold at least one peer.
+    ZeroPassiveView,
+    /// PRWL must not exceed ARWL, otherwise the passive-view insertion point
+    /// of a `FORWARDJOIN` walk is never reached.
+    PrwlExceedsArwl {
+        /// Configured active random walk length.
+        arwl: u8,
+        /// Configured passive random walk length.
+        prwl: u8,
+    },
+    /// A shuffle must exchange at least one identifier.
+    EmptyShuffle,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroActiveView => write!(f, "active view capacity must be at least 1"),
+            ConfigError::ZeroPassiveView => write!(f, "passive view capacity must be at least 1"),
+            ConfigError::PrwlExceedsArwl { arwl, prwl } => write!(
+                f,
+                "passive random walk length ({prwl}) exceeds active random walk length ({arwl})"
+            ),
+            ConfigError::EmptyShuffle => {
+                write!(f, "shuffle must exchange at least one identifier (ka + kp >= 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Configuration of a [`HyParView`](crate::HyParView) instance.
+///
+/// Construct with [`Config::default`] for the paper's parameters, or use the
+/// builder-style setters for custom deployments. Validation happens in
+/// [`Config::validate`], which the protocol constructor calls.
+///
+/// # Examples
+///
+/// ```
+/// use hyparview_core::Config;
+///
+/// let config = Config::default()
+///     .with_active_capacity(5)
+///     .with_passive_capacity(30);
+/// assert!(config.validate().is_ok());
+/// assert_eq!(config.fanout(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Config {
+    /// Maximum number of peers in the active view (paper: `fanout + 1` = 5).
+    pub active_capacity: usize,
+    /// Maximum number of peers in the passive view (paper: 30).
+    pub passive_capacity: usize,
+    /// Active Random Walk Length: initial TTL of `FORWARDJOIN` walks (paper: 6).
+    pub arwl: u8,
+    /// Passive Random Walk Length: TTL at which a `FORWARDJOIN` walk inserts
+    /// the joiner into the passive view (paper: 3).
+    pub prwl: u8,
+    /// Number of active-view identifiers placed in a shuffle message (paper: 3).
+    pub shuffle_active: usize,
+    /// Number of passive-view identifiers placed in a shuffle message (paper: 4).
+    pub shuffle_passive: usize,
+    /// Initial TTL of the shuffle random walk. The paper propagates shuffles
+    /// "just like FORWARDJOIN requests"; we default to ARWL.
+    pub shuffle_ttl: u8,
+    /// Whether the periodic shuffle also attempts to refill an under-full
+    /// active view from the passive view. Enabled by default — this is the
+    /// background half of the reactive repair described in §4.3 and is what
+    /// lets isolated nodes rejoin without an explicit trigger.
+    pub promote_on_shuffle: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            active_capacity: 5,
+            passive_capacity: 30,
+            arwl: 6,
+            prwl: 3,
+            shuffle_active: 3,
+            shuffle_passive: 4,
+            shuffle_ttl: 6,
+            promote_on_shuffle: true,
+        }
+    }
+}
+
+impl Config {
+    /// Returns the paper's configuration (same as [`Config::default`]).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Sets the active view capacity.
+    pub fn with_active_capacity(mut self, capacity: usize) -> Self {
+        self.active_capacity = capacity;
+        self
+    }
+
+    /// Sets the passive view capacity.
+    pub fn with_passive_capacity(mut self, capacity: usize) -> Self {
+        self.passive_capacity = capacity;
+        self
+    }
+
+    /// Sets the active random walk length (`FORWARDJOIN` TTL).
+    pub fn with_arwl(mut self, arwl: u8) -> Self {
+        self.arwl = arwl;
+        self
+    }
+
+    /// Sets the passive random walk length.
+    pub fn with_prwl(mut self, prwl: u8) -> Self {
+        self.prwl = prwl;
+        self
+    }
+
+    /// Sets how many active-view identifiers a shuffle carries (`ka`).
+    pub fn with_shuffle_active(mut self, ka: usize) -> Self {
+        self.shuffle_active = ka;
+        self
+    }
+
+    /// Sets how many passive-view identifiers a shuffle carries (`kp`).
+    pub fn with_shuffle_passive(mut self, kp: usize) -> Self {
+        self.shuffle_passive = kp;
+        self
+    }
+
+    /// Sets the shuffle random walk TTL.
+    pub fn with_shuffle_ttl(mut self, ttl: u8) -> Self {
+        self.shuffle_ttl = ttl;
+        self
+    }
+
+    /// Enables or disables active-view refill attempts on shuffle ticks.
+    pub fn with_promote_on_shuffle(mut self, enabled: bool) -> Self {
+        self.promote_on_shuffle = enabled;
+        self
+    }
+
+    /// Derives a configuration sized for a network of `n` nodes, following
+    /// the paper's guidance: the active view is `log10(n) + 1` sized
+    /// (fanout close to `log(n)`) and the passive view is larger than
+    /// `log(n)` by the same ×6 factor the paper uses at n = 10,000.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hyparview_core::Config;
+    ///
+    /// let config = Config::for_network_size(10_000);
+    /// assert_eq!(config.active_capacity, 5);
+    /// assert_eq!(config.passive_capacity, 30);
+    /// ```
+    pub fn for_network_size(n: usize) -> Self {
+        let log = (n.max(2) as f64).log10().ceil() as usize;
+        let active = (log + 1).max(2);
+        Config::default()
+            .with_active_capacity(active)
+            .with_passive_capacity(active * 6)
+    }
+
+    /// The gossip fanout implied by this configuration: the active view holds
+    /// `fanout + 1` peers because links are symmetric and a node never relays
+    /// a message back to its sender (§4.1).
+    pub fn fanout(&self) -> usize {
+        self.active_capacity.saturating_sub(1).max(1)
+    }
+
+    /// Total number of identifiers carried by a shuffle message, including
+    /// the initiator's own identifier.
+    pub fn shuffle_payload_len(&self) -> usize {
+        self.shuffle_active + self.shuffle_passive + 1
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if a view capacity is zero, PRWL exceeds
+    /// ARWL, or the shuffle payload would be empty.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.active_capacity == 0 {
+            return Err(ConfigError::ZeroActiveView);
+        }
+        if self.passive_capacity == 0 {
+            return Err(ConfigError::ZeroPassiveView);
+        }
+        if self.prwl > self.arwl {
+            return Err(ConfigError::PrwlExceedsArwl { arwl: self.arwl, prwl: self.prwl });
+        }
+        if self.shuffle_active + self.shuffle_passive == 0 {
+            return Err(ConfigError::EmptyShuffle);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = Config::default();
+        assert_eq!(c.active_capacity, 5);
+        assert_eq!(c.passive_capacity, 30);
+        assert_eq!(c.arwl, 6);
+        assert_eq!(c.prwl, 3);
+        assert_eq!(c.shuffle_active, 3);
+        assert_eq!(c.shuffle_passive, 4);
+        assert_eq!(c.shuffle_payload_len(), 8);
+        assert_eq!(c.fanout(), 4);
+        c.validate().expect("paper config must validate");
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = Config::default()
+            .with_active_capacity(7)
+            .with_passive_capacity(42)
+            .with_arwl(8)
+            .with_prwl(4)
+            .with_shuffle_active(2)
+            .with_shuffle_passive(5)
+            .with_shuffle_ttl(3)
+            .with_promote_on_shuffle(false);
+        assert_eq!(c.active_capacity, 7);
+        assert_eq!(c.passive_capacity, 42);
+        assert_eq!(c.arwl, 8);
+        assert_eq!(c.prwl, 4);
+        assert_eq!(c.shuffle_active, 2);
+        assert_eq!(c.shuffle_passive, 5);
+        assert_eq!(c.shuffle_ttl, 3);
+        assert!(!c.promote_on_shuffle);
+    }
+
+    #[test]
+    fn zero_active_view_rejected() {
+        let err = Config::default().with_active_capacity(0).validate().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroActiveView);
+    }
+
+    #[test]
+    fn zero_passive_view_rejected() {
+        let err = Config::default().with_passive_capacity(0).validate().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroPassiveView);
+    }
+
+    #[test]
+    fn prwl_above_arwl_rejected() {
+        let err = Config::default().with_arwl(2).with_prwl(3).validate().unwrap_err();
+        assert_eq!(err, ConfigError::PrwlExceedsArwl { arwl: 2, prwl: 3 });
+    }
+
+    #[test]
+    fn empty_shuffle_rejected() {
+        let err = Config::default()
+            .with_shuffle_active(0)
+            .with_shuffle_passive(0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::EmptyShuffle);
+    }
+
+    #[test]
+    fn for_network_size_matches_paper_at_10k() {
+        let c = Config::for_network_size(10_000);
+        assert_eq!(c.active_capacity, 5);
+        assert_eq!(c.passive_capacity, 30);
+    }
+
+    #[test]
+    fn for_network_size_small_networks_stay_sane() {
+        let c = Config::for_network_size(10);
+        assert!(c.active_capacity >= 2);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn config_error_displays_are_nonempty() {
+        for err in [
+            ConfigError::ZeroActiveView,
+            ConfigError::ZeroPassiveView,
+            ConfigError::PrwlExceedsArwl { arwl: 1, prwl: 2 },
+            ConfigError::EmptyShuffle,
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

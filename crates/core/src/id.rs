@@ -1,0 +1,118 @@
+//! Node identity abstraction.
+//!
+//! The HyParView state machine is generic over the type used to identify
+//! peers. In the discrete-event simulator identities are small integers
+//! ([`SimId`]); in the TCP runtime they are socket addresses. Anything that
+//! is cheap to copy, hashable and totally ordered qualifies.
+
+use std::fmt;
+use std::hash::Hash;
+
+/// Identifier of a node in the overlay.
+///
+/// This is a blanket-implemented marker trait: any `Copy + Eq + Hash + Ord +
+/// Debug + Send + Sync + 'static` type is an [`Identity`]. Typical instances
+/// are [`SimId`] (simulation) and `std::net::SocketAddr` (real networking).
+///
+/// # Examples
+///
+/// ```
+/// use hyparview_core::{Identity, SimId};
+///
+/// fn takes_identity<I: Identity>(id: I) -> I { id }
+/// let id = takes_identity(SimId::new(7));
+/// assert_eq!(id.index(), 7);
+/// ```
+pub trait Identity: Copy + Eq + Hash + Ord + fmt::Debug + Send + Sync + 'static {}
+
+impl<T> Identity for T where T: Copy + Eq + Hash + Ord + fmt::Debug + Send + Sync + 'static {}
+
+/// Dense integer node identifier used by the simulator.
+///
+/// A `SimId` is an index into the simulator's node table, which makes
+/// metric collection (degree histograms, reachability) O(1) per node.
+///
+/// # Examples
+///
+/// ```
+/// use hyparview_core::SimId;
+///
+/// let id = SimId::new(42);
+/// assert_eq!(id.index(), 42);
+/// assert_eq!(format!("{id}"), "n42");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimId(u32);
+
+impl SimId {
+    /// Creates an identifier from a dense index.
+    pub fn new(index: usize) -> Self {
+        SimId(index as u32)
+    }
+
+    /// Returns the dense index backing this identifier.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SimId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for SimId {
+    fn from(value: u32) -> Self {
+        SimId(value)
+    }
+}
+
+impl From<SimId> for u32 {
+    fn from(value: SimId) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::SocketAddr;
+
+    fn assert_identity<I: Identity>() {}
+
+    #[test]
+    fn sim_id_is_identity() {
+        assert_identity::<SimId>();
+    }
+
+    #[test]
+    fn socket_addr_is_identity() {
+        assert_identity::<SocketAddr>();
+    }
+
+    #[test]
+    fn u64_is_identity() {
+        assert_identity::<u64>();
+    }
+
+    #[test]
+    fn sim_id_round_trips_through_u32() {
+        let id = SimId::from(9u32);
+        assert_eq!(u32::from(id), 9);
+        assert_eq!(id.index(), 9);
+    }
+
+    #[test]
+    fn sim_id_display_is_compact() {
+        assert_eq!(SimId::new(0).to_string(), "n0");
+        assert_eq!(SimId::new(10_000).to_string(), "n10000");
+    }
+
+    #[test]
+    fn sim_id_orders_by_index() {
+        assert!(SimId::new(1) < SimId::new(2));
+        assert_eq!(SimId::new(3), SimId::new(3));
+    }
+}

@@ -1,0 +1,191 @@
+//! Wire-level protocol messages (Algorithm 1 plus the replies that a real
+//! message-passing implementation needs).
+//!
+//! The paper's pseudo-code leaves two acknowledgements implicit because it
+//! assumes symmetric TCP connections: the recipient of an accepted
+//! `FORWARDJOIN` must tell the joiner it now has a neighbor
+//! ([`Message::ForwardJoinReply`]), and a `NEIGHBOR` request needs an
+//! explicit accept/reject answer ([`Message::NeighborReply`]). Every real
+//! implementation of HyParView adds both.
+
+use crate::Identity;
+
+/// Priority carried by a `NEIGHBOR` request (§4.3).
+///
+/// A node whose active view became *empty* issues high-priority requests,
+/// which the receiver must accept even if it has to evict a random active
+/// peer. Low-priority requests are accepted only when the receiver has a
+/// free active slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Priority {
+    /// Sender is isolated (empty active view): must be accepted.
+    High,
+    /// Sender merely has a free slot: accepted only if the receiver has one too.
+    Low,
+}
+
+/// A HyParView protocol message.
+///
+/// The sender's identity travels out-of-band (the transport knows which
+/// connection a message arrived on), matching the paper's model where peers
+/// are identified by their TCP connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Message<I> {
+    /// Sent by a joining node to its contact node.
+    Join,
+    /// Random-walk propagation of a new member's identifier.
+    ForwardJoin {
+        /// The node that joined.
+        new_node: I,
+        /// Remaining hops ("time to live", starts at ARWL).
+        ttl: u8,
+    },
+    /// Tells the joiner that the sender inserted it into its active view at
+    /// the end of a `FORWARDJOIN` walk, so the joiner adds the sender
+    /// symmetrically.
+    ForwardJoinReply,
+    /// Asks the receiver to become a neighbor (active-view repair, §4.3).
+    Neighbor {
+        /// Whether the receiver is obliged to accept.
+        priority: Priority,
+    },
+    /// Answer to [`Message::Neighbor`].
+    NeighborReply {
+        /// `true` if the sender added us to its active view.
+        accepted: bool,
+    },
+    /// Notifies the receiver that the sender removed it from its active view.
+    Disconnect,
+    /// Periodic passive-view exchange travelling by random walk (§4.4).
+    Shuffle {
+        /// Node that initiated the shuffle (replies go directly to it).
+        origin: I,
+        /// Remaining hops of the random walk.
+        ttl: u8,
+        /// `ka` active + `kp` passive identifiers collected by `origin`
+        /// (its own identifier is carried by `origin` itself).
+        nodes: Vec<I>,
+    },
+    /// Direct answer to an accepted [`Message::Shuffle`].
+    ShuffleReply {
+        /// Sample of the replier's passive view, same size as the request.
+        nodes: Vec<I>,
+    },
+}
+
+impl<I: Identity> Message<I> {
+    /// Short human-readable tag for logging and statistics.
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            Message::Join => MessageKind::Join,
+            Message::ForwardJoin { .. } => MessageKind::ForwardJoin,
+            Message::ForwardJoinReply => MessageKind::ForwardJoinReply,
+            Message::Neighbor { .. } => MessageKind::Neighbor,
+            Message::NeighborReply { .. } => MessageKind::NeighborReply,
+            Message::Disconnect => MessageKind::Disconnect,
+            Message::Shuffle { .. } => MessageKind::Shuffle,
+            Message::ShuffleReply { .. } => MessageKind::ShuffleReply,
+        }
+    }
+}
+
+/// Discriminant of a [`Message`], used for counters and wire tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// [`Message::Join`]
+    Join,
+    /// [`Message::ForwardJoin`]
+    ForwardJoin,
+    /// [`Message::ForwardJoinReply`]
+    ForwardJoinReply,
+    /// [`Message::Neighbor`]
+    Neighbor,
+    /// [`Message::NeighborReply`]
+    NeighborReply,
+    /// [`Message::Disconnect`]
+    Disconnect,
+    /// [`Message::Shuffle`]
+    Shuffle,
+    /// [`Message::ShuffleReply`]
+    ShuffleReply,
+}
+
+impl MessageKind {
+    /// All message kinds, in wire-tag order.
+    pub const ALL: [MessageKind; 8] = [
+        MessageKind::Join,
+        MessageKind::ForwardJoin,
+        MessageKind::ForwardJoinReply,
+        MessageKind::Neighbor,
+        MessageKind::NeighborReply,
+        MessageKind::Disconnect,
+        MessageKind::Shuffle,
+        MessageKind::ShuffleReply,
+    ];
+
+    /// Stable label used in logs and experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MessageKind::Join => "JOIN",
+            MessageKind::ForwardJoin => "FORWARDJOIN",
+            MessageKind::ForwardJoinReply => "FORWARDJOINREPLY",
+            MessageKind::Neighbor => "NEIGHBOR",
+            MessageKind::NeighborReply => "NEIGHBORREPLY",
+            MessageKind::Disconnect => "DISCONNECT",
+            MessageKind::Shuffle => "SHUFFLE",
+            MessageKind::ShuffleReply => "SHUFFLEREPLY",
+        }
+    }
+}
+
+impl std::fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_messages() {
+        let msgs: Vec<Message<u32>> = vec![
+            Message::Join,
+            Message::ForwardJoin { new_node: 1, ttl: 6 },
+            Message::ForwardJoinReply,
+            Message::Neighbor { priority: Priority::High },
+            Message::NeighborReply { accepted: true },
+            Message::Disconnect,
+            Message::Shuffle { origin: 1, ttl: 6, nodes: vec![2, 3] },
+            Message::ShuffleReply { nodes: vec![4] },
+        ];
+        let kinds: Vec<MessageKind> = msgs.iter().map(Message::kind).collect();
+        assert_eq!(kinds, MessageKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn labels_are_unique_and_nonempty() {
+        let labels: Vec<&str> = MessageKind::ALL.iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert!(labels.iter().all(|l| !l.is_empty()));
+    }
+
+    #[test]
+    fn priority_is_copy_eq() {
+        let p = Priority::High;
+        let q = p;
+        assert_eq!(p, q);
+        assert_ne!(Priority::High, Priority::Low);
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(MessageKind::Shuffle.to_string(), "SHUFFLE");
+    }
+}

@@ -1,0 +1,112 @@
+//! Protocol event counters.
+//!
+//! Cheap monotonically increasing counters useful for experiments (message
+//! overhead accounting) and for debugging live deployments.
+
+/// Counters of protocol activity since the node started.
+///
+/// All counters are cumulative. They are updated by the
+/// [`HyParView`](crate::HyParView) event handlers and never reset by the
+/// protocol itself; use [`Stats::take`] for interval measurements.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Stats {
+    /// `JOIN` requests handled as the contact node.
+    pub joins_handled: u64,
+    /// `FORWARDJOIN` walks received (whether accepted or forwarded).
+    pub forward_joins_received: u64,
+    /// `FORWARDJOIN` walks that terminated here (joiner added to active view).
+    pub forward_joins_accepted: u64,
+    /// `NEIGHBOR` requests received.
+    pub neighbor_requests_received: u64,
+    /// `NEIGHBOR` requests accepted.
+    pub neighbor_requests_accepted: u64,
+    /// `NEIGHBOR` requests this node sent while repairing its active view.
+    pub neighbor_requests_sent: u64,
+    /// Shuffle operations initiated by the periodic timer.
+    pub shuffles_started: u64,
+    /// Shuffle requests accepted (walk ended here and we replied).
+    pub shuffles_accepted: u64,
+    /// Shuffle requests forwarded along the random walk.
+    pub shuffles_forwarded: u64,
+    /// `DISCONNECT` notifications received.
+    pub disconnects_received: u64,
+    /// Peers dropped from the active view to make room (each sent a
+    /// `DISCONNECT`).
+    pub active_evictions: u64,
+    /// Active-view peers removed because the transport reported them failed.
+    pub peer_failures: u64,
+    /// Peers promoted from the passive to the active view.
+    pub promotions: u64,
+}
+
+impl Stats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Returns the current values and resets all counters to zero.
+    pub fn take(&mut self) -> Stats {
+        std::mem::take(self)
+    }
+
+    /// Sum of every counter — a crude measure of total protocol activity.
+    pub fn total_events(&self) -> u64 {
+        self.joins_handled
+            + self.forward_joins_received
+            + self.forward_joins_accepted
+            + self.neighbor_requests_received
+            + self.neighbor_requests_accepted
+            + self.neighbor_requests_sent
+            + self.shuffles_started
+            + self.shuffles_accepted
+            + self.shuffles_forwarded
+            + self.disconnects_received
+            + self.active_evictions
+            + self.peer_failures
+            + self.promotions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let s = Stats::new();
+        assert_eq!(s.total_events(), 0);
+    }
+
+    #[test]
+    fn take_resets() {
+        let mut s = Stats::new();
+        s.joins_handled = 3;
+        s.promotions = 2;
+        let taken = s.take();
+        assert_eq!(taken.joins_handled, 3);
+        assert_eq!(taken.total_events(), 5);
+        assert_eq!(s.total_events(), 0);
+    }
+
+    #[test]
+    fn total_events_sums_all_fields() {
+        let s = Stats {
+            joins_handled: 1,
+            forward_joins_received: 1,
+            forward_joins_accepted: 1,
+            neighbor_requests_received: 1,
+            neighbor_requests_accepted: 1,
+            neighbor_requests_sent: 1,
+            shuffles_started: 1,
+            shuffles_accepted: 1,
+            shuffles_forwarded: 1,
+            disconnects_received: 1,
+            active_evictions: 1,
+            peer_failures: 1,
+            promotions: 1,
+        };
+        assert_eq!(s.total_events(), 13);
+    }
+}

@@ -1,0 +1,286 @@
+//! Gossip broadcast bookkeeping.
+//!
+//! The paper's broadcast protocol (§5): "a node forwards a message when it
+//! receives it for the first time; there is no a priori bound on the number
+//! of gossip rounds". The actual message shipping is performed by the
+//! runtime (simulator or TCP runtime); this module provides the per-node
+//! duplicate detection and the per-broadcast accounting that produce the
+//! reliability numbers in Figures 1–4.
+
+use std::collections::HashSet;
+
+/// Identifier of one broadcast message.
+pub type BroadcastId = u64;
+
+/// Per-node gossip state: which broadcasts this node has already delivered.
+///
+/// # Examples
+///
+/// ```
+/// use hyparview_gossip::GossipState;
+///
+/// let mut state = GossipState::new();
+/// assert!(state.deliver(7, 0), "first receipt delivers");
+/// assert!(!state.deliver(7, 1), "second receipt is redundant");
+/// assert_eq!(state.delivered_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GossipState {
+    seen: HashSet<BroadcastId>,
+    /// Hop count at which each message was first delivered (for the paper's
+    /// "maximum hops to delivery" metric, Table 1).
+    last_hops: Option<u32>,
+}
+
+impl GossipState {
+    /// Creates a fresh gossip state.
+    pub fn new() -> Self {
+        GossipState::default()
+    }
+
+    /// Records the receipt of broadcast `id` after `hops` forwarding steps.
+    ///
+    /// Returns `true` exactly once per id — the *delivery* — in which case
+    /// the caller must forward the message to its gossip targets.
+    pub fn deliver(&mut self, id: BroadcastId, hops: u32) -> bool {
+        if self.seen.insert(id) {
+            self.last_hops = Some(hops);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` if broadcast `id` has been delivered here.
+    pub fn has_delivered(&self, id: BroadcastId) -> bool {
+        self.seen.contains(&id)
+    }
+
+    /// Number of distinct broadcasts delivered.
+    pub fn delivered_count(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Hop count of the most recent first-delivery, if any.
+    pub fn last_delivery_hops(&self) -> Option<u32> {
+        self.last_hops
+    }
+
+    /// Forgets everything (used between experiment phases).
+    pub fn reset(&mut self) {
+        self.seen.clear();
+        self.last_hops = None;
+    }
+}
+
+/// Outcome of disseminating a single broadcast message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BroadcastReport {
+    /// Broadcast identifier.
+    pub id: BroadcastId,
+    /// Node that initiated the broadcast.
+    pub origin: usize,
+    /// Number of *alive* nodes when the broadcast started.
+    pub alive: usize,
+    /// Number of alive nodes that delivered the message (origin included).
+    pub delivered: usize,
+    /// Total point-to-point gossip transmissions attempted.
+    pub sent: usize,
+    /// Transmissions that arrived at a node which had already delivered.
+    pub redundant: usize,
+    /// Transmissions addressed to dead nodes.
+    pub to_dead: usize,
+    /// Maximum number of hops over all first deliveries.
+    pub max_hops: u32,
+}
+
+impl BroadcastReport {
+    /// Gossip reliability (§2.5): the fraction of alive nodes that delivered.
+    pub fn reliability(&self) -> f64 {
+        if self.alive == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.alive as f64
+        }
+    }
+
+    /// `true` when every alive node delivered (an "atomic broadcast").
+    pub fn is_atomic(&self) -> bool {
+        self.delivered == self.alive
+    }
+
+    /// Fraction of transmissions that were redundant.
+    pub fn redundancy_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.redundant as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Aggregate over a sequence of broadcasts (e.g. the 1000 messages of Fig 2).
+#[derive(Debug, Clone, Default)]
+pub struct ReliabilitySummary {
+    reliabilities: Vec<f64>,
+    max_hops: Vec<u32>,
+    sent: u64,
+    redundant: u64,
+}
+
+impl ReliabilitySummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one broadcast report into the summary.
+    pub fn add(&mut self, report: &BroadcastReport) {
+        self.reliabilities.push(report.reliability());
+        self.max_hops.push(report.max_hops);
+        self.sent += report.sent as u64;
+        self.redundant += report.redundant as u64;
+    }
+
+    /// Number of broadcasts summarised.
+    pub fn count(&self) -> usize {
+        self.reliabilities.len()
+    }
+
+    /// Returns `true` when no broadcasts have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.reliabilities.is_empty()
+    }
+
+    /// Mean reliability across all broadcasts.
+    pub fn mean_reliability(&self) -> f64 {
+        if self.reliabilities.is_empty() {
+            return 0.0;
+        }
+        self.reliabilities.iter().sum::<f64>() / self.reliabilities.len() as f64
+    }
+
+    /// Minimum per-message reliability.
+    pub fn min_reliability(&self) -> f64 {
+        self.reliabilities.iter().copied().fold(f64::INFINITY, f64::min).min(1.0)
+    }
+
+    /// Fraction of broadcasts that reached every alive node.
+    pub fn atomic_fraction(&self) -> f64 {
+        if self.reliabilities.is_empty() {
+            return 0.0;
+        }
+        let atomic = self.reliabilities.iter().filter(|r| **r >= 1.0).count();
+        atomic as f64 / self.reliabilities.len() as f64
+    }
+
+    /// Mean of the per-broadcast maximum hop counts (Table 1's
+    /// "maximum hops to delivery").
+    pub fn mean_max_hops(&self) -> f64 {
+        if self.max_hops.is_empty() {
+            return 0.0;
+        }
+        self.max_hops.iter().map(|h| *h as f64).sum::<f64>() / self.max_hops.len() as f64
+    }
+
+    /// Total transmissions across all broadcasts.
+    pub fn total_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Total redundant transmissions across all broadcasts.
+    pub fn total_redundant(&self) -> u64 {
+        self.redundant
+    }
+
+    /// Per-message reliability series (for the Figure 3 plots).
+    pub fn series(&self) -> &[f64] {
+        &self.reliabilities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(delivered: usize, alive: usize) -> BroadcastReport {
+        BroadcastReport {
+            id: 1,
+            origin: 0,
+            alive,
+            delivered,
+            sent: 10,
+            redundant: 2,
+            to_dead: 1,
+            max_hops: 5,
+        }
+    }
+
+    #[test]
+    fn deliver_is_idempotent_per_id() {
+        let mut s = GossipState::new();
+        assert!(s.deliver(1, 0));
+        assert!(!s.deliver(1, 3));
+        assert!(s.deliver(2, 1));
+        assert_eq!(s.delivered_count(), 2);
+        assert!(s.has_delivered(1));
+        assert!(!s.has_delivered(3));
+    }
+
+    #[test]
+    fn deliver_records_first_hop_count() {
+        let mut s = GossipState::new();
+        s.deliver(1, 4);
+        assert_eq!(s.last_delivery_hops(), Some(4));
+        s.deliver(1, 9); // redundant, ignored
+        assert_eq!(s.last_delivery_hops(), Some(4));
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut s = GossipState::new();
+        s.deliver(1, 0);
+        s.reset();
+        assert_eq!(s.delivered_count(), 0);
+        assert!(s.deliver(1, 0));
+    }
+
+    #[test]
+    fn reliability_computation() {
+        assert!((report(100, 100).reliability() - 1.0).abs() < 1e-12);
+        assert!((report(50, 100).reliability() - 0.5).abs() < 1e-12);
+        assert!(report(100, 100).is_atomic());
+        assert!(!report(99, 100).is_atomic());
+        assert_eq!(report(0, 0).reliability(), 0.0);
+    }
+
+    #[test]
+    fn redundancy_ratio() {
+        let r = report(10, 10);
+        assert!((r.redundancy_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let mut s = ReliabilitySummary::new();
+        s.add(&report(100, 100));
+        s.add(&report(50, 100));
+        assert_eq!(s.count(), 2);
+        assert!((s.mean_reliability() - 0.75).abs() < 1e-12);
+        assert!((s.min_reliability() - 0.5).abs() < 1e-12);
+        assert!((s.atomic_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.mean_max_hops() - 5.0).abs() < 1e-12);
+        assert_eq!(s.total_sent(), 20);
+        assert_eq!(s.total_redundant(), 4);
+        assert_eq!(s.series().len(), 2);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = ReliabilitySummary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean_reliability(), 0.0);
+        assert_eq!(s.atomic_fraction(), 0.0);
+        assert_eq!(s.mean_max_hops(), 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! [`Membership`] implementation for HyParView.
+//!
+//! Thin adapter translating the sans-io [`HyParView`] action stream into the
+//! protocol-agnostic [`Outbox`] the simulator consumes. HyParView is the
+//! only protocol in the evaluation whose gossip target selection is
+//! *deterministic*: it floods its entire (symmetric) active view.
+
+use crate::membership::{Membership, Outbox};
+use hyparview_core::{Action, Actions, Config, HyParView, Identity, Message};
+
+/// HyParView wired up as a [`Membership`] protocol.
+///
+/// # Examples
+///
+/// ```
+/// use hyparview_gossip::{HyParViewMembership, Membership, Outbox};
+/// use hyparview_core::Config;
+///
+/// let mut node = HyParViewMembership::new(1u32, Config::default(), 7).unwrap();
+/// let mut out = Outbox::new();
+/// node.join(0, &mut out);
+/// assert_eq!(out.len(), 1, "JOIN sent to the contact");
+/// assert_eq!(node.out_view(), vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HyParViewMembership<I> {
+    inner: HyParView<I>,
+    actions: Actions<I>,
+    /// `None` = the paper's deterministic flood; `Some(rng)` = sample
+    /// `fanout` random targets from the active view instead (the ablation
+    /// §5.5 argues against).
+    random_fanout: Option<rand::rngs::StdRng>,
+}
+
+impl<I: Identity> HyParViewMembership<I> {
+    /// Creates a HyParView membership instance for node `me`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hyparview_core::ConfigError`] when `config` is invalid.
+    pub fn new(me: I, config: Config, seed: u64) -> Result<Self, hyparview_core::ConfigError> {
+        Ok(HyParViewMembership {
+            inner: HyParView::new(me, config, seed)?,
+            actions: Actions::new(),
+            random_fanout: None,
+        })
+    }
+
+    /// Ablation: replaces the deterministic flood with random selection of
+    /// `fanout` gossip targets from the active view, like the probabilistic
+    /// baselines do. §5.5 credits the flood (plus symmetric views) for
+    /// HyParView's 100% stable-state reliability — this switch lets the
+    /// benches quantify that claim.
+    pub fn with_random_fanout(mut self, seed: u64) -> Self {
+        use rand::SeedableRng;
+        self.random_fanout = Some(rand::rngs::StdRng::seed_from_u64(seed));
+        self
+    }
+
+    /// Access to the underlying protocol state machine.
+    pub fn protocol(&self) -> &HyParView<I> {
+        &self.inner
+    }
+
+    /// Mutable access to the underlying protocol state machine.
+    pub fn protocol_mut(&mut self) -> &mut HyParView<I> {
+        &mut self.inner
+    }
+
+    fn flush(&mut self, out: &mut Outbox<I, Message<I>>) {
+        for action in self.actions.drain() {
+            if let Action::Send { to, message } = action {
+                out.send(to, message);
+            }
+            // NeighborUp/NeighborDown are connection-management hints; the
+            // simulator derives the overlay from `out_view()` directly.
+        }
+    }
+}
+
+impl<I: Identity> Membership<I> for HyParViewMembership<I> {
+    type Message = Message<I>;
+
+    fn me(&self) -> I {
+        self.inner.me()
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        "HyParView"
+    }
+
+    fn join(&mut self, contact: I, out: &mut Outbox<I, Self::Message>) {
+        let mut actions = std::mem::take(&mut self.actions);
+        self.inner.join(contact, &mut actions);
+        self.actions = actions;
+        self.flush(out);
+    }
+
+    fn handle_message(&mut self, from: I, message: Self::Message, out: &mut Outbox<I, Self::Message>) {
+        let mut actions = std::mem::take(&mut self.actions);
+        self.inner.handle_message(from, message, &mut actions);
+        self.actions = actions;
+        self.flush(out);
+    }
+
+    fn on_cycle(&mut self, out: &mut Outbox<I, Self::Message>) {
+        let mut actions = std::mem::take(&mut self.actions);
+        self.inner.shuffle_tick(&mut actions);
+        self.actions = actions;
+        self.flush(out);
+    }
+
+    fn detects_send_failures(&self) -> bool {
+        // §4.1.iii: TCP is the failure detector; every member of the active
+        // view is implicitly tested at each gossip step.
+        true
+    }
+
+    fn on_send_failed(&mut self, peer: I, out: &mut Outbox<I, Self::Message>) {
+        let mut actions = std::mem::take(&mut self.actions);
+        self.inner.on_peer_failed(peer, &mut actions);
+        self.actions = actions;
+        self.flush(out);
+    }
+
+    fn connected_peers(&self) -> Vec<I> {
+        // One open TCP connection per active-view member (§4.1): when a
+        // neighbor crashes the broken connection is noticed without a send.
+        self.inner.active_view().to_vec()
+    }
+
+    fn broadcast_targets(&mut self, fanout: usize, exclude: Option<I>) -> Vec<I> {
+        let mut targets = self.inner.broadcast_targets(exclude);
+        if let Some(rng) = self.random_fanout.as_mut() {
+            use rand::seq::SliceRandom;
+            targets.shuffle(rng);
+            targets.truncate(fanout);
+        }
+        // Default: deterministic flood of the whole active view (§4.1.ii).
+        targets
+    }
+
+    fn out_view(&self) -> Vec<I> {
+        self.inner.active_view().to_vec()
+    }
+
+    fn backup_view(&self) -> Vec<I> {
+        self.inner.passive_view().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapter_reports_failure_detection() {
+        let node = HyParViewMembership::new(1u32, Config::default(), 7).unwrap();
+        assert!(node.detects_send_failures());
+        assert_eq!(node.protocol_name(), "HyParView");
+    }
+
+    #[test]
+    fn broadcast_targets_ignore_fanout() {
+        let mut node = HyParViewMembership::new(0u32, Config::default(), 7).unwrap();
+        let mut out = Outbox::new();
+        for peer in 1..=5 {
+            node.handle_message(peer, Message::Join, &mut out);
+        }
+        // fanout 1 requested, but HyParView floods the full active view.
+        let targets = node.broadcast_targets(1, None);
+        assert_eq!(targets.len(), 5);
+        let minus_sender = node.broadcast_targets(1, Some(3));
+        assert_eq!(minus_sender.len(), 4);
+        assert!(!minus_sender.contains(&3));
+    }
+
+    #[test]
+    fn send_failure_repairs_view() {
+        let mut node = HyParViewMembership::new(0u32, Config::default(), 7).unwrap();
+        let mut out = Outbox::new();
+        node.handle_message(1, Message::Join, &mut out);
+        node.handle_message(1, Message::ShuffleReply { nodes: vec![50] }, &mut out);
+        out.drain().count();
+        node.on_send_failed(1, &mut out);
+        assert!(node.out_view().is_empty());
+        // Repair request sent to the passive candidate.
+        let msgs: Vec<_> = out.drain().collect();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].0, 50);
+        assert!(matches!(msgs[0].1, Message::Neighbor { .. }));
+    }
+
+    #[test]
+    fn cycle_emits_shuffle_when_connected() {
+        let mut node = HyParViewMembership::new(0u32, Config::default(), 7).unwrap();
+        let mut out = Outbox::new();
+        node.handle_message(1, Message::Join, &mut out);
+        out.drain().count();
+        node.on_cycle(&mut out);
+        assert!(out.as_slice().iter().any(|(_, m)| matches!(m, Message::Shuffle { .. })));
+    }
+
+    #[test]
+    fn backup_view_exposes_passive() {
+        let mut node = HyParViewMembership::new(0u32, Config::default(), 7).unwrap();
+        let mut out = Outbox::new();
+        node.handle_message(1, Message::ShuffleReply { nodes: vec![5, 6] }, &mut out);
+        let mut backup = node.backup_view();
+        backup.sort_unstable();
+        assert_eq!(backup, vec![5, 6]);
+    }
+}

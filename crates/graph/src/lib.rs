@@ -1,0 +1,27 @@
+//! # hyparview-graph
+//!
+//! Overlay graph snapshots and the metrics the HyParView paper uses to
+//! characterise partial-view quality (§2.3, §5.4):
+//!
+//! * **in/out-degree distributions** — Figure 5;
+//! * **clustering coefficient** — Table 1, the property behind HyParView's
+//!   resilience;
+//! * **average shortest path** — Table 1;
+//! * **connectivity** — components, largest component, isolated nodes.
+//!
+//! The crate is protocol-agnostic: it consumes plain adjacency snapshots
+//! (`Vec<Option<Vec<usize>>>`, `None` = crashed node) produced by
+//! `hyparview-sim`'s `out_views()`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod overlay;
+
+pub use metrics::{
+    bfs_distances, clustering_coefficient, connectivity, degree_assortativity, degree_histogram,
+    degree_summary, distance_histogram, in_degrees, out_degrees, shortest_path_stats,
+    ConnectivityReport, DegreeSummary, PathStats,
+};
+pub use overlay::Overlay;

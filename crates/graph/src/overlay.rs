@@ -1,0 +1,213 @@
+//! Overlay graph snapshots.
+//!
+//! Partial views define a directed graph (§2.1): a node's out-neighbors are
+//! the members of its partial view. [`Overlay`] captures one snapshot of
+//! that graph, together with which nodes are alive, and is consumed by the
+//! metric functions in [`crate::metrics`].
+
+/// A directed overlay graph snapshot.
+///
+/// Node indices are dense (`0..n`). Dead nodes have no out-edges and are
+/// excluded from every metric.
+///
+/// # Examples
+///
+/// ```
+/// use hyparview_graph::Overlay;
+///
+/// // A 3-cycle: 0 → 1 → 2 → 0.
+/// let overlay = Overlay::new(vec![
+///     Some(vec![1]),
+///     Some(vec![2]),
+///     Some(vec![0]),
+/// ]);
+/// assert_eq!(overlay.len(), 3);
+/// assert_eq!(overlay.alive_count(), 3);
+/// assert_eq!(overlay.out_degree(0), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Overlay {
+    adjacency: Vec<Vec<u32>>,
+    alive: Vec<bool>,
+}
+
+impl Overlay {
+    /// Builds a snapshot from per-node out-views; `None` marks a crashed
+    /// node.
+    ///
+    /// Out-edges pointing outside `0..n` are rejected with a panic — they
+    /// indicate a corrupted snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge target is `>= n`.
+    pub fn new(views: Vec<Option<Vec<usize>>>) -> Self {
+        let n = views.len();
+        let mut adjacency = Vec::with_capacity(n);
+        let mut alive = Vec::with_capacity(n);
+        for view in views {
+            match view {
+                Some(targets) => {
+                    let row: Vec<u32> = targets
+                        .into_iter()
+                        .map(|t| {
+                            assert!(t < n, "edge target {t} out of bounds (n = {n})");
+                            t as u32
+                        })
+                        .collect();
+                    adjacency.push(row);
+                    alive.push(true);
+                }
+                None => {
+                    adjacency.push(Vec::new());
+                    alive.push(false);
+                }
+            }
+        }
+        Overlay { adjacency, alive }
+    }
+
+    /// Total number of nodes (alive and dead).
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Returns `true` when the snapshot holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Number of alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Whether node `v` is alive.
+    pub fn is_alive(&self, v: usize) -> bool {
+        self.alive[v]
+    }
+
+    /// Indices of all alive nodes.
+    pub fn alive_nodes(&self) -> Vec<usize> {
+        (0..self.len()).filter(|v| self.alive[*v]).collect()
+    }
+
+    /// Out-neighbors of `v` (its partial view).
+    pub fn out_neighbors(&self, v: usize) -> &[u32] {
+        &self.adjacency[v]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Number of directed edges between alive nodes.
+    pub fn edge_count(&self) -> usize {
+        self.alive_nodes()
+            .into_iter()
+            .map(|v| {
+                self.adjacency[v]
+                    .iter()
+                    .filter(|t| self.alive[**t as usize])
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Builds the undirected projection's adjacency: `u ~ v` iff `u → v` or
+    /// `v → u`, restricted to alive nodes. Used for connectivity and
+    /// clustering metrics.
+    pub fn undirected_adjacency(&self) -> Vec<Vec<u32>> {
+        let n = self.len();
+        let mut und: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n {
+            if !self.alive[v] {
+                continue;
+            }
+            for &t in &self.adjacency[v] {
+                let t_usize = t as usize;
+                if !self.alive[t_usize] || t_usize == v {
+                    continue;
+                }
+                if !und[v].contains(&t) {
+                    und[v].push(t);
+                }
+                if !und[t_usize].contains(&(v as u32)) {
+                    und[t_usize].push(v as u32);
+                }
+            }
+        }
+        und
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Overlay {
+        Overlay::new(vec![Some(vec![1]), Some(vec![2]), Some(vec![0])])
+    }
+
+    #[test]
+    fn construction_and_basic_accessors() {
+        let o = triangle();
+        assert_eq!(o.len(), 3);
+        assert!(!o.is_empty());
+        assert_eq!(o.alive_count(), 3);
+        assert_eq!(o.out_neighbors(0), &[1]);
+        assert_eq!(o.edge_count(), 3);
+    }
+
+    #[test]
+    fn dead_nodes_have_no_edges() {
+        let o = Overlay::new(vec![Some(vec![1, 2]), None, Some(vec![0])]);
+        assert_eq!(o.alive_count(), 2);
+        assert!(!o.is_alive(1));
+        // Edge 0 → 1 exists structurally but points at a dead node, so it
+        // is excluded from the alive edge count.
+        assert_eq!(o.edge_count(), 2);
+        assert_eq!(o.alive_nodes(), vec![0, 2]);
+    }
+
+    #[test]
+    fn undirected_projection_symmetrises() {
+        let o = Overlay::new(vec![Some(vec![1]), Some(vec![]), Some(vec![1])]);
+        let und = o.undirected_adjacency();
+        assert!(und[0].contains(&1));
+        assert!(und[1].contains(&0));
+        assert!(und[1].contains(&2));
+        assert!(und[2].contains(&1));
+    }
+
+    #[test]
+    fn undirected_projection_skips_dead() {
+        let o = Overlay::new(vec![Some(vec![1]), None, Some(vec![1])]);
+        let und = o.undirected_adjacency();
+        assert!(und[0].is_empty());
+        assert!(und[1].is_empty());
+        assert!(und[2].is_empty());
+    }
+
+    #[test]
+    fn undirected_projection_dedups_mutual_edges() {
+        let o = Overlay::new(vec![Some(vec![1]), Some(vec![0])]);
+        let und = o.undirected_adjacency();
+        assert_eq!(und[0], vec![1]);
+        assert_eq!(und[1], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_edge_panics() {
+        Overlay::new(vec![Some(vec![5])]);
+    }
+
+    #[test]
+    fn empty_overlay() {
+        let o = Overlay::new(vec![]);
+        assert!(o.is_empty());
+        assert_eq!(o.alive_count(), 0);
+    }
+}

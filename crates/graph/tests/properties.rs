@@ -1,0 +1,115 @@
+//! Property-based tests of the graph metrics on random overlays.
+
+use hyparview_graph::{
+    bfs_distances, clustering_coefficient, connectivity, degree_summary, in_degrees,
+    out_degrees, shortest_path_stats, Overlay,
+};
+use proptest::prelude::*;
+
+/// Random overlay: n nodes, each with up to `d` random out-edges, some dead.
+fn arb_overlay() -> impl Strategy<Value = Overlay> {
+    (2usize..40).prop_flat_map(|n| {
+        proptest::collection::vec(
+            (
+                any::<bool>(),
+                proptest::collection::vec(0usize..n, 0..6),
+            ),
+            n..=n,
+        )
+        .prop_map(|rows| {
+            Overlay::new(
+                rows.into_iter()
+                    .enumerate()
+                    .map(|(i, (alive, mut targets))| {
+                        targets.retain(|t| *t != i);
+                        alive.then_some(targets)
+                    })
+                    .collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Clustering coefficient is always within [0, 1].
+    #[test]
+    fn clustering_is_bounded(overlay in arb_overlay()) {
+        let c = clustering_coefficient(&overlay);
+        prop_assert!((0.0..=1.0).contains(&c), "clustering {c}");
+    }
+
+    /// Total in-degree equals total out-degree (each alive→alive edge is
+    /// counted once on each side).
+    #[test]
+    fn degree_totals_balance(overlay in arb_overlay()) {
+        let in_total: usize = in_degrees(&overlay).iter().sum();
+        let out_total: usize = out_degrees(&overlay).iter().sum();
+        prop_assert_eq!(in_total, out_total);
+        prop_assert_eq!(out_total, overlay.edge_count());
+    }
+
+    /// BFS distances satisfy: source = 0, neighbors ≤ 1, and every finite
+    /// distance is witnessed by an in-edge from a node one step closer.
+    #[test]
+    fn bfs_distances_are_consistent(overlay in arb_overlay()) {
+        let alive = overlay.alive_nodes();
+        if alive.is_empty() {
+            return Ok(());
+        }
+        let source = alive[0];
+        let dist = bfs_distances(&overlay, source);
+        prop_assert_eq!(dist[source], 0);
+        for v in &alive {
+            let d = dist[*v];
+            if d == u32::MAX || d == 0 {
+                continue;
+            }
+            let has_witness = alive.iter().any(|u| {
+                dist[*u] == d - 1
+                    && overlay.out_neighbors(*u).contains(&(*v as u32))
+            });
+            prop_assert!(has_witness, "node {v} at distance {d} has no predecessor");
+        }
+    }
+
+    /// Component sizes sum to the number of alive nodes.
+    #[test]
+    fn components_partition_alive_nodes(overlay in arb_overlay()) {
+        let report = connectivity(&overlay);
+        prop_assert!(report.largest_component <= overlay.alive_count());
+        if overlay.alive_count() > 0 {
+            prop_assert!(report.components >= 1);
+            prop_assert!(report.largest_component >= 1);
+        }
+        prop_assert!(report.isolated <= overlay.alive_count());
+    }
+
+    /// Sampled path stats: average ≤ max, reachable fraction within [0, 1].
+    #[test]
+    fn path_stats_are_sane(overlay in arb_overlay(), seed in any::<u64>()) {
+        let stats = shortest_path_stats(&overlay, 10, seed);
+        prop_assert!(stats.average >= 0.0);
+        prop_assert!(stats.average <= stats.max as f64 + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&stats.reachable_fraction));
+    }
+
+    /// Exhaustive sampling equals sampling with more sources than nodes.
+    #[test]
+    fn exhaustive_sampling_is_deterministic(overlay in arb_overlay()) {
+        let a = shortest_path_stats(&overlay, 1000, 1);
+        let b = shortest_path_stats(&overlay, 1000, 2);
+        prop_assert_eq!(a, b, "seed must not matter once sampling is exhaustive");
+    }
+
+    /// Degree summary is consistent with the raw sequence.
+    #[test]
+    fn degree_summary_consistent(degrees in proptest::collection::vec(0usize..50, 1..64)) {
+        let s = degree_summary(&degrees);
+        prop_assert!(s.min <= s.max);
+        prop_assert!(s.mean >= s.min as f64 - 1e-9);
+        prop_assert!(s.mean <= s.max as f64 + 1e-9);
+        prop_assert!(s.stddev >= 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # hyparview-net
+//!
+//! A real TCP runtime for HyParView: the deployable counterpart of the
+//! discrete-event simulator, using the very same sans-io protocol core
+//! (`hyparview-core`).
+//!
+//! * [`wire`] — hand-rolled length-prefixed frame codec.
+//! * [`transport`] — thread-per-connection TCP with lazy outbound
+//!   connections, identity `Hello` handshake, failure reporting (connect
+//!   errors, broken connections, NeEM-style slow-node expulsion, §5.5).
+//! * [`node`] — the event loop binding protocol + transport + gossip
+//!   broadcast into a [`Node`] handle applications use.
+//!
+//! The paper's §4.1 architecture maps directly: one open TCP connection per
+//! active-view member, broadcast by flooding the active view, TCP doubling
+//! as the failure detector.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dedup;
+pub mod node;
+pub mod transport;
+pub mod wire;
+
+pub use node::{Delivery, NetConfig, Node, NodeStats};
+pub use transport::{Transport, TransportConfig, TransportEvent};
+pub use wire::{Frame, FrameReader, WireError};

@@ -1,0 +1,341 @@
+//! The node runtime: an event loop thread driving the sans-io
+//! [`HyParView`] state machine over the TCP [`Transport`], plus the gossip
+//! broadcast layer (eager flood with duplicate suppression).
+//!
+//! This is the deployable form of the system the paper sketches for its
+//! PlanetLab experiment (§6): real sockets, real connection failures, the
+//! same protocol core as the simulator.
+
+use crate::dedup::RecentSet;
+use crate::transport::{Transport, TransportConfig, TransportEvent};
+use crate::wire::Frame;
+use bytes::Bytes;
+use crossbeam::channel::{bounded, tick, unbounded, Receiver, Sender};
+use hyparview_core::{Action, Actions, Config, HyParView, Message};
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runtime configuration for a [`Node`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// HyParView protocol parameters.
+    pub protocol: Config,
+    /// Interval between shuffle ticks (the paper's membership cycle).
+    pub shuffle_interval: Duration,
+    /// RNG seed for the protocol instance (`None` = from entropy).
+    pub seed: Option<u64>,
+    /// Transport tuning.
+    pub transport: TransportConfig,
+    /// How many recent gossip ids to remember for duplicate suppression.
+    pub dedup_capacity: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            protocol: Config::default(),
+            shuffle_interval: Duration::from_millis(500),
+            seed: None,
+            transport: TransportConfig::default(),
+            dedup_capacity: 8192,
+        }
+    }
+}
+
+/// A gossip message delivered to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Globally unique broadcast id.
+    pub id: u128,
+    /// Hops travelled before reaching this node (0 = local broadcast).
+    pub hops: u32,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+enum Control {
+    Join(SocketAddr),
+    Broadcast { id: u128, payload: Bytes },
+    Leave,
+    Shutdown,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Shared {
+    active: Vec<SocketAddr>,
+    passive: Vec<SocketAddr>,
+    stats: NodeStats,
+}
+
+/// Runtime counters of a [`Node`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Broadcasts initiated by this node.
+    pub broadcasts_sent: u64,
+    /// Gossip messages delivered (first receipt), own broadcasts included.
+    pub deliveries: u64,
+    /// Redundant gossip receipts suppressed by the dedup set.
+    pub duplicates: u64,
+}
+
+/// A running HyParView node bound to a TCP address.
+///
+/// Dropping the handle shuts the node down.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hyparview_net::{NetConfig, Node};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let a = Node::spawn("127.0.0.1:0".parse().unwrap(), NetConfig::default())?;
+/// let b = Node::spawn("127.0.0.1:0".parse().unwrap(), NetConfig::default())?;
+/// b.join(a.addr());
+/// b.broadcast(b"hello overlay".to_vec());
+/// # Ok(())
+/// # }
+/// ```
+pub struct Node {
+    addr: SocketAddr,
+    control: Sender<Control>,
+    deliveries: Receiver<Delivery>,
+    shared: Arc<Mutex<Shared>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Node {
+    /// Binds `addr` (port 0 for ephemeral) and starts the event loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from binding the listener.
+    pub fn spawn(addr: SocketAddr, config: NetConfig) -> std::io::Result<Node> {
+        let (transport, transport_rx) = Transport::bind(addr, config.transport.clone())?;
+        let local = transport.local_addr();
+        let seed = config.seed.unwrap_or_else(rand::random);
+        let protocol = HyParView::new(local, config.protocol.clone(), seed)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+
+        let (control_tx, control_rx) = unbounded();
+        let (delivery_tx, delivery_rx) = bounded(65_536);
+        let shared = Arc::new(Mutex::new(Shared::default()));
+
+        let loop_shared = Arc::clone(&shared);
+        let shuffle_interval = config.shuffle_interval;
+        let dedup_capacity = config.dedup_capacity;
+        let thread = std::thread::Builder::new()
+            .name(format!("hpv-node-{local}"))
+            .spawn(move || {
+                event_loop(EventLoop {
+                    transport,
+                    transport_rx,
+                    control_rx,
+                    delivery_tx,
+                    protocol,
+                    seen: RecentSet::new(dedup_capacity),
+                    shared: loop_shared,
+                    shuffle_interval,
+                })
+            })?;
+
+        Ok(Node {
+            addr: local,
+            control: control_tx,
+            deliveries: delivery_rx,
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// The node's identity: its bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Joins the overlay through `contact`.
+    pub fn join(&self, contact: SocketAddr) {
+        let _ = self.control.send(Control::Join(contact));
+    }
+
+    /// Broadcasts `payload` to the overlay, returning the broadcast id.
+    pub fn broadcast(&self, payload: Vec<u8>) -> u128 {
+        let id = rand::random();
+        let _ = self.control.send(Control::Broadcast { id, payload: Bytes::from(payload) });
+        id
+    }
+
+    /// Receiver of gossip deliveries (the node's own broadcasts included,
+    /// with `hops == 0`).
+    pub fn deliveries(&self) -> &Receiver<Delivery> {
+        &self.deliveries
+    }
+
+    /// Snapshot of the current active view.
+    pub fn active_view(&self) -> Vec<SocketAddr> {
+        self.shared.lock().active.clone()
+    }
+
+    /// Snapshot of the current passive view.
+    pub fn passive_view(&self) -> Vec<SocketAddr> {
+        self.shared.lock().passive.clone()
+    }
+
+    /// Number of gossip messages delivered so far.
+    pub fn delivery_count(&self) -> u64 {
+        self.shared.lock().stats.deliveries
+    }
+
+    /// Snapshot of the node's runtime counters.
+    pub fn stats(&self) -> NodeStats {
+        self.shared.lock().stats
+    }
+
+    /// Gracefully leaves the overlay (sends `DISCONNECT` to all active
+    /// peers) without shutting down.
+    pub fn leave(&self) {
+        let _ = self.control.send(Control::Leave);
+    }
+
+    /// Shuts the node down and joins the event loop thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _ = self.control.send(Control::Shutdown);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("addr", &self.addr)
+            .field("active_view", &self.active_view())
+            .finish()
+    }
+}
+
+struct EventLoop {
+    transport: Transport,
+    transport_rx: Receiver<TransportEvent>,
+    control_rx: Receiver<Control>,
+    delivery_tx: Sender<Delivery>,
+    protocol: HyParView<SocketAddr>,
+    seen: RecentSet<u128>,
+    shared: Arc<Mutex<Shared>>,
+    shuffle_interval: Duration,
+}
+
+fn event_loop(mut state: EventLoop) {
+    let ticker = tick(state.shuffle_interval);
+    let mut actions = Actions::new();
+    loop {
+        crossbeam::channel::select! {
+            recv(state.control_rx) -> msg => match msg {
+                Ok(Control::Join(contact)) => {
+                    state.protocol.join(contact, &mut actions);
+                }
+                Ok(Control::Broadcast { id, payload }) => {
+                    state.broadcast(id, payload);
+                }
+                Ok(Control::Leave) => {
+                    state.protocol.leave(&mut actions);
+                }
+                Ok(Control::Shutdown) | Err(_) => {
+                    state.transport.shutdown();
+                    return;
+                }
+            },
+            recv(state.transport_rx) -> event => match event {
+                Ok(TransportEvent::Frame { from, frame }) => state.on_frame(from, frame, &mut actions),
+                Ok(TransportEvent::PeerFailed { peer }) => {
+                    state.protocol.on_peer_failed(peer, &mut actions);
+                }
+                Err(_) => return,
+            },
+            recv(ticker) -> _ => {
+                state.protocol.shuffle_tick(&mut actions);
+            }
+        }
+        state.execute(&mut actions);
+        state.publish();
+    }
+}
+
+impl EventLoop {
+    fn on_frame(&mut self, from: SocketAddr, frame: Frame, actions: &mut Actions<SocketAddr>) {
+        match frame {
+            Frame::Hello { .. } => {} // handled by the transport
+            Frame::Membership(message) => {
+                self.protocol.handle_message(from, message, actions);
+            }
+            Frame::Gossip { id, hops, payload } => {
+                if !self.seen.insert(id) {
+                    self.shared.lock().stats.duplicates += 1;
+                    return;
+                }
+                self.shared.lock().stats.deliveries += 1;
+                let _ = self.delivery_tx.try_send(Delivery { id, hops, payload: payload.clone() });
+                // Eager flood: forward to the whole active view except the
+                // sender (§4.1.ii).
+                let frame = Frame::Gossip { id, hops: hops + 1, payload };
+                for peer in self.protocol.broadcast_targets(Some(from)) {
+                    self.transport.send(peer, &frame);
+                }
+            }
+        }
+    }
+
+    fn broadcast(&mut self, id: u128, payload: Bytes) {
+        if !self.seen.insert(id) {
+            return; // id collision with a recent broadcast: drop
+        }
+        {
+            let mut shared = self.shared.lock();
+            shared.stats.broadcasts_sent += 1;
+            shared.stats.deliveries += 1;
+        }
+        let _ = self.delivery_tx.try_send(Delivery { id, hops: 0, payload: payload.clone() });
+        let frame = Frame::Gossip { id, hops: 1, payload };
+        for peer in self.protocol.broadcast_targets(None) {
+            self.transport.send(peer, &frame);
+        }
+    }
+
+    fn execute(&mut self, actions: &mut Actions<SocketAddr>) {
+        for action in actions.drain() {
+            match action {
+                Action::Send { to, message } => {
+                    let graceful_close = matches!(message, Message::Disconnect);
+                    self.transport.send(to, &Frame::Membership(message));
+                    if graceful_close {
+                        // The DISCONNECT is queued; the writer flushes it
+                        // before the channel closes.
+                        self.transport.disconnect(to);
+                    }
+                }
+                Action::NeighborUp { .. } | Action::NeighborDown { .. } => {
+                    // Connections are opened lazily by sends; NeighborDown
+                    // peers keep their connection until DISCONNECT/failure.
+                }
+            }
+        }
+    }
+
+    fn publish(&self) {
+        let mut shared = self.shared.lock();
+        shared.active = self.protocol.active_view().to_vec();
+        shared.passive = self.protocol.passive_view().to_vec();
+    }
+}

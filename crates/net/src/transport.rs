@@ -1,0 +1,380 @@
+//! Thread-per-connection TCP transport.
+//!
+//! Connection model: a node writes to peer `P` over a connection it opened
+//! itself (first frame: [`Frame::Hello`] announcing the canonical listen
+//! address); it reads from peers over the connections *they* opened. A dead
+//! peer is detected two ways, both reported as
+//! [`TransportEvent::PeerFailed`]:
+//!
+//! * a write/connect on the outbound connection fails (send-time detection,
+//!   §4.1.iii "all members of the active view are tested at each gossip
+//!   step"), or
+//! * the inbound connection reaches EOF / errors (connection-break
+//!   detection).
+//!
+//! Slow peers are expelled NeEM-style (§5.5): each outbound connection has a
+//! bounded queue and a peer whose queue overflows is treated as failed,
+//! preventing TCP back-pressure from freezing the whole overlay.
+
+use crate::wire::{encode, Frame, FrameReader};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Events surfaced to the protocol runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportEvent {
+    /// A frame arrived from `from` (canonical identity from its `Hello`).
+    Frame {
+        /// Sender's canonical (listen) address.
+        from: SocketAddr,
+        /// The decoded frame.
+        frame: Frame,
+    },
+    /// The connection to/from `peer` failed: crashed, unreachable, corrupt
+    /// stream, or expelled for being too slow.
+    PeerFailed {
+        /// The affected peer.
+        peer: SocketAddr,
+    },
+}
+
+/// Transport configuration.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Connect timeout for outbound connections.
+    pub connect_timeout: Duration,
+    /// Outbound queue capacity per peer; overflowing marks the peer failed
+    /// (slow-node expulsion).
+    pub writer_queue: usize,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig { connect_timeout: Duration::from_secs(2), writer_queue: 1024 }
+    }
+}
+
+type Writers = Arc<Mutex<HashMap<SocketAddr, Sender<bytes::Bytes>>>>;
+
+/// A bound TCP endpoint with background accept/reader/writer threads.
+pub struct Transport {
+    local: SocketAddr,
+    writers: Writers,
+    events_tx: Sender<TransportEvent>,
+    config: TransportConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Transport {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept thread. Events are delivered on the returned receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from binding the listener.
+    pub fn bind(
+        addr: SocketAddr,
+        config: TransportConfig,
+    ) -> std::io::Result<(Transport, Receiver<TransportEvent>)> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let (events_tx, events_rx) = unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_tx = events_tx.clone();
+        let accept_shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name(format!("hpv-accept-{local}"))
+            .spawn(move || accept_loop(listener, accept_tx, accept_shutdown))
+            .expect("failed to spawn accept thread");
+
+        Ok((
+            Transport {
+                local,
+                writers: Arc::new(Mutex::new(HashMap::new())),
+                events_tx,
+                config,
+                shutdown,
+            },
+            events_rx,
+        ))
+    }
+
+    /// The actual bound address (the node's identity).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Queues `frame` for delivery to `to`, lazily opening a connection.
+    ///
+    /// Failures are asynchronous: they surface as
+    /// [`TransportEvent::PeerFailed`] rather than an error here, matching
+    /// the sans-io protocol's `on_peer_failed` input.
+    pub fn send(&self, to: SocketAddr, frame: &Frame) {
+        let bytes = encode(frame);
+        let mut writers = self.writers.lock();
+        let sender = writers.entry(to).or_insert_with(|| {
+            self.spawn_writer(to)
+        });
+        match sender.try_send(bytes) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                // NeEM-style slow-node expulsion: the peer is not consuming;
+                // drop the connection and report it failed.
+                writers.remove(&to);
+                let _ = self.events_tx.send(TransportEvent::PeerFailed { peer: to });
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // Writer already died; it reported the failure itself.
+                writers.remove(&to);
+            }
+        }
+    }
+
+    /// Drops the outbound connection to `peer` (if any) without reporting a
+    /// failure. Used after a graceful `DISCONNECT`.
+    pub fn disconnect(&self, peer: SocketAddr) {
+        self.writers.lock().remove(&peer);
+    }
+
+    /// Number of open outbound connections (diagnostics).
+    pub fn open_connections(&self) -> usize {
+        self.writers.lock().len()
+    }
+
+    /// Stops the accept loop and drops all outbound connections.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.writers.lock().clear();
+    }
+
+    fn spawn_writer(&self, to: SocketAddr) -> Sender<bytes::Bytes> {
+        let (tx, rx) = bounded::<bytes::Bytes>(self.config.writer_queue);
+        let events = self.events_tx.clone();
+        let local = self.local;
+        let timeout = self.config.connect_timeout;
+        let writers = Arc::clone(&self.writers);
+        std::thread::Builder::new()
+            .name(format!("hpv-writer-{to}"))
+            .spawn(move || {
+                if writer_loop(local, to, rx, timeout).is_err() {
+                    writers.lock().remove(&to);
+                    let _ = events.send(TransportEvent::PeerFailed { peer: to });
+                }
+            })
+            .expect("failed to spawn writer thread");
+        tx
+    }
+}
+
+impl Drop for Transport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transport")
+            .field("local", &self.local)
+            .field("open_connections", &self.open_connections())
+            .finish()
+    }
+}
+
+fn writer_loop(
+    local: SocketAddr,
+    to: SocketAddr,
+    rx: Receiver<bytes::Bytes>,
+    timeout: Duration,
+) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect_timeout(&to, timeout)?;
+    stream.set_nodelay(true)?;
+    stream.write_all(&encode(&Frame::Hello { sender: local }))?;
+    while let Ok(bytes) = rx.recv() {
+        stream.write_all(&bytes)?;
+    }
+    // Channel closed: graceful disconnect.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    Ok(())
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    events: Sender<TransportEvent>,
+    shutdown: Arc<AtomicBool>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let events = events.clone();
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::Builder::new()
+                    .name("hpv-reader".to_owned())
+                    .spawn(move || reader_loop(stream, events, shutdown))
+                    .expect("failed to spawn reader thread");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    events: Sender<TransportEvent>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut reader = FrameReader::new();
+    let mut identity: Option<SocketAddr> = None;
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break, // EOF: peer closed or crashed
+            Ok(n) => {
+                reader.extend(&buf[..n]);
+                loop {
+                    match reader.next_frame() {
+                        Ok(Some(Frame::Hello { sender })) => identity = Some(sender),
+                        Ok(Some(frame)) => {
+                            let Some(from) = identity else {
+                                // Protocol violation: data before Hello.
+                                report_failure(&events, identity);
+                                return;
+                            };
+                            if events.send(TransportEvent::Frame { from, frame }).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            report_failure(&events, identity);
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    report_failure(&events, identity);
+}
+
+fn report_failure(events: &Sender<TransportEvent>, identity: Option<SocketAddr>) {
+    if let Some(peer) = identity {
+        let _ = events.send(TransportEvent::PeerFailed { peer });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use hyparview_core::Message;
+
+    fn bind() -> (Transport, Receiver<TransportEvent>) {
+        Transport::bind("127.0.0.1:0".parse().unwrap(), TransportConfig::default()).unwrap()
+    }
+
+    fn recv_frame(rx: &Receiver<TransportEvent>) -> (SocketAddr, Frame) {
+        loop {
+            match rx.recv_timeout(Duration::from_secs(5)).expect("event") {
+                TransportEvent::Frame { from, frame } => return (from, frame),
+                TransportEvent::PeerFailed { .. } => continue,
+            }
+        }
+    }
+
+    #[test]
+    fn frames_travel_between_transports() {
+        let (a, _a_rx) = bind();
+        let (b, b_rx) = bind();
+        a.send(b.local_addr(), &Frame::Membership(Message::Join));
+        let (from, frame) = recv_frame(&b_rx);
+        assert_eq!(from, a.local_addr(), "identity comes from Hello, not the ephemeral port");
+        assert_eq!(frame, Frame::Membership(Message::Join));
+    }
+
+    #[test]
+    fn many_frames_preserve_order() {
+        let (a, _a_rx) = bind();
+        let (b, b_rx) = bind();
+        for i in 0..100u128 {
+            a.send(
+                b.local_addr(),
+                &Frame::Gossip { id: i, hops: 0, payload: Bytes::from_static(b"p") },
+            );
+        }
+        for i in 0..100u128 {
+            let (_, frame) = recv_frame(&b_rx);
+            match frame {
+                Frame::Gossip { id, .. } => assert_eq!(id, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn connect_failure_reports_peer_failed() {
+        let (a, a_rx) = bind();
+        // Nothing listens on this port (we bind+drop to find a free one).
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        a.send(dead, &Frame::Membership(Message::Join));
+        let event = a_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(event, TransportEvent::PeerFailed { peer: dead });
+    }
+
+    #[test]
+    fn peer_shutdown_reports_failure_to_reader() {
+        let (a, _a_rx) = bind();
+        let (b, b_rx) = bind();
+        a.send(b.local_addr(), &Frame::Membership(Message::Join));
+        let _ = recv_frame(&b_rx);
+        // a drops all connections: b's reader sees EOF.
+        a.shutdown();
+        let event = b_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(event, TransportEvent::PeerFailed { peer: a.local_addr() });
+    }
+
+    #[test]
+    fn disconnect_is_silent() {
+        let (a, a_rx) = bind();
+        let (b, b_rx) = bind();
+        a.send(b.local_addr(), &Frame::Membership(Message::Join));
+        let _ = recv_frame(&b_rx);
+        assert_eq!(a.open_connections(), 1);
+        a.disconnect(b.local_addr());
+        assert_eq!(a.open_connections(), 0);
+        // No failure event on a's side.
+        assert!(a_rx.recv_timeout(Duration::from_millis(300)).is_err());
+    }
+
+    #[test]
+    fn local_addr_is_concrete() {
+        let (a, _rx) = bind();
+        assert_ne!(a.local_addr().port(), 0);
+    }
+}

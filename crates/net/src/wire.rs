@@ -1,0 +1,484 @@
+//! Wire format: length-prefixed binary frames over TCP.
+//!
+//! Every frame is `u32` big-endian payload length followed by the payload;
+//! the first payload byte is a tag. Node identifiers are socket addresses
+//! (the `(ip, port)` tuples of §2.1) encoded as family tag + octets + port.
+//!
+//! The codec is hand-rolled on [`bytes`] — no serialization framework — so
+//! the format is stable, inspectable and fuzzable.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hyparview_core::{Message, Priority};
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
+
+/// Maximum accepted payload size (a shuffle with every view entry fits in
+/// well under 4 KiB; anything larger is a corrupt or malicious frame).
+pub const MAX_FRAME_LEN: usize = 64 * 1024;
+
+/// Errors produced while decoding frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// Frame declared a length above [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// Declared length.
+        len: usize,
+    },
+    /// Payload ended before the structure was complete.
+    Truncated,
+    /// Unknown message tag.
+    UnknownTag {
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// Unknown address family byte.
+    BadAddressFamily {
+        /// The offending family byte.
+        family: u8,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::FrameTooLarge { len } => write!(f, "frame length {len} exceeds limit"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::UnknownTag { tag } => write!(f, "unknown message tag {tag}"),
+            WireError::BadAddressFamily { family } => {
+                write!(f, "unknown address family {family}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded frame: either a HyParView membership message, a gossip
+/// broadcast, or the connection-opening `Hello`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// The first frame on every outbound connection: announces the sender's
+    /// canonical listen address (inbound `peer_addr` has an ephemeral port
+    /// and cannot identify the node).
+    Hello {
+        /// The sender's listen address — its protocol identity.
+        sender: SocketAddr,
+    },
+    /// A HyParView protocol message.
+    Membership(Message<SocketAddr>),
+    /// A gossip broadcast payload.
+    Gossip {
+        /// Globally unique broadcast id.
+        id: u128,
+        /// Hop count (for diagnostics).
+        hops: u32,
+        /// Application payload.
+        payload: Bytes,
+    },
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_JOIN: u8 = 1;
+const TAG_FORWARD_JOIN: u8 = 2;
+const TAG_FORWARD_JOIN_REPLY: u8 = 3;
+const TAG_NEIGHBOR: u8 = 4;
+const TAG_NEIGHBOR_REPLY: u8 = 5;
+const TAG_DISCONNECT: u8 = 6;
+const TAG_SHUFFLE: u8 = 7;
+const TAG_SHUFFLE_REPLY: u8 = 8;
+const TAG_GOSSIP: u8 = 9;
+
+fn put_addr(buf: &mut BytesMut, addr: &SocketAddr) {
+    match addr.ip() {
+        IpAddr::V4(ip) => {
+            buf.put_u8(4);
+            buf.put_slice(&ip.octets());
+        }
+        IpAddr::V6(ip) => {
+            buf.put_u8(6);
+            buf.put_slice(&ip.octets());
+        }
+    }
+    buf.put_u16(addr.port());
+}
+
+fn get_addr(buf: &mut Bytes) -> Result<SocketAddr, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    let family = buf.get_u8();
+    let ip: IpAddr = match family {
+        4 => {
+            if buf.remaining() < 4 {
+                return Err(WireError::Truncated);
+            }
+            let mut octets = [0u8; 4];
+            buf.copy_to_slice(&mut octets);
+            IpAddr::V4(Ipv4Addr::from(octets))
+        }
+        6 => {
+            if buf.remaining() < 16 {
+                return Err(WireError::Truncated);
+            }
+            let mut octets = [0u8; 16];
+            buf.copy_to_slice(&mut octets);
+            IpAddr::V6(Ipv6Addr::from(octets))
+        }
+        other => return Err(WireError::BadAddressFamily { family: other }),
+    };
+    if buf.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    Ok(SocketAddr::new(ip, buf.get_u16()))
+}
+
+fn put_addr_list(buf: &mut BytesMut, addrs: &[SocketAddr]) {
+    buf.put_u16(addrs.len() as u16);
+    for addr in addrs {
+        put_addr(buf, addr);
+    }
+}
+
+fn get_addr_list(buf: &mut Bytes) -> Result<Vec<SocketAddr>, WireError> {
+    if buf.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let len = buf.get_u16() as usize;
+    let mut addrs = Vec::with_capacity(len.min(1024));
+    for _ in 0..len {
+        addrs.push(get_addr(buf)?);
+    }
+    Ok(addrs)
+}
+
+/// Encodes a frame, including the `u32` length prefix.
+pub fn encode(frame: &Frame) -> Bytes {
+    let mut body = BytesMut::with_capacity(64);
+    match frame {
+        Frame::Hello { sender } => {
+            body.put_u8(TAG_HELLO);
+            put_addr(&mut body, sender);
+        }
+        Frame::Membership(message) => encode_membership(&mut body, message),
+        Frame::Gossip { id, hops, payload } => {
+            body.put_u8(TAG_GOSSIP);
+            body.put_u128(*id);
+            body.put_u32(*hops);
+            body.put_u32(payload.len() as u32);
+            body.put_slice(payload);
+        }
+    }
+    let mut framed = BytesMut::with_capacity(4 + body.len());
+    framed.put_u32(body.len() as u32);
+    framed.extend_from_slice(&body);
+    framed.freeze()
+}
+
+fn encode_membership(body: &mut BytesMut, message: &Message<SocketAddr>) {
+    match message {
+        Message::Join => body.put_u8(TAG_JOIN),
+        Message::ForwardJoin { new_node, ttl } => {
+            body.put_u8(TAG_FORWARD_JOIN);
+            put_addr(body, new_node);
+            body.put_u8(*ttl);
+        }
+        Message::ForwardJoinReply => body.put_u8(TAG_FORWARD_JOIN_REPLY),
+        Message::Neighbor { priority } => {
+            body.put_u8(TAG_NEIGHBOR);
+            body.put_u8(match priority {
+                Priority::High => 1,
+                Priority::Low => 0,
+            });
+        }
+        Message::NeighborReply { accepted } => {
+            body.put_u8(TAG_NEIGHBOR_REPLY);
+            body.put_u8(u8::from(*accepted));
+        }
+        Message::Disconnect => body.put_u8(TAG_DISCONNECT),
+        Message::Shuffle { origin, ttl, nodes } => {
+            body.put_u8(TAG_SHUFFLE);
+            put_addr(body, origin);
+            body.put_u8(*ttl);
+            put_addr_list(body, nodes);
+        }
+        Message::ShuffleReply { nodes } => {
+            body.put_u8(TAG_SHUFFLE_REPLY);
+            put_addr_list(body, nodes);
+        }
+    }
+}
+
+/// Decodes one frame payload (without the length prefix).
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation, unknown tags or bad addresses.
+pub fn decode(mut payload: Bytes) -> Result<Frame, WireError> {
+    if payload.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    let tag = payload.get_u8();
+    let frame = match tag {
+        TAG_HELLO => Frame::Hello { sender: get_addr(&mut payload)? },
+        TAG_JOIN => Frame::Membership(Message::Join),
+        TAG_FORWARD_JOIN => {
+            let new_node = get_addr(&mut payload)?;
+            if payload.remaining() < 1 {
+                return Err(WireError::Truncated);
+            }
+            Frame::Membership(Message::ForwardJoin { new_node, ttl: payload.get_u8() })
+        }
+        TAG_FORWARD_JOIN_REPLY => Frame::Membership(Message::ForwardJoinReply),
+        TAG_NEIGHBOR => {
+            if payload.remaining() < 1 {
+                return Err(WireError::Truncated);
+            }
+            let priority =
+                if payload.get_u8() == 1 { Priority::High } else { Priority::Low };
+            Frame::Membership(Message::Neighbor { priority })
+        }
+        TAG_NEIGHBOR_REPLY => {
+            if payload.remaining() < 1 {
+                return Err(WireError::Truncated);
+            }
+            Frame::Membership(Message::NeighborReply { accepted: payload.get_u8() == 1 })
+        }
+        TAG_DISCONNECT => Frame::Membership(Message::Disconnect),
+        TAG_SHUFFLE => {
+            let origin = get_addr(&mut payload)?;
+            if payload.remaining() < 1 {
+                return Err(WireError::Truncated);
+            }
+            let ttl = payload.get_u8();
+            let nodes = get_addr_list(&mut payload)?;
+            Frame::Membership(Message::Shuffle { origin, ttl, nodes })
+        }
+        TAG_SHUFFLE_REPLY => {
+            Frame::Membership(Message::ShuffleReply { nodes: get_addr_list(&mut payload)? })
+        }
+        TAG_GOSSIP => {
+            if payload.remaining() < 16 + 4 + 4 {
+                return Err(WireError::Truncated);
+            }
+            let id = payload.get_u128();
+            let hops = payload.get_u32();
+            let len = payload.get_u32() as usize;
+            if payload.remaining() < len {
+                return Err(WireError::Truncated);
+            }
+            Frame::Gossip { id, hops, payload: payload.copy_to_bytes(len) }
+        }
+        other => return Err(WireError::UnknownTag { tag: other }),
+    };
+    Ok(frame)
+}
+
+/// Incremental frame reader: feed bytes, pull complete frames.
+///
+/// # Examples
+///
+/// ```
+/// use hyparview_net::wire::{encode, Frame, FrameReader};
+///
+/// let frame = Frame::Hello { sender: "127.0.0.1:4000".parse().unwrap() };
+/// let bytes = encode(&frame);
+/// let mut reader = FrameReader::new();
+/// reader.extend(&bytes[..3]); // partial delivery
+/// assert!(reader.next_frame().unwrap().is_none());
+/// reader.extend(&bytes[3..]);
+/// assert_eq!(reader.next_frame().unwrap(), Some(frame));
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buffer: BytesMut,
+}
+
+impl FrameReader {
+    /// Creates an empty reader.
+    pub fn new() -> Self {
+        FrameReader { buffer: BytesMut::new() }
+    }
+
+    /// Appends raw bytes received from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete frame, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when the stream is corrupt; the connection
+    /// should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if self.buffer.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([
+            self.buffer[0],
+            self.buffer[1],
+            self.buffer[2],
+            self.buffer[3],
+        ]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge { len });
+        }
+        if self.buffer.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buffer.advance(4);
+        let payload = self.buffer.split_to(len).freeze();
+        decode(payload).map(Some)
+    }
+
+    /// Bytes currently buffered (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> SocketAddr {
+        s.parse().unwrap()
+    }
+
+    fn round_trip(frame: Frame) {
+        let encoded = encode(&frame);
+        let mut payload = encoded.clone();
+        let len = payload.get_u32() as usize;
+        assert_eq!(len, payload.remaining());
+        let decoded = decode(payload).unwrap();
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn round_trip_all_membership_messages() {
+        round_trip(Frame::Membership(Message::Join));
+        round_trip(Frame::Membership(Message::ForwardJoin {
+            new_node: addr("10.1.2.3:9000"),
+            ttl: 6,
+        }));
+        round_trip(Frame::Membership(Message::ForwardJoinReply));
+        round_trip(Frame::Membership(Message::Neighbor { priority: Priority::High }));
+        round_trip(Frame::Membership(Message::Neighbor { priority: Priority::Low }));
+        round_trip(Frame::Membership(Message::NeighborReply { accepted: true }));
+        round_trip(Frame::Membership(Message::NeighborReply { accepted: false }));
+        round_trip(Frame::Membership(Message::Disconnect));
+        round_trip(Frame::Membership(Message::Shuffle {
+            origin: addr("192.168.0.1:1234"),
+            ttl: 4,
+            nodes: vec![addr("10.0.0.1:1"), addr("10.0.0.2:2")],
+        }));
+        round_trip(Frame::Membership(Message::ShuffleReply {
+            nodes: vec![addr("[::1]:8000"), addr("10.0.0.3:3")],
+        }));
+    }
+
+    #[test]
+    fn round_trip_hello_and_gossip() {
+        round_trip(Frame::Hello { sender: addr("[2001:db8::1]:443") });
+        round_trip(Frame::Gossip {
+            id: 0xDEAD_BEEF_0123_4567_89AB_CDEF_0000_1111,
+            hops: 7,
+            payload: Bytes::from_static(b"hello overlay"),
+        });
+    }
+
+    #[test]
+    fn round_trip_empty_gossip_payload() {
+        round_trip(Frame::Gossip { id: 1, hops: 0, payload: Bytes::new() });
+    }
+
+    #[test]
+    fn reader_handles_fragmentation() {
+        let frames = vec![
+            Frame::Membership(Message::Join),
+            Frame::Gossip { id: 9, hops: 1, payload: Bytes::from_static(b"x") },
+            Frame::Hello { sender: addr("127.0.0.1:1") },
+        ];
+        let mut stream = BytesMut::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode(f));
+        }
+        // Feed one byte at a time.
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        for byte in stream.iter() {
+            reader.extend(&[*byte]);
+            while let Some(frame) = reader.next_frame().unwrap() {
+                decoded.push(frame);
+            }
+        }
+        assert_eq!(decoded, frames);
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn reader_handles_batched_frames() {
+        let frames: Vec<Frame> =
+            (0..10).map(|i| Frame::Gossip { id: i, hops: 0, payload: Bytes::new() }).collect();
+        let mut stream = BytesMut::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode(f));
+        }
+        let mut reader = FrameReader::new();
+        reader.extend(&stream);
+        let mut decoded = Vec::new();
+        while let Some(frame) = reader.next_frame().unwrap() {
+            decoded.push(frame);
+        }
+        assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut reader = FrameReader::new();
+        reader.extend(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        reader.extend(&[0u8; 16]);
+        assert!(matches!(reader.next_frame(), Err(WireError::FrameTooLarge { .. })));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(
+            decode(Bytes::from_static(&[200])),
+            Err(WireError::UnknownTag { tag: 200 })
+        );
+    }
+
+    #[test]
+    fn truncated_payloads_rejected() {
+        assert_eq!(decode(Bytes::new()), Err(WireError::Truncated));
+        // ForwardJoin missing the ttl byte.
+        let mut body = BytesMut::new();
+        body.put_u8(2);
+        body.put_u8(4);
+        body.put_slice(&[10, 0, 0, 1]);
+        body.put_u16(80);
+        assert_eq!(decode(body.freeze()), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_family_rejected() {
+        let mut body = BytesMut::new();
+        body.put_u8(0); // Hello
+        body.put_u8(9); // bogus family
+        assert_eq!(decode(body.freeze()), Err(WireError::BadAddressFamily { family: 9 }));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for err in [
+            WireError::FrameTooLarge { len: 1 },
+            WireError::Truncated,
+            WireError::UnknownTag { tag: 1 },
+            WireError::BadAddressFamily { family: 1 },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

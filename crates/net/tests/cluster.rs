@@ -1,0 +1,194 @@
+//! End-to-end tests of the TCP runtime on the loopback interface: the
+//! reproduction's stand-in for the paper's planned PlanetLab deployment.
+
+use hyparview_net::{NetConfig, Node};
+use std::time::{Duration, Instant};
+
+fn config() -> NetConfig {
+    NetConfig {
+        shuffle_interval: Duration::from_millis(100),
+        seed: Some(7),
+        ..NetConfig::default()
+    }
+}
+
+fn spawn_cluster(n: usize) -> Vec<Node> {
+    let mut nodes = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut cfg = config();
+        cfg.seed = Some(100 + i as u64);
+        let node = Node::spawn("127.0.0.1:0".parse().unwrap(), cfg).expect("spawn node");
+        if let Some(contact) = nodes.first() {
+            let contact: &Node = contact;
+            node.join(contact.addr());
+        }
+        nodes.push(node);
+    }
+    nodes
+}
+
+fn wait_until<F: FnMut() -> bool>(timeout: Duration, mut cond: F) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    false
+}
+
+/// The overlay is ready when every link is symmetric and the union graph is
+/// connected — only then is a flood guaranteed to reach everyone.
+fn overlay_ready(nodes: &[Node]) -> bool {
+    let addrs: Vec<_> = nodes.iter().map(|n| n.addr()).collect();
+    let views: Vec<Vec<_>> = nodes.iter().map(|n| n.active_view()).collect();
+    if views.iter().any(|v| v.is_empty()) {
+        return false;
+    }
+    // Symmetry.
+    for (i, view) in views.iter().enumerate() {
+        for peer in view {
+            let Some(j) = addrs.iter().position(|a| a == peer) else { return false };
+            if !views[j].contains(&addrs[i]) {
+                return false;
+            }
+        }
+    }
+    // Connectivity (BFS from node 0).
+    let mut seen = vec![false; nodes.len()];
+    let mut queue = vec![0usize];
+    seen[0] = true;
+    while let Some(v) = queue.pop() {
+        for peer in &views[v] {
+            if let Some(j) = addrs.iter().position(|a| a == peer) {
+                if !seen[j] {
+                    seen[j] = true;
+                    queue.push(j);
+                }
+            }
+        }
+    }
+    seen.iter().all(|s| *s)
+}
+
+fn wait_for_overlay(nodes: &[Node]) {
+    assert!(
+        wait_until(Duration::from_secs(10), || overlay_ready(nodes)),
+        "overlay did not converge: {:?}",
+        nodes.iter().map(|n| (n.addr(), n.active_view())).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn two_nodes_become_neighbors() {
+    let nodes = spawn_cluster(2);
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            nodes[0].active_view().contains(&nodes[1].addr())
+                && nodes[1].active_view().contains(&nodes[0].addr())
+        }),
+        "join did not produce a symmetric link: {:?} / {:?}",
+        nodes[0].active_view(),
+        nodes[1].active_view()
+    );
+}
+
+#[test]
+fn broadcast_reaches_every_node() {
+    let n = 8;
+    let nodes = spawn_cluster(n);
+    wait_for_overlay(&nodes);
+
+    let id = nodes[0].broadcast(b"flood me".to_vec());
+    for (i, node) in nodes.iter().enumerate() {
+        let delivery = node
+            .deliveries()
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap_or_else(|_| panic!("node {i} missed the broadcast"));
+        assert_eq!(delivery.id, id);
+        assert_eq!(delivery.payload.as_ref(), b"flood me");
+    }
+}
+
+#[test]
+fn multiple_broadcasts_are_deduplicated() {
+    let nodes = spawn_cluster(5);
+    wait_for_overlay(&nodes);
+
+    let mut ids = Vec::new();
+    for i in 0..10 {
+        ids.push(nodes[i % nodes.len()].broadcast(format!("msg-{i}").into_bytes()));
+    }
+    for (i, node) in nodes.iter().enumerate() {
+        let mut got = Vec::new();
+        while got.len() < ids.len() {
+            match node.deliveries().recv_timeout(Duration::from_secs(5)) {
+                Ok(d) => got.push(d.id),
+                Err(_) => panic!("node {i} only saw {}/{} messages", got.len(), ids.len()),
+            }
+        }
+        got.sort_unstable();
+        let mut expected = ids.clone();
+        expected.sort_unstable();
+        assert_eq!(got, expected, "node {i} delivered a wrong/duplicated set");
+    }
+}
+
+#[test]
+fn crash_is_detected_and_view_repairs() {
+    let nodes = spawn_cluster(6);
+    wait_for_overlay(&nodes);
+
+    // Run a few shuffles so passive views fill.
+    std::thread::sleep(Duration::from_millis(600));
+
+    let victim_addr = nodes[1].addr();
+    let victim = nodes.into_iter().nth(1).unwrap();
+    // Crash the victim and watch a dedicated survivor notice and repair.
+    let watcher = Node::spawn("127.0.0.1:0".parse().unwrap(), config()).unwrap();
+    watcher.join(victim_addr);
+    assert!(wait_until(Duration::from_secs(5), || watcher
+        .active_view()
+        .contains(&victim_addr)));
+
+    victim.shutdown(); // closes all its connections
+
+    assert!(
+        wait_until(Duration::from_secs(10), || !watcher.active_view().contains(&victim_addr)),
+        "watcher never evicted the crashed peer: {:?}",
+        watcher.active_view()
+    );
+}
+
+#[test]
+fn graceful_leave_then_shutdown_clears_views() {
+    let mut nodes = spawn_cluster(3);
+    wait_for_overlay(&nodes);
+    let leaver = nodes.pop().unwrap();
+    let leaver_addr = leaver.addr();
+    // A graceful departure is leave (DISCONNECT to all active peers)
+    // followed by shutdown. Note that leave alone is *not* enough for the
+    // overlay to forget a node: survivors move it to their passive views
+    // and may immediately promote it back — by design (§4.5).
+    leaver.leave();
+    std::thread::sleep(Duration::from_millis(200));
+    leaver.shutdown();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            nodes.iter().all(|n| !n.active_view().contains(&leaver_addr))
+        }),
+        "leaver still present in active views"
+    );
+}
+
+#[test]
+fn deliveries_report_hop_counts() {
+    let nodes = spawn_cluster(4);
+    wait_for_overlay(&nodes);
+    nodes[0].broadcast(b"hops".to_vec());
+    let own = nodes[0].deliveries().recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(own.hops, 0, "origin delivers at hop 0");
+    let remote = nodes[1].deliveries().recv_timeout(Duration::from_secs(5)).unwrap();
+    assert!(remote.hops >= 1);
+}

@@ -1,0 +1,275 @@
+//! Churn workload generation.
+//!
+//! The paper evaluates one catastrophic failure; real deployments also face
+//! *continuous* churn — nodes joining and leaving at some rate — and the
+//! protocol must absorb both. [`ChurnPlan`] describes a schedule of churn
+//! epochs; [`run_churn`] executes it against any simulation and reports
+//! per-epoch overlay health.
+
+use crate::sim::Sim;
+use hyparview_core::SimId;
+use hyparview_gossip::Membership;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One epoch of a churn schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnEpoch {
+    /// Fraction of alive nodes crashed at the start of the epoch.
+    pub crash_fraction: f64,
+    /// Number of brand-new nodes joining during the epoch.
+    pub joins: usize,
+    /// Number of previously crashed nodes revived and re-joined.
+    pub revivals: usize,
+    /// Membership cycles run after the churn.
+    pub cycles: usize,
+    /// Probe broadcasts measured at the end of the epoch.
+    pub probes: usize,
+}
+
+impl Default for ChurnEpoch {
+    fn default() -> Self {
+        ChurnEpoch { crash_fraction: 0.0, joins: 0, revivals: 0, cycles: 1, probes: 5 }
+    }
+}
+
+/// A reproducible churn schedule.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnPlan {
+    epochs: Vec<ChurnEpoch>,
+}
+
+impl ChurnPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an epoch.
+    pub fn epoch(mut self, epoch: ChurnEpoch) -> Self {
+        self.epochs.push(epoch);
+        self
+    }
+
+    /// Convenience: `count` identical epochs of steady churn — each crashes
+    /// `crash_fraction` of the overlay and adds `joins` newcomers.
+    pub fn steady(count: usize, crash_fraction: f64, joins: usize) -> Self {
+        let mut plan = ChurnPlan::new();
+        for _ in 0..count {
+            plan.epochs.push(ChurnEpoch {
+                crash_fraction,
+                joins,
+                ..ChurnEpoch::default()
+            });
+        }
+        plan
+    }
+
+    /// A catastrophe followed by recovery epochs — the paper's scenario as
+    /// a plan.
+    pub fn catastrophe(failure: f64, recovery_epochs: usize) -> Self {
+        let mut plan = ChurnPlan::new()
+            .epoch(ChurnEpoch { crash_fraction: failure, ..ChurnEpoch::default() });
+        for _ in 0..recovery_epochs {
+            plan.epochs.push(ChurnEpoch::default());
+        }
+        plan
+    }
+
+    /// The scheduled epochs.
+    pub fn epochs(&self) -> &[ChurnEpoch] {
+        &self.epochs
+    }
+
+    /// Number of epochs.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Returns `true` when no epochs are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+}
+
+/// Overlay health at the end of one churn epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnReport {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Alive nodes after the epoch's churn.
+    pub alive: usize,
+    /// Mean reliability of the probe broadcasts.
+    pub probe_reliability: f64,
+    /// Mean view accuracy after the epoch.
+    pub accuracy: f64,
+    /// Nodes crashed this epoch.
+    pub crashed: usize,
+    /// Nodes joined this epoch (new + revived).
+    pub joined: usize,
+}
+
+/// Executes `plan` against `sim`, returning one report per epoch.
+///
+/// New joiners and revived nodes join through a uniformly random alive
+/// contact, as in the paper's Scamp initialisation.
+pub fn run_churn<M: Membership<SimId>>(
+    sim: &mut Sim<M>,
+    plan: &ChurnPlan,
+    seed: u64,
+) -> Vec<ChurnReport> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dead_pool: Vec<SimId> = Vec::new();
+    let mut reports = Vec::with_capacity(plan.len());
+    for (index, epoch) in plan.epochs().iter().enumerate() {
+        // 1. Crashes.
+        let crashed = sim.fail_fraction(epoch.crash_fraction);
+        dead_pool.extend(crashed.iter().copied());
+        let crashed_count = crashed.len();
+
+        // 2. Revivals (re-join through a random alive contact).
+        let mut joined = 0usize;
+        for _ in 0..epoch.revivals {
+            let Some(node) = dead_pool.pop() else { break };
+            if sim.alive_count() == 0 {
+                break;
+            }
+            sim.revive(node);
+            let contact = random_alive_excluding(sim, &mut rng, node);
+            if let Some(contact) = contact {
+                sim.join(node, contact);
+            }
+            joined += 1;
+        }
+
+        // 3. Fresh joins.
+        for _ in 0..epoch.joins {
+            let id = sim.add_node();
+            if let Some(contact) = random_alive_excluding(sim, &mut rng, id) {
+                sim.join(id, contact);
+                joined += 1;
+            }
+        }
+
+        // 4. Cycles, then probes.
+        sim.run_cycles(epoch.cycles);
+        let mut probe_total = 0.0;
+        for _ in 0..epoch.probes {
+            if sim.alive_count() == 0 {
+                break;
+            }
+            probe_total += sim.broadcast_random().reliability();
+        }
+        reports.push(ChurnReport {
+            epoch: index,
+            alive: sim.alive_count(),
+            probe_reliability: if epoch.probes == 0 {
+                0.0
+            } else {
+                probe_total / epoch.probes as f64
+            },
+            accuracy: sim.accuracy(),
+            crashed: crashed_count,
+            joined,
+        });
+    }
+    reports
+}
+
+fn random_alive_excluding<M: Membership<SimId>>(
+    sim: &Sim<M>,
+    rng: &mut StdRng,
+    excluded: SimId,
+) -> Option<SimId> {
+    let alive: Vec<SimId> =
+        sim.alive_ids().into_iter().filter(|id| *id != excluded).collect();
+    if alive.is_empty() {
+        None
+    } else {
+        Some(alive[rng.gen_range(0..alive.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::protocols::build_hyparview;
+    use crate::scenario::Scenario;
+    use hyparview_core::Config;
+
+    #[test]
+    fn plan_builders() {
+        let plan = ChurnPlan::steady(3, 0.1, 2);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.epochs()[0].crash_fraction, 0.1);
+        let cat = ChurnPlan::catastrophe(0.8, 2);
+        assert_eq!(cat.len(), 3);
+        assert_eq!(cat.epochs()[0].crash_fraction, 0.8);
+        assert_eq!(cat.epochs()[1].crash_fraction, 0.0);
+    }
+
+    #[test]
+    fn steady_churn_keeps_reliability_high() {
+        let scenario = Scenario::new(120, 41);
+        let mut sim = build_hyparview(&scenario, Config::default());
+        sim.run_cycles(5);
+        let plan = ChurnPlan::steady(5, 0.05, 3);
+        let reports = run_churn(&mut sim, &plan, 99);
+        assert_eq!(reports.len(), 5);
+        for r in &reports {
+            assert!(
+                r.probe_reliability > 0.95,
+                "epoch {}: reliability {}",
+                r.epoch,
+                r.probe_reliability
+            );
+        }
+        // 5 epochs × (≈6 crashes, 3 joins) shrink the population slightly.
+        let last = reports.last().unwrap();
+        assert!(last.alive >= 100 && last.alive <= 120, "alive = {}", last.alive);
+        assert_eq!(sim.len(), 135, "15 fresh nodes were added");
+    }
+
+    #[test]
+    fn catastrophe_plan_recovers() {
+        let scenario = Scenario::new(150, 42);
+        let mut sim = build_hyparview(&scenario, Config::default());
+        sim.run_cycles(5);
+        let plan = ChurnPlan::catastrophe(0.7, 2);
+        let reports = run_churn(&mut sim, &plan, 7);
+        let last = reports.last().unwrap();
+        assert!(
+            last.probe_reliability > 0.95,
+            "reliability after recovery: {}",
+            last.probe_reliability
+        );
+        assert!(last.accuracy > 0.95, "accuracy after recovery: {}", last.accuracy);
+    }
+
+    #[test]
+    fn revivals_restore_population() {
+        let scenario = Scenario::new(100, 43);
+        let mut sim = build_hyparview(&scenario, Config::default());
+        sim.run_cycles(3);
+        let plan = ChurnPlan::new()
+            .epoch(ChurnEpoch { crash_fraction: 0.3, ..ChurnEpoch::default() })
+            .epoch(ChurnEpoch { revivals: 30, cycles: 2, ..ChurnEpoch::default() });
+        let reports = run_churn(&mut sim, &plan, 8);
+        assert_eq!(reports[0].alive, 70);
+        assert_eq!(reports[1].alive, 100, "all crashed nodes revived");
+        assert!(reports[1].probe_reliability > 0.95);
+    }
+
+    #[test]
+    fn churn_is_deterministic() {
+        let run = || {
+            let scenario = Scenario::new(80, 44);
+            let mut sim = build_hyparview(&scenario, Config::default());
+            sim.run_cycles(2);
+            let plan = ChurnPlan::steady(3, 0.1, 2);
+            run_churn(&mut sim, &plan, 5)
+        };
+        assert_eq!(run(), run());
+    }
+}

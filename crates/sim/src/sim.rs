@@ -1,0 +1,750 @@
+//! The simulation engine.
+//!
+//! Reproduces the model of the paper's PeerSim experiments:
+//!
+//! * nodes join the overlay one by one, with all resulting protocol traffic
+//!   drained to quiescence before the next join;
+//! * a *membership cycle* executes every alive node's periodic action
+//!   ([`Membership::on_cycle`]), again draining between nodes;
+//! * broadcasts are disseminated to quiescence with per-message accounting
+//!   (deliveries, redundancy, hops);
+//! * messages to crashed nodes are lost; if the sending protocol *detects
+//!   send failures* (HyParView, CyclonAcked) the sender is notified — this
+//!   is the simulator's model of TCP as a failure detector;
+//! * everything is deterministic given the scenario seed.
+
+use crate::event::EventQueue;
+use hyparview_core::SimId;
+use hyparview_gossip::{BroadcastReport, GossipState, Membership, Outbox};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Network latency model for scheduled deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Latency {
+    /// Every message takes exactly this many virtual time units.
+    Fixed(u64),
+    /// Uniformly random latency in `[min, max]`.
+    Uniform {
+        /// Minimum latency (inclusive).
+        min: u64,
+        /// Maximum latency (inclusive).
+        max: u64,
+    },
+}
+
+impl Latency {
+    fn sample(self, rng: &mut StdRng) -> u64 {
+        match self {
+            Latency::Fixed(l) => l,
+            Latency::Uniform { min, max } => rng.gen_range(min..=max),
+        }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Gossip fanout used by probabilistic protocols (paper: 4).
+    pub fanout: usize,
+    /// Message latency model.
+    pub latency: Latency,
+    /// Safety valve: maximum events processed by a single drain before the
+    /// simulator declares a protocol livelock and panics.
+    pub max_drain_events: u64,
+    /// Whether a failed gossip transmission is retried towards a fresh
+    /// target ([`Membership::retry_target`]). Off by default: the paper's
+    /// CyclonAcked cleans its view on a failed send but does not
+    /// retransmit. Enabling this is the "acked retry" ablation.
+    pub retry_failed_gossip: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            fanout: 4,
+            latency: Latency::Fixed(1),
+            max_drain_events: 200_000_000,
+            retry_failed_gossip: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Sets the gossip fanout.
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        self.fanout = fanout;
+        self
+    }
+
+    /// Sets the latency model.
+    pub fn with_latency(mut self, latency: Latency) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Enables retrying failed gossip transmissions (ablation).
+    pub fn with_retry_failed_gossip(mut self, enabled: bool) -> Self {
+        self.retry_failed_gossip = enabled;
+        self
+    }
+}
+
+/// Cumulative simulator counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Membership messages delivered.
+    pub membership_delivered: u64,
+    /// Membership messages addressed to dead nodes (lost).
+    pub membership_to_dead: u64,
+    /// Gossip transmissions delivered.
+    pub gossip_delivered: u64,
+    /// Gossip transmissions addressed to dead nodes.
+    pub gossip_to_dead: u64,
+    /// Send-failure notifications given to detecting protocols.
+    pub failure_notifications: u64,
+    /// Broadcasts performed.
+    pub broadcasts: u64,
+}
+
+/// Event payload: either a membership message or one gossip transmission.
+#[derive(Debug, Clone)]
+enum Payload<Msg> {
+    Membership(Msg),
+    Gossip {
+        id: u64,
+        hops: u32,
+    },
+    /// The open connection from the receiver to `dead` broke because `dead`
+    /// crashed — the TCP-reset half of "TCP as a failure detector". Only
+    /// scheduled for protocols with standing connections (HyParView).
+    ConnectionLost {
+        dead: SimId,
+    },
+}
+
+#[derive(Debug)]
+struct Slot<M> {
+    memb: M,
+    gossip: GossipState,
+    alive: bool,
+}
+
+/// Accounting for the broadcast currently being disseminated.
+#[derive(Debug, Default)]
+struct Track {
+    id: u64,
+    origin: usize,
+    alive_at_start: usize,
+    delivered: usize,
+    sent: usize,
+    redundant: usize,
+    to_dead: usize,
+    max_hops: u32,
+    /// Gossip targets already used per sender for this broadcast, so that
+    /// retry selection (CyclonAcked) does not repeat a target.
+    sent_by: HashMap<usize, Vec<SimId>>,
+}
+
+/// Discrete-event simulator generic over the membership protocol.
+///
+/// # Examples
+///
+/// ```
+/// use hyparview_sim::{Sim, SimConfig};
+/// use hyparview_gossip::HyParViewMembership;
+/// use hyparview_core::{Config, SimId};
+///
+/// let mut sim = Sim::new(SimConfig::default(), 42, |id, seed| {
+///     HyParViewMembership::new(id, Config::default(), seed).unwrap()
+/// });
+/// let a = sim.add_node();
+/// let b = sim.add_node();
+/// sim.join(b, a);
+/// let report = sim.broadcast_from(a);
+/// assert!(report.is_atomic());
+/// ```
+pub struct Sim<M: Membership<SimId>> {
+    config: SimConfig,
+    nodes: Vec<Slot<M>>,
+    queue: EventQueue<Payload<M::Message>>,
+    time: u64,
+    rng: StdRng,
+    stats: SimStats,
+    next_broadcast: u64,
+    factory: Box<dyn FnMut(SimId, u64) -> M>,
+    factory_seed: u64,
+}
+
+impl<M: Membership<SimId>> Sim<M> {
+    /// Creates an empty simulation.
+    ///
+    /// `factory` builds a protocol instance for each added node; it receives
+    /// the node id and a per-node seed derived from `seed`.
+    pub fn new<F>(config: SimConfig, seed: u64, factory: F) -> Self
+    where
+        F: FnMut(SimId, u64) -> M + 'static,
+    {
+        Sim {
+            config,
+            nodes: Vec::new(),
+            queue: EventQueue::new(),
+            time: 0,
+            rng: StdRng::seed_from_u64(seed),
+            stats: SimStats::default(),
+            next_broadcast: 0,
+            factory: Box::new(factory),
+            factory_seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+        }
+    }
+
+    /// Adds a new (alive, unjoined) node and returns its id.
+    pub fn add_node(&mut self) -> SimId {
+        let id = SimId::new(self.nodes.len());
+        let seed = self
+            .factory_seed
+            .wrapping_add((id.index() as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let memb = (self.factory)(id, seed);
+        self.nodes.push(Slot { memb, gossip: GossipState::new(), alive: true });
+        id
+    }
+
+    /// Number of nodes ever added.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when the simulation has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Cumulative simulator statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Shared access to a node's protocol instance.
+    pub fn node(&self, id: SimId) -> &M {
+        &self.nodes[id.index()].memb
+    }
+
+    /// Mutable access to a node's protocol instance.
+    pub fn node_mut(&mut self, id: SimId) -> &mut M {
+        &mut self.nodes[id.index()].memb
+    }
+
+    /// Whether `id` is alive.
+    pub fn is_alive(&self, id: SimId) -> bool {
+        self.nodes[id.index()].alive
+    }
+
+    /// Number of alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|s| s.alive).count()
+    }
+
+    /// Ids of all alive nodes.
+    pub fn alive_ids(&self) -> Vec<SimId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| SimId::new(i))
+            .collect()
+    }
+
+    /// A uniformly random alive node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every node is dead.
+    pub fn random_alive(&mut self) -> SimId {
+        let alive = self.alive_ids();
+        assert!(!alive.is_empty(), "no alive nodes left");
+        alive[self.rng.gen_range(0..alive.len())]
+    }
+
+    // ------------------------------------------------------------------
+    // Overlay construction and maintenance
+    // ------------------------------------------------------------------
+
+    /// Node `joiner` joins through `contact`; all protocol traffic drains
+    /// before returning (the paper: "the overlay was created by having nodes
+    /// join the network one by one, without running any membership rounds in
+    /// between").
+    pub fn join(&mut self, joiner: SimId, contact: SimId) {
+        let mut out = Outbox::new();
+        self.nodes[joiner.index()].memb.join(contact, &mut out);
+        self.dispatch(joiner, &mut out);
+        self.drain();
+    }
+
+    /// Runs `count` membership cycles. In each cycle every alive node
+    /// executes its periodic action once, in random order, with the network
+    /// drained after each node — the PeerSim cycle-based model.
+    pub fn run_cycles(&mut self, count: usize) {
+        for _ in 0..count {
+            let mut order = self.alive_ids();
+            // Fisher–Yates with the sim RNG keeps runs deterministic.
+            for i in (1..order.len()).rev() {
+                let j = self.rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for id in order {
+                if !self.nodes[id.index()].alive {
+                    continue;
+                }
+                let mut out = Outbox::new();
+                self.nodes[id.index()].memb.on_cycle(&mut out);
+                self.dispatch(id, &mut out);
+                self.drain();
+            }
+        }
+    }
+
+    /// Crashes the given nodes. The crash itself is silent, but survivors
+    /// holding an *open connection* to a crashed node (HyParView's active
+    /// view, §4.1.iii) observe the broken connection: a
+    /// `ConnectionLost` notification is scheduled for them. The
+    /// notifications are events — they race with whatever traffic comes
+    /// next (e.g. the first post-failure broadcast), like real TCP resets.
+    pub fn fail_nodes(&mut self, ids: &[SimId]) {
+        for id in ids {
+            self.nodes[id.index()].alive = false;
+        }
+        for v in 0..self.nodes.len() {
+            if !self.nodes[v].alive || !self.nodes[v].memb.detects_send_failures() {
+                continue;
+            }
+            let connected = self.nodes[v].memb.connected_peers();
+            for peer in connected {
+                if !self.nodes[peer.index()].alive {
+                    let latency = self.config.latency.sample(&mut self.rng);
+                    self.queue.push(
+                        self.time + latency,
+                        peer,
+                        SimId::new(v),
+                        Payload::ConnectionLost { dead: peer },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Crashes a uniformly random `fraction` of the alive nodes, returning
+    /// the crashed ids.
+    pub fn fail_fraction(&mut self, fraction: f64) -> Vec<SimId> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        let mut alive = self.alive_ids();
+        let target = ((alive.len() as f64) * fraction).round() as usize;
+        // Partial Fisher–Yates: the first `target` entries are the victims.
+        for i in 0..target.min(alive.len().saturating_sub(1)) {
+            let j = self.rng.gen_range(i..alive.len());
+            alive.swap(i, j);
+        }
+        let victims: Vec<SimId> = alive.into_iter().take(target).collect();
+        self.fail_nodes(&victims);
+        victims
+    }
+
+    /// Revives a crashed node with fresh protocol state (it must re-join).
+    pub fn revive(&mut self, id: SimId) {
+        let seed = self
+            .factory_seed
+            .wrapping_add((id.index() as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+            .wrapping_add(0x5EED);
+        let slot = &mut self.nodes[id.index()];
+        slot.memb = (self.factory)(id, seed);
+        slot.gossip = GossipState::new();
+        slot.alive = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast
+    // ------------------------------------------------------------------
+
+    /// Broadcasts one message from `origin` and disseminates it to
+    /// quiescence, returning the paper's per-message accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is dead.
+    pub fn broadcast_from(&mut self, origin: SimId) -> BroadcastReport {
+        assert!(self.is_alive(origin), "broadcast origin must be alive");
+        let id = self.next_broadcast;
+        self.next_broadcast += 1;
+        self.stats.broadcasts += 1;
+
+        let mut track = Track {
+            id,
+            origin: origin.index(),
+            alive_at_start: self.alive_count(),
+            ..Track::default()
+        };
+
+        // The origin delivers its own message at hop 0 and floods.
+        self.nodes[origin.index()].gossip.deliver(id, 0);
+        track.delivered += 1;
+        let targets =
+            self.nodes[origin.index()].memb.broadcast_targets(self.config.fanout, None);
+        track.sent_by.insert(origin.index(), targets.clone());
+        for t in targets {
+            track.sent += 1;
+            let latency = self.config.latency.sample(&mut self.rng);
+            self.queue.push(self.time + latency, origin, t, Payload::Gossip { id, hops: 1 });
+        }
+        self.drain_with_track(&mut track);
+
+        BroadcastReport {
+            id,
+            origin: track.origin,
+            alive: track.alive_at_start,
+            delivered: track.delivered,
+            sent: track.sent,
+            redundant: track.redundant,
+            to_dead: track.to_dead,
+            max_hops: track.max_hops,
+        }
+    }
+
+    /// Broadcasts from a uniformly random alive node.
+    pub fn broadcast_random(&mut self) -> BroadcastReport {
+        let origin = self.random_alive();
+        self.broadcast_from(origin)
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics access
+    // ------------------------------------------------------------------
+
+    /// Snapshot of every node's out-view (`None` for crashed nodes), for
+    /// overlay graph analysis.
+    pub fn out_views(&self) -> Vec<Option<Vec<SimId>>> {
+        self.nodes
+            .iter()
+            .map(|s| s.alive.then(|| s.memb.out_view()))
+            .collect()
+    }
+
+    /// View accuracy (§2.3): mean over alive nodes of the fraction of their
+    /// out-view members that are themselves alive.
+    pub fn accuracy(&self) -> f64 {
+        let mut total = 0.0;
+        let mut counted = 0usize;
+        for slot in self.nodes.iter().filter(|s| s.alive) {
+            let view = slot.memb.out_view();
+            if view.is_empty() {
+                continue;
+            }
+            let alive_members =
+                view.iter().filter(|id| self.nodes[id.index()].alive).count();
+            total += alive_members as f64 / view.len() as f64;
+            counted += 1;
+        }
+        if counted == 0 {
+            0.0
+        } else {
+            total / counted as f64
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, from: SimId, out: &mut Outbox<SimId, M::Message>) {
+        for (to, message) in out.drain() {
+            let latency = self.config.latency.sample(&mut self.rng);
+            self.queue.push(self.time + latency, from, to, Payload::Membership(message));
+        }
+    }
+
+    /// Drains all pending events (no broadcast in flight).
+    pub fn drain(&mut self) {
+        let mut no_track = Track::default();
+        no_track.id = u64::MAX;
+        self.drain_with_track(&mut no_track);
+    }
+
+    fn drain_with_track(&mut self, track: &mut Track) {
+        let mut processed: u64 = 0;
+        while let Some(event) = self.queue.pop() {
+            processed += 1;
+            assert!(
+                processed <= self.config.max_drain_events,
+                "drain exceeded {} events — protocol livelock?",
+                self.config.max_drain_events
+            );
+            self.time = self.time.max(event.time);
+            match event.payload {
+                Payload::Membership(message) => {
+                    self.deliver_membership(event.from, event.to, message);
+                }
+                Payload::Gossip { id, hops } => {
+                    self.deliver_gossip(event.from, event.to, id, hops, track);
+                }
+                Payload::ConnectionLost { dead } => {
+                    if self.nodes[event.to.index()].alive {
+                        self.stats.failure_notifications += 1;
+                        let mut out = Outbox::new();
+                        self.nodes[event.to.index()].memb.on_send_failed(dead, &mut out);
+                        let to = event.to;
+                        self.dispatch(to, &mut out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn deliver_membership(&mut self, from: SimId, to: SimId, message: M::Message) {
+        if !self.nodes[to.index()].alive {
+            self.stats.membership_to_dead += 1;
+            self.notify_send_failure(from, to);
+            return;
+        }
+        self.stats.membership_delivered += 1;
+        let mut out = Outbox::new();
+        self.nodes[to.index()].memb.handle_message(from, message, &mut out);
+        self.dispatch(to, &mut out);
+    }
+
+    fn deliver_gossip(&mut self, from: SimId, to: SimId, id: u64, hops: u32, track: &mut Track) {
+        if !self.nodes[to.index()].alive {
+            self.stats.gossip_to_dead += 1;
+            if track.id == id {
+                track.to_dead += 1;
+            }
+            self.notify_send_failure(from, to);
+            self.retry_gossip(from, to, id, hops, track);
+            return;
+        }
+        self.stats.gossip_delivered += 1;
+        let first_time = self.nodes[to.index()].gossip.deliver(id, hops);
+        if !first_time {
+            if track.id == id {
+                track.redundant += 1;
+            }
+            return;
+        }
+        if track.id == id {
+            track.delivered += 1;
+            track.max_hops = track.max_hops.max(hops);
+        }
+        // Forward to this node's gossip targets, excluding the sender.
+        let targets =
+            self.nodes[to.index()].memb.broadcast_targets(self.config.fanout, Some(from));
+        if track.id == id {
+            track.sent_by.entry(to.index()).or_default().extend(targets.iter().copied());
+        }
+        for t in targets {
+            if track.id == id {
+                track.sent += 1;
+            }
+            let latency = self.config.latency.sample(&mut self.rng);
+            self.queue.push(self.time + latency, to, t, Payload::Gossip { id, hops: hops + 1 });
+        }
+    }
+
+    /// TCP-as-failure-detector: a send to a dead node synchronously informs
+    /// detecting protocols.
+    fn notify_send_failure(&mut self, sender: SimId, dead: SimId) {
+        if !self.nodes[sender.index()].alive {
+            return;
+        }
+        if !self.nodes[sender.index()].memb.detects_send_failures() {
+            return;
+        }
+        self.stats.failure_notifications += 1;
+        let mut out = Outbox::new();
+        self.nodes[sender.index()].memb.on_send_failed(dead, &mut out);
+        self.dispatch(sender, &mut out);
+    }
+
+    /// Ack-based gossip retry (ablation, off by default): the failed
+    /// transmission is retried towards a fresh target so the effective
+    /// fanout is preserved.
+    fn retry_gossip(&mut self, sender: SimId, dead: SimId, id: u64, hops: u32, track: &mut Track) {
+        if !self.config.retry_failed_gossip {
+            return;
+        }
+        if track.id != id || !self.nodes[sender.index()].alive {
+            return;
+        }
+        if !self.nodes[sender.index()].memb.detects_send_failures() {
+            return;
+        }
+        let mut exclude = track.sent_by.get(&sender.index()).cloned().unwrap_or_default();
+        exclude.push(dead);
+        let Some(replacement) = self.nodes[sender.index()].memb.retry_target(&exclude) else {
+            return;
+        };
+        track.sent_by.entry(sender.index()).or_default().push(replacement);
+        track.sent += 1;
+        let latency = self.config.latency.sample(&mut self.rng);
+        self.queue.push(self.time + latency, sender, replacement, Payload::Gossip { id, hops });
+    }
+}
+
+impl<M: Membership<SimId>> std::fmt::Debug for Sim<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("nodes", &self.nodes.len())
+            .field("alive", &self.alive_count())
+            .field("time", &self.time)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyparview_core::Config;
+    use hyparview_gossip::HyParViewMembership;
+
+    fn hyparview_sim(seed: u64) -> Sim<HyParViewMembership<SimId>> {
+        Sim::new(SimConfig::default(), seed, |id, seed| {
+            HyParViewMembership::new(id, Config::default(), seed).unwrap()
+        })
+    }
+
+    #[test]
+    fn two_nodes_form_symmetric_overlay() {
+        let mut sim = hyparview_sim(1);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.join(b, a);
+        assert!(sim.node(a).out_view().contains(&b));
+        assert!(sim.node(b).out_view().contains(&a));
+    }
+
+    #[test]
+    fn broadcast_reaches_all_nodes_in_small_overlay() {
+        let mut sim = hyparview_sim(2);
+        let contact = sim.add_node();
+        for i in 1..50 {
+            let id = sim.add_node();
+            assert_eq!(id.index(), i);
+            sim.join(id, contact);
+        }
+        sim.run_cycles(5);
+        let report = sim.broadcast_from(contact);
+        assert_eq!(report.alive, 50);
+        assert!(
+            report.is_atomic(),
+            "expected atomic broadcast, got {}/{}",
+            report.delivered,
+            report.alive
+        );
+        assert!(report.max_hops > 0);
+    }
+
+    #[test]
+    fn failed_nodes_do_not_deliver() {
+        let mut sim = hyparview_sim(3);
+        let contact = sim.add_node();
+        for _ in 1..30 {
+            let id = sim.add_node();
+            sim.join(id, contact);
+        }
+        sim.run_cycles(3);
+        let victims = sim.fail_fraction(0.3);
+        assert_eq!(victims.len(), 9);
+        assert_eq!(sim.alive_count(), 21);
+        let origin = sim.random_alive();
+        let report = sim.broadcast_from(origin);
+        assert_eq!(report.alive, 21);
+        assert!(report.delivered <= 21);
+    }
+
+    #[test]
+    fn fail_fraction_bounds() {
+        let mut sim = hyparview_sim(4);
+        for _ in 0..10 {
+            sim.add_node();
+        }
+        assert!(sim.fail_fraction(0.0).is_empty());
+        let all = sim.fail_fraction(1.0);
+        assert_eq!(all.len(), 10);
+        assert_eq!(sim.alive_count(), 0);
+    }
+
+    #[test]
+    fn accuracy_degrades_with_failures() {
+        let mut sim = hyparview_sim(5);
+        let contact = sim.add_node();
+        for _ in 1..40 {
+            let id = sim.add_node();
+            sim.join(id, contact);
+        }
+        sim.run_cycles(5);
+        let before = sim.accuracy();
+        assert!(before > 0.99, "accuracy before failures was {before}");
+        sim.fail_fraction(0.5);
+        let after = sim.accuracy();
+        assert!(after < before, "accuracy should drop after failures");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed: u64| {
+            let mut sim = hyparview_sim(seed);
+            let contact = sim.add_node();
+            for _ in 1..40 {
+                let id = sim.add_node();
+                sim.join(id, contact);
+            }
+            sim.run_cycles(3);
+            sim.fail_fraction(0.4);
+            let r = sim.broadcast_random();
+            (r.delivered, r.sent, r.redundant, r.max_hops, sim.stats().clone())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn revive_resets_state() {
+        let mut sim = hyparview_sim(6);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.join(b, a);
+        sim.fail_nodes(&[b]);
+        assert!(!sim.is_alive(b));
+        sim.revive(b);
+        assert!(sim.is_alive(b));
+        assert!(sim.node(b).out_view().is_empty(), "revived node starts fresh");
+    }
+
+    #[test]
+    fn out_views_mark_dead_nodes() {
+        let mut sim = hyparview_sim(7);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.join(b, a);
+        sim.fail_nodes(&[a]);
+        let views = sim.out_views();
+        assert!(views[a.index()].is_none());
+        assert!(views[b.index()].is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "origin must be alive")]
+    fn broadcast_from_dead_panics() {
+        let mut sim = hyparview_sim(8);
+        let a = sim.add_node();
+        sim.fail_nodes(&[a]);
+        sim.broadcast_from(a);
+    }
+}

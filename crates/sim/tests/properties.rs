@@ -1,0 +1,114 @@
+//! Property-based tests of the simulator: determinism, conservation laws
+//! and overlay health under random scenarios.
+
+use hyparview_core::Config;
+use hyparview_gossip::HyParViewMembership;
+use hyparview_sim::protocols::{build_hyparview, ProtocolKind};
+use hyparview_sim::{AnySim, ProtocolConfigs, Scenario, Sim, SimConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same seed ⇒ byte-identical experiment outcomes, for every protocol.
+    #[test]
+    fn simulation_is_deterministic(seed in any::<u64>(), n in 20usize..80, failure in 0.0f64..0.8) {
+        for kind in [ProtocolKind::HyParView, ProtocolKind::Cyclon] {
+            let run = || {
+                let scenario = Scenario::new(n, seed);
+                let mut sim = AnySim::build(kind, &scenario, &ProtocolConfigs::paper());
+                sim.run_cycles(3);
+                sim.fail_fraction(failure);
+                let r1 = sim.broadcast_random();
+                let r2 = sim.broadcast_random();
+                (r1.delivered, r1.sent, r2.delivered, r2.sent)
+            };
+            prop_assert_eq!(run(), run());
+        }
+    }
+
+    /// Deliveries + redundant + to_dead exactly account for transmissions
+    /// minus the ones never delivered... more precisely: every transmission
+    /// lands in exactly one bucket.
+    #[test]
+    fn broadcast_accounting_balances(seed in any::<u64>(), n in 20usize..100, failure in 0.0f64..0.9) {
+        let scenario = Scenario::new(n, seed);
+        let mut sim = build_hyparview(&scenario, Config::default());
+        sim.run_cycles(2);
+        sim.fail_fraction(failure);
+        if sim.alive_count() == 0 {
+            return Ok(());
+        }
+        let report = sim.broadcast_random();
+        // Each sent transmission is delivered-first, redundant, or to a
+        // dead node. delivered excludes the origin's local delivery.
+        prop_assert_eq!(
+            report.sent,
+            (report.delivered - 1) + report.redundant + report.to_dead,
+            "unbalanced accounting: {:?}", report
+        );
+        prop_assert!(report.delivered <= report.alive);
+        prop_assert!(report.reliability() <= 1.0);
+    }
+
+    /// Join sequences always produce a connected HyParView overlay.
+    #[test]
+    fn joins_always_connect(seed in any::<u64>(), n in 2usize..120) {
+        let scenario = Scenario::new(n, seed);
+        let sim = build_hyparview(&scenario, Config::default());
+        let views: Vec<Option<Vec<usize>>> = sim
+            .out_views()
+            .into_iter()
+            .map(|v| v.map(|ids| ids.into_iter().map(|id| id.index()).collect()))
+            .collect();
+        let overlay = hyparview_graph::Overlay::new(views);
+        let conn = hyparview_graph::connectivity(&overlay);
+        prop_assert!(conn.is_connected(), "{} components at n={n}", conn.components);
+    }
+
+    /// Active views never exceed capacity and never contain dead peers
+    /// after a full healing run.
+    #[test]
+    fn healed_views_are_accurate(seed in any::<u64>(), failure in 0.1f64..0.7) {
+        let scenario = Scenario::new(60, seed);
+        let mut sim = build_hyparview(&scenario, Config::default());
+        sim.run_cycles(3);
+        sim.fail_fraction(failure);
+        // Broadcasts trigger detection; cycles finish the healing.
+        for _ in 0..5 {
+            if sim.alive_count() > 0 {
+                sim.broadcast_random();
+            }
+        }
+        sim.run_cycles(3);
+        for id in sim.alive_ids() {
+            let view = sim.node(id).protocol().active_view().to_vec();
+            prop_assert!(view.len() <= 5);
+            for peer in view {
+                prop_assert!(sim.is_alive(peer), "{id:?} still lists dead peer {peer:?}");
+            }
+        }
+    }
+
+    /// The latency model never reorders causally-chained protocol steps in
+    /// a way that breaks the overlay: uniform random latencies still yield
+    /// a connected overlay.
+    #[test]
+    fn random_latencies_still_connect(seed in any::<u64>()) {
+        let config = SimConfig::default()
+            .with_latency(hyparview_sim::Latency::Uniform { min: 1, max: 20 });
+        let mut scenario = Scenario::new(50, seed);
+        scenario.sim_config = config;
+        let sim: Sim<HyParViewMembership<hyparview_core::SimId>> =
+            scenario.build_with(|id, seed| {
+                HyParViewMembership::new(id, Config::default(), seed).unwrap()
+            });
+        let views: Vec<Option<Vec<usize>>> = sim
+            .out_views()
+            .into_iter()
+            .map(|v| v.map(|ids| ids.into_iter().map(|id| id.index()).collect()))
+            .collect();
+        let overlay = hyparview_graph::Overlay::new(views);
+        prop_assert!(hyparview_graph::connectivity(&overlay).is_connected());
+    }
+}

@@ -1,0 +1,24 @@
+//! # hyparview-suite
+//!
+//! Umbrella crate for the HyParView reproduction: re-exports the member
+//! crates under one roof for the workspace examples and integration tests.
+//!
+//! * [`core`] — the sans-io HyParView protocol state machine.
+//! * [`gossip`] — the gossip broadcast layer and the `Membership` trait.
+//! * [`baselines`] — Cyclon, Scamp and CyclonAcked.
+//! * [`sim`] — the deterministic discrete-event simulator (PeerSim
+//!   substitute).
+//! * [`graph`] — overlay graph metrics.
+//! * [`net`] — the real TCP runtime.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use hyparview_baselines as baselines;
+pub use hyparview_core as core;
+pub use hyparview_gossip as gossip;
+pub use hyparview_graph as graph;
+pub use hyparview_net as net;
+pub use hyparview_sim as sim;

@@ -1,0 +1,113 @@
+//! Integration tests for baseline-specific claims made by their original
+//! papers and relied on by the HyParView evaluation.
+
+use hyparview_baselines::{CyclonConfig, ScampConfig};
+use hyparview_gossip::Membership;
+use hyparview_graph::{degree_summary, in_degrees, Overlay};
+use hyparview_sim::protocols::{build_cyclon, build_scamp};
+use hyparview_sim::{ContactPolicy, Scenario};
+
+fn in_degree_stats(views: Vec<Option<Vec<usize>>>) -> hyparview_graph::DegreeSummary {
+    let overlay = Overlay::new(views);
+    let degrees = in_degrees(&overlay);
+    let alive: Vec<usize> = overlay.alive_nodes().into_iter().map(|v| degrees[v]).collect();
+    degree_summary(&alive)
+}
+
+#[test]
+fn cyclon_join_keeps_in_degrees_balanced() {
+    // Cyclon's random-walk join swaps entries instead of adding them, so the
+    // in-degree distribution stays tight even right after a join storm.
+    let scenario = Scenario::new(300, 51);
+    let mut sim = build_cyclon(&scenario, CyclonConfig::default().with_view_capacity(12));
+    sim.run_cycles(5);
+    let views: Vec<Option<Vec<usize>>> = sim
+        .out_views()
+        .into_iter()
+        .map(|v| v.map(|ids| ids.into_iter().map(|id| id.index()).collect()))
+        .collect();
+    let stats = in_degree_stats(views);
+    assert!(
+        (stats.mean - 12.0).abs() < 1.0,
+        "Cyclon mean in-degree should track the view size: {}",
+        stats.mean
+    );
+    assert!(stats.stddev < 5.0, "Cyclon in-degree stddev too wide: {}", stats.stddev);
+}
+
+#[test]
+fn cyclon_shuffles_rotate_view_content() {
+    let scenario = Scenario::new(100, 52);
+    let mut sim = build_cyclon(&scenario, CyclonConfig::default().with_view_capacity(10));
+    sim.run_cycles(2);
+    let probe = sim.alive_ids()[10];
+    let before: Vec<_> = sim.node(probe).view_ids();
+    sim.run_cycles(10);
+    let after: Vec<_> = sim.node(probe).view_ids();
+    let kept = before.iter().filter(|id| after.contains(id)).count();
+    assert!(
+        kept < before.len(),
+        "ten shuffle cycles should replace at least one of {} entries",
+        before.len()
+    );
+}
+
+#[test]
+fn cyclon_ages_reset_on_exchange() {
+    let scenario = Scenario::new(60, 53);
+    let mut sim = build_cyclon(&scenario, CyclonConfig::default().with_view_capacity(8));
+    sim.run_cycles(20);
+    // After many cycles no entry should be arbitrarily ancient: the oldest
+    // entries are shuffled away every cycle.
+    for id in sim.alive_ids() {
+        for entry in sim.node(id).view() {
+            assert!(
+                entry.age < 40,
+                "entry {:?} in {:?} never refreshed (age {})",
+                entry.id,
+                id,
+                entry.age
+            );
+        }
+    }
+}
+
+#[test]
+fn scamp_partial_views_grow_with_log_n() {
+    // Scamp's subscription algorithm self-sizes views around (c+1)·ln(n)
+    // without any node knowing n.
+    let mean_view = |n: usize| -> f64 {
+        let scenario = Scenario::new(n, 54).with_contact(ContactPolicy::RandomExisting);
+        let sim = build_scamp(&scenario, ScampConfig::default());
+        sim.alive_ids().iter().map(|id| sim.node(*id).out_view().len() as f64).sum::<f64>()
+            / n as f64
+    };
+    let small = mean_view(100);
+    let large = mean_view(800);
+    assert!(
+        large > small,
+        "Scamp views must grow with n: n=100 → {small:.1}, n=800 → {large:.1}"
+    );
+    // (c+1)ln(800)/(c+1)ln(100) ≈ 1.45; allow a generous band.
+    let ratio = large / small;
+    assert!((1.05..2.6).contains(&ratio), "growth ratio {ratio:.2} out of band");
+}
+
+#[test]
+fn scamp_in_view_mirrors_partial_views() {
+    let scenario = Scenario::new(200, 55).with_contact(ContactPolicy::RandomExisting);
+    let sim = build_scamp(&scenario, ScampConfig::default());
+    // Global invariant: the sum of InView sizes equals the number of
+    // AddedYou notifications delivered, which tracks partial-view inserts.
+    let total_partial: usize =
+        sim.alive_ids().iter().map(|id| sim.node(*id).out_view().len()).sum();
+    let total_in: usize =
+        sim.alive_ids().iter().map(|id| sim.node(*id).in_view().len()).sum();
+    // Every partial-view edge u→v should have produced v's InView entry for
+    // u. Allow slack for the joiner-side seed edge.
+    let diff = (total_partial as i64 - total_in as i64).abs();
+    assert!(
+        diff <= total_partial as i64 / 10,
+        "InView ({total_in}) should mirror PartialView ({total_partial})"
+    );
+}

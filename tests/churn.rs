@@ -1,0 +1,108 @@
+//! Churn integration tests: joins, leaves, crashes and revivals
+//! interleaved with cycles and broadcasts — the messy lifecycle the paper's
+//! §2.1 membership service must absorb.
+
+use hyparview_core::{Config, SimId};
+use hyparview_gossip::Membership;
+use hyparview_graph::{connectivity, Overlay};
+use hyparview_sim::protocols::{build_hyparview, HyParViewSim};
+use hyparview_sim::Scenario;
+
+fn overlay(sim: &HyParViewSim) -> Overlay {
+    Overlay::new(
+        sim.out_views()
+            .into_iter()
+            .map(|v| v.map(|ids| ids.into_iter().map(SimId::index).collect()))
+            .collect(),
+    )
+}
+
+#[test]
+fn overlay_stays_connected_under_rolling_crashes() {
+    let scenario = Scenario::new(200, 31);
+    let mut sim = build_hyparview(&scenario, Config::default());
+    sim.run_cycles(10);
+    // Five waves of 10% crashes, each followed by two cycles.
+    for wave in 0..5 {
+        sim.fail_fraction(0.1);
+        sim.run_cycles(2);
+        let overlay = overlay(&sim);
+        let conn = connectivity(&overlay);
+        assert!(
+            conn.largest_component >= (sim.alive_count() * 95) / 100,
+            "wave {wave}: largest component {} of {} alive",
+            conn.largest_component,
+            sim.alive_count()
+        );
+    }
+}
+
+#[test]
+fn revived_nodes_rejoin_and_receive_broadcasts() {
+    let scenario = Scenario::new(100, 32);
+    let mut sim = build_hyparview(&scenario, Config::default());
+    sim.run_cycles(5);
+    let victims = sim.fail_fraction(0.2);
+    sim.run_cycles(2);
+    // Revive and re-join the victims through a live contact.
+    let contact = sim.random_alive();
+    for v in &victims {
+        sim.revive(*v);
+        sim.join(*v, contact);
+    }
+    sim.run_cycles(3);
+    assert_eq!(sim.alive_count(), 100);
+    let report = sim.broadcast_random();
+    assert!(
+        report.reliability() > 0.99,
+        "revived overlay reliability {}",
+        report.reliability()
+    );
+}
+
+#[test]
+fn continuous_churn_preserves_dissemination() {
+    let scenario = Scenario::new(150, 33);
+    let mut sim = build_hyparview(&scenario, Config::default());
+    sim.run_cycles(5);
+    for round in 0..10 {
+        // Crash one node, revive-and-rejoin another dead one if available.
+        let victim = sim.random_alive();
+        sim.fail_nodes(&[victim]);
+        sim.run_cycles(1);
+        let report = sim.broadcast_random();
+        assert!(
+            report.reliability() > 0.95,
+            "round {round}: reliability {}",
+            report.reliability()
+        );
+        sim.revive(victim);
+        let contact = sim.random_alive();
+        if contact != victim {
+            sim.join(victim, contact);
+        }
+    }
+}
+
+#[test]
+fn joins_after_failures_find_the_surviving_overlay() {
+    let scenario = Scenario::new(120, 34);
+    let mut sim = build_hyparview(&scenario, Config::default());
+    sim.run_cycles(5);
+    sim.fail_fraction(0.5);
+    sim.run_cycles(2);
+    // A brand-new node joins through a survivor.
+    let newcomer = {
+        let contact = sim.random_alive();
+        let id = sim.add_node();
+        sim.join(id, contact);
+        id
+    };
+    sim.run_cycles(1);
+    assert!(
+        !sim.node(newcomer).out_view().is_empty(),
+        "newcomer failed to build an active view"
+    );
+    let report = sim.broadcast_from(newcomer);
+    assert!(report.reliability() > 0.95, "newcomer broadcast reached {}", report.reliability());
+}
