@@ -178,7 +178,12 @@ impl<I: Identity> Cyclon<I> {
         self.view.iter().max_by_key(|e| e.age).copied()
     }
 
-    fn on_shuffle_request(&mut self, from: I, entries: Vec<Entry<I>>, out: &mut Outbox<I, CyclonMessage<I>>) {
+    fn on_shuffle_request(
+        &mut self,
+        from: I,
+        entries: Vec<Entry<I>>,
+        out: &mut Outbox<I, CyclonMessage<I>>,
+    ) {
         // Reply with our own random sample of the same size.
         let reply = self.sample_entries(entries.len(), Some(from));
         let mut replaceable: Vec<I> = reply.iter().map(|e| e.id).collect();
@@ -228,8 +233,7 @@ impl<I: Identity> Cyclon<I> {
             self.view.push(Entry::fresh(joiner));
             Entry::fresh(self.me)
         };
-        let entry =
-            if displaced.id == joiner { Entry::fresh(self.me) } else { displaced };
+        let entry = if displaced.id == joiner { Entry::fresh(self.me) } else { displaced };
         out.send(joiner, CyclonMessage::JoinReply { entry });
     }
 }
@@ -263,7 +267,12 @@ impl<I: Identity> Membership<I> for Cyclon<I> {
         }
     }
 
-    fn handle_message(&mut self, from: I, message: Self::Message, out: &mut Outbox<I, Self::Message>) {
+    fn handle_message(
+        &mut self,
+        from: I,
+        message: Self::Message,
+        out: &mut Outbox<I, Self::Message>,
+    ) {
         if from == self.me {
             return;
         }
@@ -272,9 +281,7 @@ impl<I: Identity> Membership<I> for Cyclon<I> {
                 self.on_shuffle_request(from, entries, out)
             }
             CyclonMessage::ShuffleReply { entries } => self.on_shuffle_reply(entries),
-            CyclonMessage::JoinWalk { joiner, ttl } => {
-                self.on_join_walk(from, joiner, ttl, out)
-            }
+            CyclonMessage::JoinWalk { joiner, ttl } => self.on_join_walk(from, joiner, ttl, out),
             CyclonMessage::JoinReply { entry } => {
                 let mut none = Vec::new();
                 self.integrate(entry, &mut none);

@@ -61,7 +61,12 @@ impl<I: Identity> Membership<I> for CyclonAcked<I> {
         self.inner.join(contact, out);
     }
 
-    fn handle_message(&mut self, from: I, message: Self::Message, out: &mut Outbox<I, Self::Message>) {
+    fn handle_message(
+        &mut self,
+        from: I,
+        message: Self::Message,
+        out: &mut Outbox<I, Self::Message>,
+    ) {
         self.inner.handle_message(from, message, out);
     }
 
@@ -105,11 +110,7 @@ mod tests {
         let mut n = CyclonAcked::new(id, CyclonConfig::default(), u64::from(id) + 1);
         let mut out = Outbox::new();
         for peer in 10..20 {
-            n.handle_message(
-                2,
-                CyclonMessage::JoinReply { entry: Entry::fresh(peer) },
-                &mut out,
-            );
+            n.handle_message(2, CyclonMessage::JoinReply { entry: Entry::fresh(peer) }, &mut out);
         }
         n
     }

@@ -163,9 +163,7 @@ impl<I: Identity> Scamp<I> {
         }
         let forced = hops >= self.config.max_forward_hops;
         let keep_probability = 1.0 / (1.0 + self.partial_view.len() as f64);
-        if !self.partial_view.contains(&joiner)
-            && (forced || self.rng.gen_bool(keep_probability))
-        {
+        if !self.partial_view.contains(&joiner) && (forced || self.rng.gen_bool(keep_probability)) {
             self.keep(joiner, out);
             return;
         }
@@ -183,7 +181,12 @@ impl<I: Identity> Scamp<I> {
         }
     }
 
-    fn on_unsubscribe(&mut self, leaver: I, replacement: Option<I>, out: &mut Outbox<I, ScampMessage<I>>) {
+    fn on_unsubscribe(
+        &mut self,
+        leaver: I,
+        replacement: Option<I>,
+        out: &mut Outbox<I, ScampMessage<I>>,
+    ) {
         self.partial_view.remove(&leaver);
         self.in_view.remove(&leaver);
         if let Some(replacement) = replacement {
@@ -222,7 +225,12 @@ impl<I: Identity> Membership<I> for Scamp<I> {
         out.send(contact, ScampMessage::Subscribe);
     }
 
-    fn handle_message(&mut self, from: I, message: Self::Message, out: &mut Outbox<I, Self::Message>) {
+    fn handle_message(
+        &mut self,
+        from: I,
+        message: Self::Message,
+        out: &mut Outbox<I, Self::Message>,
+    ) {
         if from == self.me {
             return;
         }
@@ -269,12 +277,8 @@ impl<I: Identity> Membership<I> for Scamp<I> {
     }
 
     fn broadcast_targets(&mut self, fanout: usize, exclude: Option<I>) -> Vec<I> {
-        let mut ids: Vec<I> = self
-            .partial_view
-            .iter()
-            .copied()
-            .filter(|id| Some(*id) != exclude)
-            .collect();
+        let mut ids: Vec<I> =
+            self.partial_view.iter().copied().filter(|id| Some(*id) != exclude).collect();
         use rand::seq::SliceRandom;
         ids.shuffle(&mut self.rng);
         ids.truncate(fanout);
@@ -401,10 +405,7 @@ mod tests {
         for _ in 0..=ScampConfig::default().isolation_threshold {
             p.on_cycle(&mut out);
         }
-        let resub = out
-            .drain()
-            .filter(|(_, m)| *m == ScampMessage::Subscribe)
-            .count();
+        let resub = out.drain().filter(|(_, m)| *m == ScampMessage::Subscribe).count();
         assert_eq!(resub, 1, "isolated node re-subscribes");
         assert_eq!(p.resubscriptions(), 1);
         // A heartbeat resets the counter and registers the sender.
@@ -417,11 +418,8 @@ mod tests {
         let mut p = seeded(5, &[1, 2]);
         let mut out = Outbox::new();
         p.on_cycle(&mut out);
-        let hb: Vec<_> = out
-            .drain()
-            .filter(|(_, m)| *m == ScampMessage::Heartbeat)
-            .map(|(to, _)| to)
-            .collect();
+        let hb: Vec<_> =
+            out.drain().filter(|(_, m)| *m == ScampMessage::Heartbeat).map(|(to, _)| to).collect();
         let mut sorted = hb.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![1, 2]);

@@ -31,9 +31,7 @@ fn bench_fig2(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("failure_50pct", kind.label()),
             &kind,
-            |b, &kind| {
-                b.iter(|| black_box(reliability_after_failures(&params(), &[kind], &[0.5])))
-            },
+            |b, &kind| b.iter(|| black_box(reliability_after_failures(&params(), &[kind], &[0.5]))),
         );
     }
     group.finish();
@@ -75,13 +73,5 @@ fn bench_table1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig1,
-    bench_fig2,
-    bench_fig3,
-    bench_fig4,
-    bench_fig5,
-    bench_table1
-);
+criterion_group!(benches, bench_fig1, bench_fig2, bench_fig3, bench_fig4, bench_fig5, bench_table1);
 criterion_main!(benches);

@@ -164,9 +164,7 @@ fn bench_wire_codec(c: &mut Criterion) {
     let shuffle = Frame::Membership(Message::Shuffle {
         origin: addr,
         ttl: 6,
-        nodes: (0..8)
-            .map(|i| format!("10.0.0.{}:900{i}", i + 2).parse().unwrap())
-            .collect(),
+        nodes: (0..8).map(|i| format!("10.0.0.{}:900{i}", i + 2).parse().unwrap()).collect(),
     });
     let encoded = encode(&shuffle);
 

@@ -15,18 +15,9 @@ fn print_points(title: &str, points: &[AblationPoint]) {
     println!("\n## {title}");
     let rows: Vec<Vec<String>> = points
         .iter()
-        .map(|p| {
-            vec![
-                p.label.clone(),
-                pct(p.mean_reliability),
-                pct(p.isolated_fraction),
-            ]
-        })
+        .map(|p| vec![p.label.clone(), pct(p.mean_reliability), pct(p.isolated_fraction)])
         .collect();
-    println!(
-        "{}",
-        render(&["configuration", "mean reliability", "isolated nodes"], &rows)
-    );
+    println!("{}", render(&["configuration", "mean reliability", "isolated nodes"], &rows));
 }
 
 fn main() {

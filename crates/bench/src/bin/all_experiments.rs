@@ -6,8 +6,8 @@
 //! ```
 
 use hyparview_bench::experiments::{
-    fanout_sweep, graph_properties, healing_time, in_degree_distribution,
-    recovery_series, reliability_after_failures,
+    fanout_sweep, graph_properties, healing_time, in_degree_distribution, recovery_series,
+    reliability_after_failures,
 };
 use hyparview_bench::table::{num, pct, sparkline};
 use hyparview_bench::{Params, ALL_PROTOCOLS, FIG2_FAILURES, FIG3_FAILURES};

@@ -33,7 +33,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render(&["protocol", "fanout", "mean reliability", "min reliability", "atomic frac"], &rows)
+        render(
+            &["protocol", "fanout", "mean reliability", "min reliability", "atomic frac"],
+            &rows
+        )
     );
 
     // The paper's headline thresholds.

@@ -34,10 +34,7 @@ fn main() {
         }
         println!(
             "{}",
-            render(
-                &["protocol", "1st message", "plateau", "msgs to plateau", "evolution"],
-                &rows
-            )
+            render(&["protocol", "1st message", "plateau", "msgs to plateau", "evolution"], &rows)
         );
     }
     println!("\n(paper: HyParView recovers almost immediately; CyclonAcked after ~25 messages;");

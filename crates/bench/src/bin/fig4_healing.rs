@@ -38,10 +38,7 @@ fn main() {
         }
         rows.push(cells);
     }
-    println!(
-        "{}",
-        render(&["failure %", "HyParView", "CyclonAcked", "Cyclon"], &rows)
-    );
+    println!("{}", render(&["failure %", "HyParView", "CyclonAcked", "Cyclon"], &rows));
     println!("(paper: HyParView needs 1–2 cycles below 80% and <= 4 at 90%;");
     println!(" Cyclon grows roughly linearly with the failure percentage)");
 }

@@ -31,7 +31,14 @@ fn main() {
     println!(
         "{}",
         render(
-            &["protocol", "clustering", "avg shortest path", "max hops to delivery", "connected", "mean view"],
+            &[
+                "protocol",
+                "clustering",
+                "avg shortest path",
+                "max hops to delivery",
+                "connected",
+                "mean view"
+            ],
             &rows
         )
     );

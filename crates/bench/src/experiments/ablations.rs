@@ -32,8 +32,8 @@ fn run_hyparview_ablation(
     let scenario = params.scenario(0);
     let mut sim: Sim<HyParViewMembership<hyparview_core::SimId>> =
         scenario.build_with(move |id, seed| {
-            let node = HyParViewMembership::new(id, config.clone(), seed)
-                .expect("valid ablation config");
+            let node =
+                HyParViewMembership::new(id, config.clone(), seed).expect("valid ablation config");
             if random_fanout {
                 node.with_random_fanout(seed ^ 0xFA17)
             } else {
@@ -47,10 +47,7 @@ fn run_hyparview_ablation(
         summary.add(&sim.broadcast_random());
     }
     let alive = sim.alive_ids();
-    let isolated = alive
-        .iter()
-        .filter(|id| sim.node(**id).protocol().is_isolated())
-        .count();
+    let isolated = alive.iter().filter(|id| sim.node(**id).protocol().is_isolated()).count();
     AblationPoint {
         label,
         mean_reliability: summary.mean_reliability(),

@@ -43,10 +43,7 @@ pub fn reliability_after_failures(
     failures
         .iter()
         .map(|&failure| {
-            let cells = kinds
-                .iter()
-                .map(|&kind| single_cell(params, kind, failure))
-                .collect();
+            let cells = kinds.iter().map(|&kind| single_cell(params, kind, failure)).collect();
             Fig2Row { failure, cells }
         })
         .collect()
@@ -105,8 +102,7 @@ mod tests {
     #[test]
     fn rows_cover_all_requested_levels() {
         let params = Params::smoke().with_messages(5);
-        let rows =
-            reliability_after_failures(&params, &[ProtocolKind::HyParView], &[0.1, 0.5]);
+        let rows = reliability_after_failures(&params, &[ProtocolKind::HyParView], &[0.1, 0.5]);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].cells.len(), 1);
         assert!(rows[0].failure < rows[1].failure);

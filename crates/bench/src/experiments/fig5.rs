@@ -77,10 +77,8 @@ mod tests {
     #[test]
     fn cyclon_in_degree_spreads_wider_than_hyparview() {
         let params = Params::smoke();
-        let rows = in_degree_distribution(
-            &params,
-            &[ProtocolKind::HyParView, ProtocolKind::Cyclon],
-        );
+        let rows =
+            in_degree_distribution(&params, &[ProtocolKind::HyParView, ProtocolKind::Cyclon]);
         assert!(
             rows[1].summary.stddev > rows[0].summary.stddev,
             "Cyclon stddev {} vs HyParView {}",

@@ -14,7 +14,9 @@ pub mod fig5;
 pub mod overhead;
 pub mod table1;
 
-pub use ablations::{flood_vs_random, passive_size_sweep, shuffle_payload_sweep, walk_length_sweep, AblationPoint};
+pub use ablations::{
+    flood_vs_random, passive_size_sweep, shuffle_payload_sweep, walk_length_sweep, AblationPoint,
+};
 pub use fig1::{fanout_sweep, Fig1Point};
 pub use fig2::{reliability_after_failures, Fig2Cell, Fig2Row};
 pub use fig3::{recovery_series, RecoverySeries};

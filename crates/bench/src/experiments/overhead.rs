@@ -72,8 +72,7 @@ mod tests {
     #[test]
     fn higher_fanout_costs_more_and_is_mostly_redundant() {
         let params = Params::smoke().with_messages(20);
-        let points =
-            message_overhead(&params, &[ProtocolKind::Cyclon], &[4, 6]);
+        let points = message_overhead(&params, &[ProtocolKind::Cyclon], &[4, 6]);
         let f4 = &points[0];
         let f6 = &points[1];
         assert!(

@@ -15,10 +15,8 @@
 //! link instead of a random fanout sample.
 
 use crate::params::Params;
-use hyparview_graph::{
-    clustering_coefficient, connectivity, shortest_path_stats, Overlay,
-};
 use hyparview_gossip::ReliabilitySummary;
+use hyparview_graph::{clustering_coefficient, connectivity, shortest_path_stats, Overlay};
 use hyparview_sim::protocols::ProtocolKind;
 use hyparview_sim::AnySim;
 
@@ -58,12 +56,9 @@ pub fn graph_properties(params: &Params, kinds: &[ProtocolKind]) -> Vec<Table1Ro
             let clustering = clustering_coefficient(&overlay);
             let paths = shortest_path_stats(&overlay, PATH_SAMPLES, params.seed);
             let conn = connectivity(&overlay);
-            let mean_view_size = overlay
-                .alive_nodes()
-                .iter()
-                .map(|v| overlay.out_degree(*v) as f64)
-                .sum::<f64>()
-                / overlay.alive_count().max(1) as f64;
+            let mean_view_size =
+                overlay.alive_nodes().iter().map(|v| overlay.out_degree(*v) as f64).sum::<f64>()
+                    / overlay.alive_count().max(1) as f64;
 
             let mut summary = ReliabilitySummary::new();
             for _ in 0..HOP_BROADCASTS.min(params.messages) {

@@ -95,10 +95,7 @@ mod tests {
     fn render_aligns_columns() {
         let out = render(
             &["a", "long-header"],
-            &[
-                vec!["x".into(), "1".into()],
-                vec!["yyyy".into(), "22".into()],
-            ],
+            &[vec!["x".into(), "1".into()], vec!["yyyy".into(), "22".into()]],
         );
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -115,7 +112,7 @@ mod tests {
     #[test]
     fn pct_and_num_format() {
         assert_eq!(pct(0.9987), "99.9%");
-        assert_eq!(num(3.14159, 2), "3.14");
+        assert_eq!(num(2.4481, 2), "2.45");
     }
 
     #[test]

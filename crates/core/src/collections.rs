@@ -95,8 +95,7 @@ impl<I: Copy + Eq> RandomSet<I> {
 
     /// Returns a uniformly random element different from `excluded`, if any.
     pub fn choose_excluding<R: Rng + ?Sized>(&self, rng: &mut R, excluded: &I) -> Option<I> {
-        let candidates: Vec<I> =
-            self.items.iter().filter(|x| *x != excluded).copied().collect();
+        let candidates: Vec<I> = self.items.iter().filter(|x| *x != excluded).copied().collect();
         candidates.choose(rng).copied()
     }
 

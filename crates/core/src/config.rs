@@ -68,7 +68,6 @@ impl std::error::Error for ConfigError {}
 /// assert_eq!(config.fanout(), 4);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Config {
     /// Maximum number of peers in the active view (paper: `fanout + 1` = 5).
     pub active_capacity: usize,
@@ -179,9 +178,7 @@ impl Config {
     pub fn for_network_size(n: usize) -> Self {
         let log = (n.max(2) as f64).log10().ceil() as usize;
         let active = (log + 1).max(2);
-        Config::default()
-            .with_active_capacity(active)
-            .with_passive_capacity(active * 6)
+        Config::default().with_active_capacity(active).with_passive_capacity(active * 6)
     }
 
     /// The gossip fanout implied by this configuration: the active view holds

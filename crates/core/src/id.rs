@@ -42,7 +42,6 @@ impl<T> Identity for T where T: Copy + Eq + Hash + Ord + fmt::Debug + Send + Syn
 /// assert_eq!(format!("{id}"), "n42");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimId(u32);
 
 impl SimId {

@@ -17,7 +17,6 @@ use crate::Identity;
 /// peer. Low-priority requests are accepted only when the receiver has a
 /// free active slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Priority {
     /// Sender is isolated (empty active view): must be accepted.
     High,
@@ -31,7 +30,6 @@ pub enum Priority {
 /// connection a message arrived on), matching the paper's model where peers
 /// are identified by their TCP connection.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Message<I> {
     /// Sent by a joining node to its contact node.
     Join,

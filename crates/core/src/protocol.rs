@@ -144,11 +144,7 @@ impl<I: Identity> HyParView<I> {
     /// The peers a broadcast layer should flood a message to: the entire
     /// active view except the peer the message arrived from (§4.1.ii).
     pub fn broadcast_targets(&self, exclude: Option<I>) -> Vec<I> {
-        self.active
-            .iter()
-            .copied()
-            .filter(|peer| Some(*peer) != exclude)
-            .collect()
+        self.active.iter().copied().filter(|peer| Some(*peer) != exclude).collect()
     }
 
     // ------------------------------------------------------------------
@@ -197,9 +193,7 @@ impl<I: Identity> HyParView<I> {
             }
             Message::ForwardJoinReply => self.on_forward_join_reply(from, actions),
             Message::Neighbor { priority } => self.on_neighbor(from, priority, actions),
-            Message::NeighborReply { accepted } => {
-                self.on_neighbor_reply(from, accepted, actions)
-            }
+            Message::NeighborReply { accepted } => self.on_neighbor_reply(from, accepted, actions),
             Message::Disconnect => self.on_disconnect(from, actions),
             Message::Shuffle { origin, ttl, nodes } => {
                 self.on_shuffle(from, origin, ttl, nodes, actions)
@@ -475,8 +469,7 @@ impl<I: Identity> HyParView<I> {
             self.repair.tried.clear();
             return;
         };
-        let priority =
-            if self.active.is_empty() { Priority::High } else { Priority::Low };
+        let priority = if self.active.is_empty() { Priority::High } else { Priority::Low };
         self.repair.pending = Some(candidate);
         self.stats.neighbor_requests_sent += 1;
         actions.send(candidate, Message::Neighbor { priority });
@@ -556,10 +549,8 @@ mod tests {
         c.handle_message(6, Message::Join, &mut actions);
         assert!(c.active_view().contains(&6));
         assert_eq!(c.active_view().len(), 5);
-        let disconnects: Vec<_> = sends(&actions)
-            .into_iter()
-            .filter(|(_, m)| *m == Message::Disconnect)
-            .collect();
+        let disconnects: Vec<_> =
+            sends(&actions).into_iter().filter(|(_, m)| *m == Message::Disconnect).collect();
         assert_eq!(disconnects.len(), 1);
         let (dropped, _) = disconnects[0];
         assert!(!c.active_view().contains(&dropped));
@@ -649,10 +640,7 @@ mod tests {
         actions.drain().count();
         q.handle_message(50, Message::Neighbor { priority: Priority::Low }, &mut actions);
         assert!(!q.active_view().contains(&50));
-        assert_eq!(
-            sends(&actions),
-            vec![(50, Message::NeighborReply { accepted: false })]
-        );
+        assert_eq!(sends(&actions), vec![(50, Message::NeighborReply { accepted: false })]);
     }
 
     #[test]
@@ -673,11 +661,7 @@ mod tests {
         p.handle_message(1, Message::Join, &mut actions);
         p.handle_message(2, Message::Join, &mut actions);
         // Seed the passive view so a repair candidate exists.
-        p.handle_message(
-            1,
-            Message::ShuffleReply { nodes: vec![100, 101] },
-            &mut actions,
-        );
+        p.handle_message(1, Message::ShuffleReply { nodes: vec![100, 101] }, &mut actions);
         actions.drain().count();
         p.handle_message(1, Message::Disconnect, &mut actions);
         assert!(!p.active_view().contains(&1));
@@ -761,11 +745,7 @@ mod tests {
         for peer in [1, 2, 3, 4] {
             p.handle_message(peer, Message::Join, &mut actions);
         }
-        p.handle_message(
-            1,
-            Message::ShuffleReply { nodes: (100..110).collect() },
-            &mut actions,
-        );
+        p.handle_message(1, Message::ShuffleReply { nodes: (100..110).collect() }, &mut actions);
         actions.drain().count();
         p.shuffle_tick(&mut actions);
         let shuffles: Vec<_> = sends(&actions)
@@ -852,11 +832,7 @@ mod tests {
         let mut actions = Actions::new();
         q.handle_message(1, Message::Join, &mut actions);
         actions.drain().count();
-        q.handle_message(
-            1,
-            Message::Shuffle { origin: 7, ttl: 2, nodes: vec![60] },
-            &mut actions,
-        );
+        q.handle_message(1, Message::Shuffle { origin: 7, ttl: 2, nodes: vec![60] }, &mut actions);
         assert!(actions.is_empty());
         assert!(!q.passive_view().contains(&60));
     }
@@ -1056,7 +1032,11 @@ mod tests {
             for peer in 1..=8 {
                 p.handle_message(peer, Message::Join, &mut actions);
             }
-            p.handle_message(1, Message::ShuffleReply { nodes: (100..120).collect() }, &mut actions);
+            p.handle_message(
+                1,
+                Message::ShuffleReply { nodes: (100..120).collect() },
+                &mut actions,
+            );
             p.shuffle_tick(&mut actions);
             for a in actions.drain() {
                 log.push(format!("{a:?}"));

@@ -9,7 +9,6 @@
 /// [`HyParView`](crate::HyParView) event handlers and never reset by the
 /// protocol itself; use [`Stats::take`] for interval measurements.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Stats {
     /// `JOIN` requests handled as the contact node.
     pub joins_handled: u64,

@@ -96,7 +96,12 @@ impl<I: Identity> Membership<I> for HyParViewMembership<I> {
         self.flush(out);
     }
 
-    fn handle_message(&mut self, from: I, message: Self::Message, out: &mut Outbox<I, Self::Message>) {
+    fn handle_message(
+        &mut self,
+        from: I,
+        message: Self::Message,
+        out: &mut Outbox<I, Self::Message>,
+    ) {
         let mut actions = std::mem::take(&mut self.actions);
         self.inner.handle_message(from, message, &mut actions);
         self.actions = actions;

@@ -74,7 +74,12 @@ pub trait Membership<I: Identity> {
     fn join(&mut self, contact: I, out: &mut Outbox<I, Self::Message>);
 
     /// Handles a membership message received from `from`.
-    fn handle_message(&mut self, from: I, message: Self::Message, out: &mut Outbox<I, Self::Message>);
+    fn handle_message(
+        &mut self,
+        from: I,
+        message: Self::Message,
+        out: &mut Outbox<I, Self::Message>,
+    );
 
     /// Executes one cycle of the protocol's periodic behaviour (shuffle for
     /// HyParView/Cyclon, lease/heartbeat bookkeeping for Scamp).

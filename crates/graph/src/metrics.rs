@@ -28,13 +28,7 @@ pub fn out_degrees(overlay: &Overlay) -> Vec<usize> {
     overlay
         .alive_nodes()
         .into_iter()
-        .map(|v| {
-            overlay
-                .out_neighbors(v)
-                .iter()
-                .filter(|t| overlay.is_alive(**t as usize))
-                .count()
-        })
+        .map(|v| overlay.out_neighbors(v).iter().filter(|t| overlay.is_alive(**t as usize)).count())
         .collect()
 }
 
@@ -245,13 +239,7 @@ mod tests {
 
     /// Two components: {0, 1} and {2, 3}; node 4 isolated.
     fn split() -> Overlay {
-        Overlay::new(vec![
-            Some(vec![1]),
-            Some(vec![0]),
-            Some(vec![3]),
-            Some(vec![2]),
-            Some(vec![]),
-        ])
+        Overlay::new(vec![Some(vec![1]), Some(vec![0]), Some(vec![3]), Some(vec![2]), Some(vec![])])
     }
 
     #[test]
@@ -292,12 +280,8 @@ mod tests {
     #[test]
     fn clustering_of_star_is_zero() {
         // Star: center 0 connected to 1, 2, 3; leaves unconnected.
-        let o = Overlay::new(vec![
-            Some(vec![1, 2, 3]),
-            Some(vec![0]),
-            Some(vec![0]),
-            Some(vec![0]),
-        ]);
+        let o =
+            Overlay::new(vec![Some(vec![1, 2, 3]), Some(vec![0]), Some(vec![0]), Some(vec![0])]);
         assert_eq!(clustering_coefficient(&o), 0.0);
     }
 
@@ -325,12 +309,7 @@ mod tests {
     #[test]
     fn shortest_path_stats_on_cycle() {
         // Directed 4-cycle: distances 1, 2, 3 from each node; mean = 2.
-        let o = Overlay::new(vec![
-            Some(vec![1]),
-            Some(vec![2]),
-            Some(vec![3]),
-            Some(vec![0]),
-        ]);
+        let o = Overlay::new(vec![Some(vec![1]), Some(vec![2]), Some(vec![3]), Some(vec![0])]);
         let stats = shortest_path_stats(&o, 100, 7);
         assert!((stats.average - 2.0).abs() < 1e-9);
         assert_eq!(stats.max, 3);
@@ -431,11 +410,7 @@ pub fn degree_assortativity(overlay: &Overlay) -> f64 {
 /// Histogram of shortest-path lengths from `samples` random sources:
 /// `distance → ordered-pair count`. Complements the average in
 /// [`shortest_path_stats`] with the full distribution.
-pub fn distance_histogram(
-    overlay: &Overlay,
-    samples: usize,
-    seed: u64,
-) -> BTreeMap<u32, usize> {
+pub fn distance_histogram(overlay: &Overlay, samples: usize, seed: u64) -> BTreeMap<u32, usize> {
     let alive = overlay.alive_nodes();
     let mut hist = BTreeMap::new();
     if alive.len() < 2 {
@@ -465,12 +440,7 @@ mod extra_tests {
     #[test]
     fn assortativity_of_regular_graph_is_zero() {
         // 4-cycle: all degrees equal → zero variance → defined as 0.
-        let o = Overlay::new(vec![
-            Some(vec![1]),
-            Some(vec![2]),
-            Some(vec![3]),
-            Some(vec![0]),
-        ]);
+        let o = Overlay::new(vec![Some(vec![1]), Some(vec![2]), Some(vec![3]), Some(vec![0])]);
         assert_eq!(degree_assortativity(&o), 0.0);
     }
 
@@ -490,12 +460,8 @@ mod extra_tests {
 
     #[test]
     fn assortativity_is_bounded() {
-        let o = Overlay::new(vec![
-            Some(vec![1, 2]),
-            Some(vec![0]),
-            Some(vec![0, 3]),
-            Some(vec![2]),
-        ]);
+        let o =
+            Overlay::new(vec![Some(vec![1, 2]), Some(vec![0]), Some(vec![0, 3]), Some(vec![2])]);
         let r = degree_assortativity(&o);
         assert!((-1.0..=1.0).contains(&r), "assortativity {r}");
     }

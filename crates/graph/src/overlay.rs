@@ -106,12 +106,7 @@ impl Overlay {
     pub fn edge_count(&self) -> usize {
         self.alive_nodes()
             .into_iter()
-            .map(|v| {
-                self.adjacency[v]
-                    .iter()
-                    .filter(|t| self.alive[**t as usize])
-                    .count()
-            })
+            .map(|v| self.adjacency[v].iter().filter(|t| self.alive[**t as usize]).count())
             .sum()
     }
 

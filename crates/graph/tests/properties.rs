@@ -1,8 +1,8 @@
 //! Property-based tests of the graph metrics on random overlays.
 
 use hyparview_graph::{
-    bfs_distances, clustering_coefficient, connectivity, degree_summary, in_degrees,
-    out_degrees, shortest_path_stats, Overlay,
+    bfs_distances, clustering_coefficient, connectivity, degree_summary, in_degrees, out_degrees,
+    shortest_path_stats, Overlay,
 };
 use proptest::prelude::*;
 
@@ -10,10 +10,7 @@ use proptest::prelude::*;
 fn arb_overlay() -> impl Strategy<Value = Overlay> {
     (2usize..40).prop_flat_map(|n| {
         proptest::collection::vec(
-            (
-                any::<bool>(),
-                proptest::collection::vec(0usize..n, 0..6),
-            ),
+            (any::<bool>(), proptest::collection::vec(0usize..n, 0..6)),
             n..=n,
         )
         .prop_map(|rows| {

@@ -32,9 +32,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} expects a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
         match flag.as_str() {
             "--bind" => args.bind = value("--bind")?.parse().map_err(|e| format!("--bind: {e}"))?,
             "--join" => {
@@ -48,8 +46,7 @@ fn parse_args() -> Result<Args, String> {
                 args.active = value("--active")?.parse().map_err(|e| format!("--active: {e}"))?
             }
             "--passive" => {
-                args.passive =
-                    value("--passive")?.parse().map_err(|e| format!("--passive: {e}"))?
+                args.passive = value("--passive")?.parse().map_err(|e| format!("--passive: {e}"))?
             }
             "--help" | "-h" => {
                 println!(

@@ -125,9 +125,8 @@ impl Node {
         let loop_shared = Arc::clone(&shared);
         let shuffle_interval = config.shuffle_interval;
         let dedup_capacity = config.dedup_capacity;
-        let thread = std::thread::Builder::new()
-            .name(format!("hpv-node-{local}"))
-            .spawn(move || {
+        let thread =
+            std::thread::Builder::new().name(format!("hpv-node-{local}")).spawn(move || {
                 event_loop(EventLoop {
                     transport,
                     transport_rx,

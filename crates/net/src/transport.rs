@@ -120,9 +120,7 @@ impl Transport {
     pub fn send(&self, to: SocketAddr, frame: &Frame) {
         let bytes = encode(frame);
         let mut writers = self.writers.lock();
-        let sender = writers.entry(to).or_insert_with(|| {
-            self.spawn_writer(to)
-        });
+        let sender = writers.entry(to).or_insert_with(|| self.spawn_writer(to));
         match sender.try_send(bytes) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
@@ -206,11 +204,7 @@ fn writer_loop(
     Ok(())
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    events: Sender<TransportEvent>,
-    shutdown: Arc<AtomicBool>,
-) {
+fn accept_loop(listener: TcpListener, events: Sender<TransportEvent>, shutdown: Arc<AtomicBool>) {
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -229,11 +223,7 @@ fn accept_loop(
     }
 }
 
-fn reader_loop(
-    mut stream: TcpStream,
-    events: Sender<TransportEvent>,
-    shutdown: Arc<AtomicBool>,
-) {
+fn reader_loop(mut stream: TcpStream, events: Sender<TransportEvent>, shutdown: Arc<AtomicBool>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let mut reader = FrameReader::new();

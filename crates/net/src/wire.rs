@@ -234,8 +234,7 @@ pub fn decode(mut payload: Bytes) -> Result<Frame, WireError> {
             if payload.remaining() < 1 {
                 return Err(WireError::Truncated);
             }
-            let priority =
-                if payload.get_u8() == 1 { Priority::High } else { Priority::Low };
+            let priority = if payload.get_u8() == 1 { Priority::High } else { Priority::Low };
             Frame::Membership(Message::Neighbor { priority })
         }
         TAG_NEIGHBOR_REPLY => {
@@ -315,12 +314,9 @@ impl FrameReader {
         if self.buffer.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_be_bytes([
-            self.buffer[0],
-            self.buffer[1],
-            self.buffer[2],
-            self.buffer[3],
-        ]) as usize;
+        let len =
+            u32::from_be_bytes([self.buffer[0], self.buffer[1], self.buffer[2], self.buffer[3]])
+                as usize;
         if len > MAX_FRAME_LEN {
             return Err(WireError::FrameTooLarge { len });
         }
@@ -444,10 +440,7 @@ mod tests {
 
     #[test]
     fn unknown_tag_rejected() {
-        assert_eq!(
-            decode(Bytes::from_static(&[200])),
-            Err(WireError::UnknownTag { tag: 200 })
-        );
+        assert_eq!(decode(Bytes::from_static(&[200])), Err(WireError::UnknownTag { tag: 200 }));
     }
 
     #[test]

@@ -148,9 +148,7 @@ fn crash_is_detected_and_view_repairs() {
     // Crash the victim and watch a dedicated survivor notice and repair.
     let watcher = Node::spawn("127.0.0.1:0".parse().unwrap(), config()).unwrap();
     watcher.join(victim_addr);
-    assert!(wait_until(Duration::from_secs(5), || watcher
-        .active_view()
-        .contains(&victim_addr)));
+    assert!(wait_until(Duration::from_secs(5), || watcher.active_view().contains(&victim_addr)));
 
     victim.shutdown(); // closes all its connections
 

@@ -9,12 +9,10 @@ use std::net::SocketAddr;
 
 fn arb_addr() -> impl Strategy<Value = SocketAddr> {
     prop_oneof![
-        (any::<[u8; 4]>(), any::<u16>()).prop_map(|(ip, port)| {
-            SocketAddr::new(std::net::IpAddr::V4(ip.into()), port)
-        }),
-        (any::<[u8; 16]>(), any::<u16>()).prop_map(|(ip, port)| {
-            SocketAddr::new(std::net::IpAddr::V6(ip.into()), port)
-        }),
+        (any::<[u8; 4]>(), any::<u16>())
+            .prop_map(|(ip, port)| { SocketAddr::new(std::net::IpAddr::V4(ip.into()), port) }),
+        (any::<[u8; 16]>(), any::<u16>())
+            .prop_map(|(ip, port)| { SocketAddr::new(std::net::IpAddr::V6(ip.into()), port) }),
     ]
 }
 
@@ -39,13 +37,31 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
         arb_addr().prop_map(|sender| Frame::Hello { sender }),
         arb_membership().prop_map(Frame::Membership),
-        (any::<u128>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..512))
-            .prop_map(|(id, hops, payload)| Frame::Gossip {
-                id,
-                hops,
-                payload: Bytes::from(payload)
-            }),
+        (any::<u128>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..512)).prop_map(
+            |(id, hops, payload)| Frame::Gossip { id, hops, payload: Bytes::from(payload) }
+        ),
     ]
+}
+
+/// Deterministic `Hello` round-trip over both address families: the first
+/// frame on every connection must survive encode → decode bit-exactly, and
+/// its byte layout (length prefix, tag 0, family byte) must stay stable.
+#[test]
+fn hello_round_trip_both_families() {
+    for text in ["127.0.0.1:4000", "0.0.0.0:0", "[::1]:9000", "[2001:db8::7]:65535"] {
+        let sender: SocketAddr = text.parse().unwrap();
+        let frame = Frame::Hello { sender };
+        let mut encoded = encode(&frame);
+        let len = encoded.get_u32() as usize;
+        assert_eq!(len, encoded.remaining(), "length prefix covers exactly the payload");
+        assert_eq!(encoded[0], 0, "Hello carries tag 0");
+        assert_eq!(
+            encoded[1],
+            if sender.is_ipv4() { 4 } else { 6 },
+            "family byte matches the address"
+        );
+        assert_eq!(decode(encoded).unwrap(), frame, "round-trips for {text}");
+    }
 }
 
 proptest! {

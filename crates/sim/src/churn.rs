@@ -56,11 +56,7 @@ impl ChurnPlan {
     pub fn steady(count: usize, crash_fraction: f64, joins: usize) -> Self {
         let mut plan = ChurnPlan::new();
         for _ in 0..count {
-            plan.epochs.push(ChurnEpoch {
-                crash_fraction,
-                joins,
-                ..ChurnEpoch::default()
-            });
+            plan.epochs.push(ChurnEpoch { crash_fraction, joins, ..ChurnEpoch::default() });
         }
         plan
     }
@@ -68,8 +64,8 @@ impl ChurnPlan {
     /// A catastrophe followed by recovery epochs — the paper's scenario as
     /// a plan.
     pub fn catastrophe(failure: f64, recovery_epochs: usize) -> Self {
-        let mut plan = ChurnPlan::new()
-            .epoch(ChurnEpoch { crash_fraction: failure, ..ChurnEpoch::default() });
+        let mut plan =
+            ChurnPlan::new().epoch(ChurnEpoch { crash_fraction: failure, ..ChurnEpoch::default() });
         for _ in 0..recovery_epochs {
             plan.epochs.push(ChurnEpoch::default());
         }
@@ -181,8 +177,7 @@ fn random_alive_excluding<M: Membership<SimId>>(
     rng: &mut StdRng,
     excluded: SimId,
 ) -> Option<SimId> {
-    let alive: Vec<SimId> =
-        sim.alive_ids().into_iter().filter(|id| *id != excluded).collect();
+    let alive: Vec<SimId> = sim.alive_ids().into_iter().filter(|id| *id != excluded).collect();
     if alive.is_empty() {
         None
     } else {

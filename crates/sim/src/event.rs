@@ -42,10 +42,7 @@ impl<P> Ord for Scheduled<P> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse so that the BinaryHeap (a max-heap) pops the earliest
         // (time, seq) first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

@@ -226,12 +226,9 @@ mod tests {
         let scenario = Scenario::new(80, 11);
         let mut sim = build_cyclon(&scenario, CyclonConfig::default().with_view_capacity(8));
         sim.run_cycles(5);
-        let mean_view: f64 = sim
-            .alive_ids()
-            .iter()
-            .map(|id| sim.node(*id).out_view().len() as f64)
-            .sum::<f64>()
-            / 80.0;
+        let mean_view: f64 =
+            sim.alive_ids().iter().map(|id| sim.node(*id).out_view().len() as f64).sum::<f64>()
+                / 80.0;
         assert!(mean_view > 4.0, "mean Cyclon view size too small: {mean_view}");
     }
 

@@ -202,9 +202,8 @@ impl<M: Membership<SimId>> Sim<M> {
     /// Adds a new (alive, unjoined) node and returns its id.
     pub fn add_node(&mut self) -> SimId {
         let id = SimId::new(self.nodes.len());
-        let seed = self
-            .factory_seed
-            .wrapping_add((id.index() as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let seed =
+            self.factory_seed.wrapping_add((id.index() as u64).wrapping_mul(0xA24B_AED4_963E_E407));
         let memb = (self.factory)(id, seed);
         self.nodes.push(Slot { memb, gossip: GossipState::new(), alive: true });
         id
@@ -257,12 +256,7 @@ impl<M: Membership<SimId>> Sim<M> {
 
     /// Ids of all alive nodes.
     pub fn alive_ids(&self) -> Vec<SimId> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.alive)
-            .map(|(i, _)| SimId::new(i))
-            .collect()
+        self.nodes.iter().enumerate().filter(|(_, s)| s.alive).map(|(i, _)| SimId::new(i)).collect()
     }
 
     /// A uniformly random alive node.
@@ -397,8 +391,7 @@ impl<M: Membership<SimId>> Sim<M> {
         // The origin delivers its own message at hop 0 and floods.
         self.nodes[origin.index()].gossip.deliver(id, 0);
         track.delivered += 1;
-        let targets =
-            self.nodes[origin.index()].memb.broadcast_targets(self.config.fanout, None);
+        let targets = self.nodes[origin.index()].memb.broadcast_targets(self.config.fanout, None);
         track.sent_by.insert(origin.index(), targets.clone());
         for t in targets {
             track.sent += 1;
@@ -432,10 +425,7 @@ impl<M: Membership<SimId>> Sim<M> {
     /// Snapshot of every node's out-view (`None` for crashed nodes), for
     /// overlay graph analysis.
     pub fn out_views(&self) -> Vec<Option<Vec<SimId>>> {
-        self.nodes
-            .iter()
-            .map(|s| s.alive.then(|| s.memb.out_view()))
-            .collect()
+        self.nodes.iter().map(|s| s.alive.then(|| s.memb.out_view())).collect()
     }
 
     /// View accuracy (§2.3): mean over alive nodes of the fraction of their
@@ -448,8 +438,7 @@ impl<M: Membership<SimId>> Sim<M> {
             if view.is_empty() {
                 continue;
             }
-            let alive_members =
-                view.iter().filter(|id| self.nodes[id.index()].alive).count();
+            let alive_members = view.iter().filter(|id| self.nodes[id.index()].alive).count();
             total += alive_members as f64 / view.len() as f64;
             counted += 1;
         }
@@ -473,8 +462,7 @@ impl<M: Membership<SimId>> Sim<M> {
 
     /// Drains all pending events (no broadcast in flight).
     pub fn drain(&mut self) {
-        let mut no_track = Track::default();
-        no_track.id = u64::MAX;
+        let mut no_track = Track { id: u64::MAX, ..Track::default() };
         self.drain_with_track(&mut no_track);
     }
 
@@ -543,8 +531,7 @@ impl<M: Membership<SimId>> Sim<M> {
             track.max_hops = track.max_hops.max(hops);
         }
         // Forward to this node's gossip targets, excluding the sender.
-        let targets =
-            self.nodes[to.index()].memb.broadcast_targets(self.config.fanout, Some(from));
+        let targets = self.nodes[to.index()].memb.broadcast_targets(self.config.fanout, Some(from));
         if track.id == id {
             track.sent_by.entry(to.index()).or_default().extend(targets.iter().copied());
         }
@@ -709,7 +696,7 @@ mod tests {
             sim.run_cycles(3);
             sim.fail_fraction(0.4);
             let r = sim.broadcast_random();
-            (r.delivered, r.sent, r.redundant, r.max_hops, sim.stats().clone())
+            (r.delivered, r.sent, r.redundant, r.max_hops, *sim.stats())
         };
         assert_eq!(run(42), run(42));
     }

@@ -12,10 +12,7 @@ use std::time::Duration;
 const N: usize = 12;
 
 fn main() -> std::io::Result<()> {
-    let config = NetConfig {
-        shuffle_interval: Duration::from_millis(200),
-        ..NetConfig::default()
-    };
+    let config = NetConfig { shuffle_interval: Duration::from_millis(200), ..NetConfig::default() };
 
     // Spawn the cluster; everyone joins through the first node.
     let mut nodes: Vec<Node> = Vec::new();
@@ -40,10 +37,7 @@ fn main() -> std::io::Result<()> {
     println!("\nbroadcasting from node 0 …");
     nodes[0].broadcast(b"hello, overlay!".to_vec());
     std::thread::sleep(Duration::from_millis(500));
-    let delivered = nodes
-        .iter()
-        .filter(|n| n.deliveries().try_recv().is_ok())
-        .count();
+    let delivered = nodes.iter().filter(|n| n.deliveries().try_recv().is_ok()).count();
     println!("delivered on {delivered}/{N} nodes");
 
     // Crash a third of the cluster.
@@ -60,10 +54,7 @@ fn main() -> std::io::Result<()> {
     println!("\nbroadcasting from a survivor …");
     nodes[0].broadcast(b"still alive".to_vec());
     std::thread::sleep(Duration::from_millis(500));
-    let delivered = nodes
-        .iter()
-        .filter(|n| n.deliveries().try_recv().is_ok())
-        .count();
+    let delivered = nodes.iter().filter(|n| n.deliveries().try_recv().is_ok()).count();
     println!("delivered on {delivered}/{} survivors", nodes.len());
 
     for node in nodes {

@@ -84,10 +84,7 @@ fn scamp_partial_views_grow_with_log_n() {
     };
     let small = mean_view(100);
     let large = mean_view(800);
-    assert!(
-        large > small,
-        "Scamp views must grow with n: n=100 → {small:.1}, n=800 → {large:.1}"
-    );
+    assert!(large > small, "Scamp views must grow with n: n=100 → {small:.1}, n=800 → {large:.1}");
     // (c+1)ln(800)/(c+1)ln(100) ≈ 1.45; allow a generous band.
     let ratio = large / small;
     assert!((1.05..2.6).contains(&ratio), "growth ratio {ratio:.2} out of band");
@@ -101,8 +98,7 @@ fn scamp_in_view_mirrors_partial_views() {
     // AddedYou notifications delivered, which tracks partial-view inserts.
     let total_partial: usize =
         sim.alive_ids().iter().map(|id| sim.node(*id).out_view().len()).sum();
-    let total_in: usize =
-        sim.alive_ids().iter().map(|id| sim.node(*id).in_view().len()).sum();
+    let total_in: usize = sim.alive_ids().iter().map(|id| sim.node(*id).in_view().len()).sum();
     // Every partial-view edge u→v should have produced v's InView entry for
     // u. Allow slack for the joiner-side seed edge.
     let diff = (total_partial as i64 - total_in as i64).abs();

@@ -53,11 +53,7 @@ fn revived_nodes_rejoin_and_receive_broadcasts() {
     sim.run_cycles(3);
     assert_eq!(sim.alive_count(), 100);
     let report = sim.broadcast_random();
-    assert!(
-        report.reliability() > 0.99,
-        "revived overlay reliability {}",
-        report.reliability()
-    );
+    assert!(report.reliability() > 0.99, "revived overlay reliability {}", report.reliability());
 }
 
 #[test]
@@ -71,11 +67,7 @@ fn continuous_churn_preserves_dissemination() {
         sim.fail_nodes(&[victim]);
         sim.run_cycles(1);
         let report = sim.broadcast_random();
-        assert!(
-            report.reliability() > 0.95,
-            "round {round}: reliability {}",
-            report.reliability()
-        );
+        assert!(report.reliability() > 0.95, "round {round}: reliability {}", report.reliability());
         sim.revive(victim);
         let contact = sim.random_alive();
         if contact != victim {
@@ -99,10 +91,7 @@ fn joins_after_failures_find_the_surviving_overlay() {
         id
     };
     sim.run_cycles(1);
-    assert!(
-        !sim.node(newcomer).out_view().is_empty(),
-        "newcomer failed to build an active view"
-    );
+    assert!(!sim.node(newcomer).out_view().is_empty(), "newcomer failed to build an active view");
     let report = sim.broadcast_from(newcomer);
     assert!(report.reliability() > 0.95, "newcomer broadcast reached {}", report.reliability());
 }

@@ -91,11 +91,7 @@ fn hyparview_paths_longer_than_cyclon() {
 #[test]
 fn scamp_views_scale_logarithmically() {
     let overlay = overlay_for(ProtocolKind::Scamp);
-    let mean = overlay
-        .alive_nodes()
-        .iter()
-        .map(|v| overlay.out_degree(*v) as f64)
-        .sum::<f64>()
+    let mean = overlay.alive_nodes().iter().map(|v| overlay.out_degree(*v) as f64).sum::<f64>()
         / overlay.alive_count() as f64;
     // (c + 1) * ln(400) ≈ 5 × 6 ≈ 30; accept a wide band around it.
     assert!(mean > 8.0 && mean < 70.0, "Scamp mean view size {mean}");
@@ -105,9 +101,8 @@ fn scamp_views_scale_logarithmically() {
 fn fanout_ablation_larger_views_shorter_paths() {
     let path_for = |active: usize| {
         let scenario = Scenario::new(N, 26);
-        let config = Config::default()
-            .with_active_capacity(active)
-            .with_passive_capacity(active * 6);
+        let config =
+            Config::default().with_active_capacity(active).with_passive_capacity(active * 6);
         let mut sim = build_hyparview(&scenario, config);
         sim.run_cycles(10);
         {

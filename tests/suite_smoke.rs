@@ -1,0 +1,54 @@
+//! Workspace smoke test: every member crate is reachable through the
+//! umbrella `hyparview_suite` re-exports, and a minimal end-to-end flow
+//! (protocol core → simulator → graph metrics → wire codec) works through
+//! those paths alone.
+
+use bytes::Buf;
+use hyparview_suite::baselines::{Cyclon, CyclonConfig};
+use hyparview_suite::core::{Actions, Config, HyParView, Message};
+use hyparview_suite::gossip::{Membership, Outbox};
+use hyparview_suite::graph::Overlay;
+use hyparview_suite::net::wire::{decode, encode, Frame};
+use hyparview_suite::sim::{protocols, Scenario};
+
+#[test]
+fn core_reexport_drives_protocol() {
+    let mut node = HyParView::new(0u32, Config::default(), 7).expect("valid default config");
+    let mut actions = Actions::new();
+    node.handle_message(1, Message::Join, &mut actions);
+    assert!(node.active_view().contains(&1), "joiner admitted via re-exported types");
+}
+
+#[test]
+fn gossip_and_baselines_reexports_link() {
+    let mut cyclon = Cyclon::new(0u32, CyclonConfig::default(), 7);
+    let mut out = Outbox::new();
+    cyclon.on_cycle(&mut out);
+    // An isolated node has nothing to shuffle with; the call just must link
+    // and run through the umbrella paths.
+    assert_eq!(out.drain().count(), 0);
+}
+
+#[test]
+fn sim_graph_and_wire_reexports_cooperate() {
+    let scenario = Scenario::new(64, 42);
+    let mut sim = protocols::build_hyparview(&scenario, Config::default());
+    sim.run_cycles(3);
+    let report = sim.broadcast_random();
+    assert!(report.reliability() > 0.0, "broadcast reaches someone in a joined overlay");
+
+    let views: Vec<Option<Vec<usize>>> = sim
+        .out_views()
+        .into_iter()
+        .map(|view| view.map(|ids| ids.into_iter().map(|id| id.index()).collect()))
+        .collect();
+    let overlay = Overlay::new(views);
+    assert_eq!(overlay.len(), 64);
+    assert_eq!(overlay.alive_count(), 64);
+
+    let frame = Frame::Membership(Message::Join);
+    let mut encoded = encode(&frame);
+    let len = encoded.get_u32() as usize;
+    assert_eq!(len, encoded.remaining());
+    assert_eq!(decode(encoded).expect("valid frame"), frame);
+}

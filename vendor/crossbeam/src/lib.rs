@@ -1,0 +1,439 @@
+//! Minimal stand-in for the parts of `crossbeam` this workspace uses:
+//! [`channel`] with multi-producer/multi-consumer bounded and unbounded
+//! channels, [`channel::tick`], and a [`select!`] macro.
+//!
+//! Channels are a `Mutex<VecDeque>` + condvars — correct and fair enough for
+//! the thread-per-connection runtime here, though slower than the real
+//! lock-free crossbeam. `select!` polls its arms with a short parked sleep
+//! instead of registering wakers; receive latency is bounded by the poll
+//! interval (500µs) rather than being wakeup-exact.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    pub use crate::select;
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        capacity: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        recv_ready: Condvar,
+        send_ready: Condvar,
+    }
+
+    /// The sending half of a channel. Cloneable.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of a channel. Cloneable.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates a channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a channel holding at most `cap` queued messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap` is zero: real crossbeam's zero-capacity rendezvous
+    /// hand-off is not implemented here, and accepting it would deadlock
+    /// both sides silently.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "zero-capacity (rendezvous) channels are not supported by this shim");
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State { queue: VecDeque::new(), capacity, senders: 1, receivers: 1 }),
+            recv_ready: Condvar::new(),
+            send_ready: Condvar::new(),
+        });
+        (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+    }
+
+    /// Returns a receiver delivering an [`Instant`] every `interval`.
+    ///
+    /// The backing thread exits once the receiver is dropped.
+    pub fn tick(interval: Duration) -> Receiver<Instant> {
+        let (tx, rx) = bounded(1);
+        std::thread::Builder::new()
+            .name("channel-tick".to_owned())
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                match tx.try_send(Instant::now()) {
+                    Ok(()) | Err(TrySendError::Full(_)) => {}
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            })
+            .expect("failed to spawn tick thread");
+        rx
+    }
+
+    fn lock<T>(inner: &Inner<T>) -> std::sync::MutexGuard<'_, State<T>> {
+        inner.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value when all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = lock(&self.inner);
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = state.capacity.is_some_and(|cap| state.queue.len() >= cap);
+                if !full {
+                    state.queue.push_back(value);
+                    self.inner.recv_ready.notify_one();
+                    return Ok(());
+                }
+                state = self.inner.send_ready.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Sends `value` without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TrySendError::Full`] at capacity and
+        /// [`TrySendError::Disconnected`] when all receivers are gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = lock(&self.inner);
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.capacity.is_some_and(|cap| state.queue.len() >= cap) {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            self.inner.recv_ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.inner).senders += 1;
+            Sender { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = lock(&self.inner);
+            state.senders -= 1;
+            if state.senders == 0 {
+                self.inner.recv_ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking while the channel is empty.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and all senders
+        /// are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = lock(&self.inner);
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.inner.send_ready.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.inner.recv_ready.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Receives a message, waiting at most `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvTimeoutError::Timeout`] on deadline, or
+        /// [`RecvTimeoutError::Disconnected`] when all senders are gone.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = lock(&self.inner);
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.inner.send_ready.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .inner
+                    .recv_ready
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = guard;
+            }
+        }
+
+        /// Receives a message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TryRecvError::Empty`] when no message is queued and
+        /// [`TryRecvError::Disconnected`] when additionally all senders are
+        /// gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = lock(&self.inner);
+            if let Some(value) = state.queue.pop_front() {
+                self.inner.send_ready.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).queue.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// A blocking iterator ending when all senders are gone.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+
+        /// A non-blocking iterator draining currently queued messages.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.inner).receivers += 1;
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = lock(&self.inner);
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                self.inner.send_ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    /// Non-blocking iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
+        }
+    }
+}
+
+/// Waits on several receivers, running the first ready arm.
+///
+/// Supports the `recv(receiver) -> result => body` arm form of
+/// `crossbeam::channel::select!`. `result` is bound to
+/// `Result<T, RecvError>`: `Ok` on a message, `Err` when that channel is
+/// disconnected and drained. Arms are polled in order with a short parked
+/// sleep between rounds.
+#[macro_export]
+macro_rules! select {
+    ($(recv($rx:expr) -> $res:pat => $body:expr),+ $(,)?) => {
+        loop {
+            $(
+                match $crate::channel::Receiver::try_recv(&$rx) {
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+                    ready => {
+                        // Mapping `ready` (not re-matching the receiver)
+                        // keeps the message type tied to `$rx` for inference.
+                        let $res = ready.map_err(|_| $crate::channel::RecvError);
+                        break $body;
+                    }
+                }
+            )+
+            ::std::thread::sleep(::std::time::Duration::from_micros(500));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, tick, unbounded, TryRecvError, TrySendError};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_send_recv() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_try_send_full() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn disconnect_propagates() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_tx, rx) = unbounded::<u32>();
+        assert!(rx.recv_timeout(Duration::from_millis(20)).is_err());
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = bounded(4);
+        let handle = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        handle.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tick_fires() {
+        let rx = tick(Duration::from_millis(5));
+        assert!(rx.recv_timeout(Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn select_picks_ready_arm() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<u32>();
+        tx_a.send(7).unwrap();
+        let got = crate::channel::select! {
+            recv(rx_a) -> msg => msg.unwrap(),
+            recv(rx_b) -> msg => msg.unwrap(),
+        };
+        assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn select_sees_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        let disconnected = crate::channel::select! {
+            recv(rx) -> msg => msg.is_err(),
+        };
+        assert!(disconnected);
+    }
+}
