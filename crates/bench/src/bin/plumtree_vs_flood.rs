@@ -1,0 +1,81 @@
+//! Flood vs Plumtree over the same HyParView overlay: reliability,
+//! Relative Message Redundancy (RMR) and last-delivery-hop across the
+//! paper's failure scenarios.
+//!
+//! ```text
+//! cargo run --release -p hyparview-bench --bin plumtree_vs_flood
+//! cargo run --release -p hyparview-bench --bin plumtree_vs_flood -- --quick --warmup 50
+//! ```
+//!
+//! Expected shape: at 0% failures both modes deliver to ~100% of the
+//! nodes, but Plumtree's RMR sits below 0.1 (payloads traverse ~N−1 tree
+//! links) while the flood pays ≈ fanout − 1 redundant payloads per node;
+//! under failures Plumtree trades a slightly deeper last-delivery-hop
+//! (graft round-trips) for the same reliability.
+
+use hyparview_bench::experiments::plumtree::flood_vs_plumtree;
+use hyparview_bench::table::{num, pct, render};
+use hyparview_bench::Params;
+
+const FAILURES: [f64; 5] = [0.0, 0.1, 0.2, 0.3, 0.5];
+const DEFAULT_WARMUP: usize = 30;
+
+fn main() {
+    let (params, rest) = Params::default().apply_args(std::env::args().skip(1));
+    let mut warmup = DEFAULT_WARMUP;
+    let mut rest_iter = rest.iter();
+    while let Some(arg) = rest_iter.next() {
+        if arg == "--warmup" {
+            if let Some(v) = rest_iter.next() {
+                warmup = v.parse().expect("--warmup expects an integer");
+            }
+        }
+    }
+
+    println!("# Flood vs Plumtree — broadcast cost over the same HyParView overlay");
+    println!("# {} (tree warm-up: {warmup} broadcasts)", params.describe());
+
+    let rows_data = flood_vs_plumtree(&params, &FAILURES, warmup);
+
+    let headers = vec![
+        "failure %",
+        "mode",
+        "reliability",
+        "min rel.",
+        "RMR",
+        "last hop",
+        "payload/bcast",
+        "control/bcast",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for row in &rows_data {
+        for cell in &row.cells {
+            rows.push(vec![
+                format!("{:.0}%", row.failure * 100.0),
+                cell.mode.to_string(),
+                pct(cell.mean_reliability),
+                pct(cell.min_reliability),
+                num(cell.mean_rmr, 3),
+                num(cell.mean_last_hop, 1),
+                num(cell.payload_per_broadcast, 0),
+                num(cell.control_per_broadcast, 0),
+            ]);
+        }
+    }
+    println!("{}", render(&headers, &rows));
+
+    let stable = &rows_data[0];
+    let (flood, plumtree) = (&stable.cells[0], &stable.cells[1]);
+    println!(
+        "stable network: Plumtree RMR {} vs flood {} ({}x fewer payload transmissions) at {} / {} reliability",
+        num(plumtree.mean_rmr, 3),
+        num(flood.mean_rmr, 2),
+        num(flood.payload_per_broadcast / plumtree.payload_per_broadcast.max(1.0), 1),
+        pct(plumtree.mean_reliability),
+        pct(flood.mean_reliability),
+    );
+    println!("(expected: Plumtree RMR < 0.1 and reliability >= 99% for both modes at 0% failures;");
+    println!(
+        " flood RMR ~ fanout - 1; Plumtree pays a deeper last hop when grafts repair the tree)"
+    );
+}

@@ -12,6 +12,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod overhead;
+pub mod plumtree;
 pub mod table1;
 
 pub use ablations::{
@@ -23,4 +24,7 @@ pub use fig3::{recovery_series, RecoverySeries};
 pub use fig4::{healing_time, HealingResult};
 pub use fig5::{in_degree_distribution, Fig5Row};
 pub use overhead::{message_overhead, OverheadPoint};
+pub use plumtree::{
+    broadcast_cost_cell, flood_vs_plumtree, BroadcastCostCell, BroadcastCostRow, BROADCAST_MODES,
+};
 pub use table1::{graph_properties, Table1Row};

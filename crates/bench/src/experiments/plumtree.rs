@@ -1,0 +1,162 @@
+//! Flood vs Plumtree — the broadcast-cost experiment this reproduction
+//! adds on top of the paper's figures.
+//!
+//! The HyParView paper disseminates with an eager flood: every delivering
+//! node forwards the payload to its whole active view, so each broadcast
+//! costs about `(fanout + 1) × N` payload transmissions — a Relative
+//! Message Redundancy (RMR) near `fanout − 1`. The same authors' Plumtree
+//! work shows the overlay can carry a spanning-tree broadcast instead:
+//! after a few warm-up messages prune the redundant links, payloads
+//! traverse ~`N − 1` links (RMR ≈ 0) and `IHave`/`Graft` repair keeps the
+//! flood's reliability under failures — at the price of small control
+//! messages on the lazy links.
+//!
+//! This module measures both modes over the *same* HyParView overlay across
+//! the paper's Figure 2/3 failure scenarios: reliability, RMR, and
+//! last-delivery-hop (how much deeper the tree is than the flood).
+
+use crate::params::Params;
+use hyparview_core::SimId;
+use hyparview_gossip::ReliabilitySummary;
+use hyparview_plumtree::BroadcastMode;
+use hyparview_sim::protocols::build_hyparview;
+
+/// Both broadcast modes, in display order.
+pub const BROADCAST_MODES: [BroadcastMode; 2] = [BroadcastMode::Flood, BroadcastMode::Plumtree];
+
+/// Result of one `(mode, failure)` cell.
+#[derive(Debug, Clone)]
+pub struct BroadcastCostCell {
+    /// Dissemination mode measured.
+    pub mode: BroadcastMode,
+    /// Mean reliability over the measured broadcasts.
+    pub mean_reliability: f64,
+    /// Minimum per-broadcast reliability.
+    pub min_reliability: f64,
+    /// Mean Relative Message Redundancy (0 = perfect spanning tree,
+    /// ≈ fanout − 1 for the flood).
+    pub mean_rmr: f64,
+    /// Mean last-delivery hop (the deepest first delivery per broadcast).
+    pub mean_last_hop: f64,
+    /// Mean payload transmissions per broadcast.
+    pub payload_per_broadcast: f64,
+    /// Mean control messages (`IHave`/`Graft`/`Prune`) per broadcast.
+    pub control_per_broadcast: f64,
+}
+
+/// One failure level with a cell per broadcast mode.
+#[derive(Debug, Clone)]
+pub struct BroadcastCostRow {
+    /// Fraction of nodes crashed before measuring (0 = stable network).
+    pub failure: f64,
+    /// Per-mode results, in [`BROADCAST_MODES`] order.
+    pub cells: Vec<BroadcastCostCell>,
+}
+
+/// Measures one `(mode, failure)` cell: builds the overlay, stabilizes,
+/// warms the tree up with `warmup` broadcasts (irrelevant to the flood but
+/// applied to both modes for fairness), crashes `failure` of the nodes and
+/// measures `params.messages` broadcasts from random alive origins.
+pub fn broadcast_cost_cell(
+    params: &Params,
+    mode: BroadcastMode,
+    failure: f64,
+    warmup: usize,
+) -> BroadcastCostCell {
+    let mut summary = ReliabilitySummary::new();
+    for run in 0..params.runs {
+        let scenario = params.scenario(run).with_broadcast_mode(mode);
+        let mut sim = build_hyparview(&scenario, params.configs.hyparview.clone());
+        sim.run_cycles(params.stabilization_cycles);
+        for _ in 0..warmup {
+            sim.broadcast_from(SimId::new(0));
+        }
+        if failure > 0.0 {
+            sim.fail_fraction(failure);
+        }
+        for _ in 0..params.messages {
+            summary.add(&sim.broadcast_random());
+        }
+    }
+    let count = summary.count().max(1) as f64;
+    BroadcastCostCell {
+        mode,
+        mean_reliability: summary.mean_reliability(),
+        min_reliability: summary.min_reliability(),
+        mean_rmr: summary.mean_rmr(),
+        mean_last_hop: summary.mean_max_hops(),
+        payload_per_broadcast: summary.total_sent() as f64 / count,
+        control_per_broadcast: summary.total_control() as f64 / count,
+    }
+}
+
+/// The full experiment: every failure level × both modes.
+pub fn flood_vs_plumtree(
+    params: &Params,
+    failures: &[f64],
+    warmup: usize,
+) -> Vec<BroadcastCostRow> {
+    failures
+        .iter()
+        .map(|&failure| BroadcastCostRow {
+            failure,
+            cells: BROADCAST_MODES
+                .iter()
+                .map(|&mode| broadcast_cost_cell(params, mode, failure, warmup))
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plumtree_beats_flood_on_stable_network() {
+        let params = Params::smoke().with_messages(20);
+        let flood = broadcast_cost_cell(&params, BroadcastMode::Flood, 0.0, 10);
+        let plumtree = broadcast_cost_cell(&params, BroadcastMode::Plumtree, 0.0, 10);
+        assert!(flood.mean_reliability > 0.99, "flood stable: {}", flood.mean_reliability);
+        assert!(plumtree.mean_reliability > 0.99, "plumtree stable: {}", plumtree.mean_reliability);
+        assert!(
+            plumtree.mean_rmr < 0.1,
+            "converged tree must have near-zero RMR, got {}",
+            plumtree.mean_rmr
+        );
+        assert!(
+            flood.mean_rmr > 1.5,
+            "flood redundancy should sit near fanout-1, got {}",
+            flood.mean_rmr
+        );
+        assert!(
+            plumtree.payload_per_broadcast < flood.payload_per_broadcast / 2.0,
+            "tree payload cost {} vs flood {}",
+            plumtree.payload_per_broadcast,
+            flood.payload_per_broadcast
+        );
+    }
+
+    #[test]
+    fn plumtree_stays_reliable_after_failures() {
+        let params = Params::smoke().with_messages(20);
+        let cell = broadcast_cost_cell(&params, BroadcastMode::Plumtree, 0.3, 10);
+        assert!(
+            cell.mean_reliability > 0.95,
+            "plumtree after 30% failures: {}",
+            cell.mean_reliability
+        );
+    }
+
+    #[test]
+    fn rows_cover_failures_and_modes() {
+        let params = Params::smoke().with_messages(5);
+        let rows = flood_vs_plumtree(&params, &[0.0, 0.2], 2);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.cells.len(), 2);
+            assert_eq!(row.cells[0].mode, BroadcastMode::Flood);
+            assert_eq!(row.cells[1].mode, BroadcastMode::Plumtree);
+        }
+    }
+}

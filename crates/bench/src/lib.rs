@@ -10,6 +10,8 @@
 //! * `fig4_healing` — Figure 4: healing time in membership cycles.
 //! * `fig5_indegree` — Figure 5: in-degree distributions.
 //! * `table1_graph_props` — Table 1: clustering / path length / hops.
+//! * `plumtree_vs_flood` — beyond the paper: eager flood vs Plumtree
+//!   broadcast trees (reliability, RMR, last-delivery-hop).
 //! * `all_experiments` — everything above, in `EXPERIMENTS.md` format.
 //!
 //! Every binary accepts `--n`, `--messages`, `--seed`, `--runs`,

@@ -1,11 +1,19 @@
-//! Small random-access set used to back the partial views.
+//! Small collections shared by every layer of the reproduction.
 //!
-//! Partial views are tiny (5–35 entries), so a `Vec` with linear scans
-//! outperforms hash-based sets while giving us O(1) uniform random choice —
-//! the operation every membership protocol performs constantly.
+//! * [`RandomSet`] backs the partial views: they are tiny (5–35 entries),
+//!   so a `Vec` with linear scans outperforms hash-based sets while giving
+//!   us O(1) uniform random choice — the operation every membership
+//!   protocol performs constantly.
+//! * [`RecentSet`] is the FIFO-bounded duplicate-suppression set used by
+//!   the gossip layers (flood dedup, Plumtree message-cache index): a
+//!   long-running node cannot afford an unbounded seen-set, and FIFO
+//!   eviction is correct for gossip because duplicates arrive within a few
+//!   network round-trips of the original.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::collections::{HashSet, VecDeque};
+use std::hash::Hash;
 
 /// An order-insensitive set of identifiers with uniform random sampling.
 ///
@@ -193,6 +201,98 @@ impl<I: Copy + Eq> IntoIterator for RandomSet<I> {
     }
 }
 
+/// A FIFO-bounded set of recently seen identifiers.
+///
+/// Capacities up to [`RecentSet::UNBOUNDED`] are accepted; storage starts
+/// empty and grows on demand, so any capacity — including the effectively
+/// unbounded one the simulator uses (its runs are finite and the paper's
+/// figures assume perfect duplicate detection) — costs nothing up front.
+///
+/// # Examples
+///
+/// ```
+/// use hyparview_core::collections::RecentSet;
+///
+/// let mut seen: RecentSet<u64> = RecentSet::new(2);
+/// assert!(seen.insert(1));
+/// assert!(!seen.insert(1), "duplicate detected");
+/// seen.insert(2);
+/// seen.insert(3); // evicts 1
+/// assert!(seen.insert(1), "evicted ids are forgotten");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecentSet<T> {
+    set: HashSet<T>,
+    order: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T: Copy + Eq + Hash> RecentSet<T> {
+    /// Capacity value that in practice never evicts.
+    pub const UNBOUNDED: usize = usize::MAX;
+
+    /// Creates a set remembering at most `capacity` identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        RecentSet { set: HashSet::new(), order: VecDeque::new(), capacity }
+    }
+
+    /// Inserts `id`, returning `true` if it was not already present.
+    /// Evicts the oldest id when full.
+    pub fn insert(&mut self, id: T) -> bool {
+        self.insert_evicting(id).0
+    }
+
+    /// Inserts `id`, returning whether it was new and the identifier that
+    /// was evicted to make room, if any. Callers that key auxiliary storage
+    /// by id (e.g. a payload cache) use the evicted id to stay in sync.
+    pub fn insert_evicting(&mut self, id: T) -> (bool, Option<T>) {
+        if self.set.contains(&id) {
+            return (false, None);
+        }
+        let mut evicted = None;
+        if self.order.len() >= self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.set.remove(&oldest);
+                evicted = Some(oldest);
+            }
+        }
+        self.order.push_back(id);
+        self.set.insert(id);
+        (true, evicted)
+    }
+
+    /// Whether `id` is currently remembered.
+    pub fn contains(&self, id: &T) -> bool {
+        self.set.contains(id)
+    }
+
+    /// Number of remembered ids.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Returns `true` when nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// The maximum number of ids remembered at once.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Forgets every remembered id (capacity is unchanged).
+    pub fn clear(&mut self) {
+        self.set.clear();
+        self.order.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +301,62 @@ mod tests {
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xD15C0)
+    }
+
+    #[test]
+    fn recent_set_insert_and_contains() {
+        let mut s: RecentSet<u32> = RecentSet::new(4);
+        assert!(s.insert(1));
+        assert!(s.contains(&1));
+        assert!(!s.insert(1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn recent_set_eviction_is_fifo() {
+        let mut s: RecentSet<u32> = RecentSet::new(3);
+        for i in 0..3 {
+            s.insert(i);
+        }
+        assert_eq!(s.insert_evicting(3), (true, Some(0)));
+        assert!(!s.contains(&0));
+        assert!(s.contains(&1));
+        assert!(s.contains(&3));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn recent_set_duplicate_insert_does_not_evict() {
+        let mut s: RecentSet<u32> = RecentSet::new(2);
+        s.insert(1);
+        s.insert(2);
+        assert_eq!(s.insert_evicting(2), (false, None));
+        assert!(s.contains(&1), "duplicate must not trigger eviction");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn recent_set_zero_capacity_panics() {
+        let _: RecentSet<u32> = RecentSet::new(0);
+    }
+
+    #[test]
+    fn recent_set_unbounded_capacity_is_cheap() {
+        let mut s: RecentSet<u64> = RecentSet::new(RecentSet::<u64>::UNBOUNDED);
+        for i in 0..10_000 {
+            assert_eq!(s.insert_evicting(i), (true, None));
+        }
+        assert_eq!(s.len(), 10_000);
+        assert_eq!(s.capacity(), RecentSet::<u64>::UNBOUNDED);
+    }
+
+    #[test]
+    fn recent_set_clear_forgets() {
+        let mut s: RecentSet<u32> = RecentSet::new(8);
+        s.insert(5);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.insert(5));
     }
 
     #[test]

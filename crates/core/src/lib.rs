@@ -62,6 +62,7 @@ pub mod stats;
 pub mod view;
 
 pub use action::{Action, Actions};
+pub use collections::RecentSet;
 pub use config::{Config, ConfigError};
 pub use id::{Identity, SimId};
 pub use message::{Message, MessageKind, Priority};

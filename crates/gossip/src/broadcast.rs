@@ -7,12 +7,18 @@
 //! duplicate detection and the per-broadcast accounting that produce the
 //! reliability numbers in Figures 1–4.
 
-use std::collections::HashSet;
+use hyparview_core::collections::RecentSet;
 
 /// Identifier of one broadcast message.
 pub type BroadcastId = u64;
 
 /// Per-node gossip state: which broadcasts this node has already delivered.
+///
+/// Duplicate detection is backed by a FIFO-bounded [`RecentSet`]. The
+/// default capacity is effectively unbounded — the simulator's runs are
+/// finite and the paper's figures assume perfect duplicate suppression —
+/// while long-running deployments pick a bound with
+/// [`GossipState::with_capacity`].
 ///
 /// # Examples
 ///
@@ -24,26 +30,47 @@ pub type BroadcastId = u64;
 /// assert!(!state.deliver(7, 1), "second receipt is redundant");
 /// assert_eq!(state.delivered_count(), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct GossipState {
-    seen: HashSet<BroadcastId>,
+    seen: RecentSet<BroadcastId>,
+    delivered: usize,
     /// Hop count at which each message was first delivered (for the paper's
     /// "maximum hops to delivery" metric, Table 1).
     last_hops: Option<u32>,
 }
 
+impl Default for GossipState {
+    fn default() -> Self {
+        GossipState::new()
+    }
+}
+
 impl GossipState {
-    /// Creates a fresh gossip state.
+    /// Creates a gossip state with an effectively unbounded seen-set (the
+    /// simulator's configuration, keeping the reproduction's figures exact).
     pub fn new() -> Self {
-        GossipState::default()
+        GossipState::with_capacity(RecentSet::<BroadcastId>::UNBOUNDED)
+    }
+
+    /// Creates a gossip state remembering at most `capacity` recent
+    /// broadcast ids (the deployable configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        GossipState { seen: RecentSet::new(capacity), delivered: 0, last_hops: None }
     }
 
     /// Records the receipt of broadcast `id` after `hops` forwarding steps.
     ///
-    /// Returns `true` exactly once per id — the *delivery* — in which case
-    /// the caller must forward the message to its gossip targets.
+    /// Returns `true` exactly once per remembered id — the *delivery* — in
+    /// which case the caller must forward the message to its gossip targets.
+    /// (With a bounded capacity, a duplicate arriving after its id was
+    /// evicted re-delivers; size the bound to cover several round-trips.)
     pub fn deliver(&mut self, id: BroadcastId, hops: u32) -> bool {
         if self.seen.insert(id) {
+            self.delivered += 1;
             self.last_hops = Some(hops);
             true
         } else {
@@ -51,14 +78,14 @@ impl GossipState {
         }
     }
 
-    /// `true` if broadcast `id` has been delivered here.
+    /// `true` if broadcast `id` is remembered as delivered here.
     pub fn has_delivered(&self, id: BroadcastId) -> bool {
         self.seen.contains(&id)
     }
 
-    /// Number of distinct broadcasts delivered.
+    /// Number of deliveries performed (distinct ids, up to eviction).
     pub fn delivered_count(&self) -> usize {
-        self.seen.len()
+        self.delivered
     }
 
     /// Hop count of the most recent first-delivery, if any.
@@ -69,6 +96,7 @@ impl GossipState {
     /// Forgets everything (used between experiment phases).
     pub fn reset(&mut self) {
         self.seen.clear();
+        self.delivered = 0;
         self.last_hops = None;
     }
 }
@@ -90,6 +118,9 @@ pub struct BroadcastReport {
     pub redundant: usize,
     /// Transmissions addressed to dead nodes.
     pub to_dead: usize,
+    /// Control messages sent on behalf of this broadcast (`IHave`/`Graft`/
+    /// `Prune` in Plumtree mode; always 0 for the eager flood).
+    pub control: usize,
     /// Maximum number of hops over all first deliveries.
     pub max_hops: u32,
 }
@@ -117,6 +148,19 @@ impl BroadcastReport {
             self.redundant as f64 / self.sent as f64
         }
     }
+
+    /// Relative Message Redundancy (Plumtree's cost metric): payload
+    /// receipts at alive nodes per *required* link, minus one —
+    /// `(m / (n − 1)) − 1` where `m` counts payload transmissions that
+    /// reached an alive node and `n` the nodes that delivered. 0 means a
+    /// perfect spanning tree; an eager flood sits near `fanout − 1`.
+    /// Undefined (reported as 0) when fewer than two nodes delivered.
+    pub fn rmr(&self) -> f64 {
+        if self.delivered <= 1 {
+            return 0.0;
+        }
+        (self.sent - self.to_dead) as f64 / (self.delivered - 1) as f64 - 1.0
+    }
 }
 
 /// Aggregate over a sequence of broadcasts (e.g. the 1000 messages of Fig 2).
@@ -124,8 +168,10 @@ impl BroadcastReport {
 pub struct ReliabilitySummary {
     reliabilities: Vec<f64>,
     max_hops: Vec<u32>,
+    rmrs: Vec<f64>,
     sent: u64,
     redundant: u64,
+    control: u64,
 }
 
 impl ReliabilitySummary {
@@ -138,8 +184,10 @@ impl ReliabilitySummary {
     pub fn add(&mut self, report: &BroadcastReport) {
         self.reliabilities.push(report.reliability());
         self.max_hops.push(report.max_hops);
+        self.rmrs.push(report.rmr());
         self.sent += report.sent as u64;
         self.redundant += report.redundant as u64;
+        self.control += report.control as u64;
     }
 
     /// Number of broadcasts summarised.
@@ -183,6 +231,14 @@ impl ReliabilitySummary {
         self.max_hops.iter().map(|h| *h as f64).sum::<f64>() / self.max_hops.len() as f64
     }
 
+    /// Mean Relative Message Redundancy across all broadcasts.
+    pub fn mean_rmr(&self) -> f64 {
+        if self.rmrs.is_empty() {
+            return 0.0;
+        }
+        self.rmrs.iter().sum::<f64>() / self.rmrs.len() as f64
+    }
+
     /// Total transmissions across all broadcasts.
     pub fn total_sent(&self) -> u64 {
         self.sent
@@ -191,6 +247,12 @@ impl ReliabilitySummary {
     /// Total redundant transmissions across all broadcasts.
     pub fn total_redundant(&self) -> u64 {
         self.redundant
+    }
+
+    /// Total control messages (Plumtree `IHave`/`Graft`/`Prune`) across all
+    /// broadcasts.
+    pub fn total_control(&self) -> u64 {
+        self.control
     }
 
     /// Per-message reliability series (for the Figure 3 plots).
@@ -212,6 +274,7 @@ mod tests {
             sent: 10,
             redundant: 2,
             to_dead: 1,
+            control: 3,
             max_hops: 5,
         }
     }
@@ -261,6 +324,40 @@ mod tests {
     }
 
     #[test]
+    fn bounded_state_forgets_old_ids() {
+        let mut s = GossipState::with_capacity(2);
+        assert!(s.deliver(1, 0));
+        assert!(s.deliver(2, 0));
+        assert!(s.deliver(3, 0), "capacity 2: id 1 evicted");
+        assert!(s.deliver(1, 0), "evicted id delivers again");
+        assert_eq!(s.delivered_count(), 4, "delivered_count counts deliveries");
+        assert!(!s.has_delivered(2));
+    }
+
+    #[test]
+    fn rmr_of_perfect_tree_is_zero() {
+        // 10 nodes, 9 payload sends, everyone delivers: a spanning tree.
+        let r = BroadcastReport {
+            id: 1,
+            origin: 0,
+            alive: 10,
+            delivered: 10,
+            sent: 9,
+            redundant: 0,
+            to_dead: 0,
+            control: 12,
+            max_hops: 4,
+        };
+        assert!(r.rmr().abs() < 1e-12);
+        // The flood's cost: 4 payload receipts per node beyond the tree.
+        let flood = BroadcastReport { sent: 36, redundant: 27, ..r };
+        assert!((flood.rmr() - 3.0).abs() < 1e-12);
+        // Degenerate single-delivery broadcast.
+        let lone = BroadcastReport { delivered: 1, ..r };
+        assert_eq!(lone.rmr(), 0.0);
+    }
+
+    #[test]
     fn summary_aggregates() {
         let mut s = ReliabilitySummary::new();
         s.add(&report(100, 100));
@@ -272,6 +369,7 @@ mod tests {
         assert!((s.mean_max_hops() - 5.0).abs() < 1e-12);
         assert_eq!(s.total_sent(), 20);
         assert_eq!(s.total_redundant(), 4);
+        assert_eq!(s.total_control(), 6);
         assert_eq!(s.series().len(), 2);
     }
 

@@ -9,7 +9,7 @@
 //!     --bind 127.0.0.1:9001 --join 127.0.0.1:9000
 //! ```
 
-use hyparview_net::{NetConfig, Node};
+use hyparview_net::{BroadcastMode, NetConfig, Node};
 use std::io::BufRead;
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -20,6 +20,7 @@ struct Args {
     shuffle_ms: u64,
     active: usize,
     passive: usize,
+    plumtree: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +30,7 @@ fn parse_args() -> Result<Args, String> {
         shuffle_ms: 1000,
         active: 5,
         passive: 30,
+        plumtree: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -48,10 +50,11 @@ fn parse_args() -> Result<Args, String> {
             "--passive" => {
                 args.passive = value("--passive")?.parse().map_err(|e| format!("--passive: {e}"))?
             }
+            "--plumtree" => args.plumtree = true,
             "--help" | "-h" => {
                 println!(
                     "usage: hyparview_node [--bind ADDR] [--join ADDR] \
-                     [--shuffle-ms N] [--active N] [--passive N]"
+                     [--shuffle-ms N] [--active N] [--passive N] [--plumtree]"
                 );
                 std::process::exit(0);
             }
@@ -75,10 +78,12 @@ fn main() -> std::io::Result<()> {
             .with_active_capacity(args.active)
             .with_passive_capacity(args.passive),
         shuffle_interval: Duration::from_millis(args.shuffle_ms),
+        broadcast_mode: if args.plumtree { BroadcastMode::Plumtree } else { BroadcastMode::Flood },
         ..NetConfig::default()
     };
+    let mode = config.broadcast_mode;
     let node = Node::spawn(args.bind, config)?;
-    println!("listening on {}", node.addr());
+    println!("listening on {} ({mode} broadcast)", node.addr());
     if let Some(contact) = args.join {
         println!("joining through {contact}");
         node.join(contact);
@@ -105,6 +110,10 @@ fn main() -> std::io::Result<()> {
             "view" => {
                 println!("active:  {:?}", node.active_view());
                 println!("passive: {:?}", node.passive_view());
+                if args.plumtree {
+                    println!("eager:   {:?}", node.eager_peers());
+                    println!("lazy:    {:?}", node.lazy_peers());
+                }
             }
             text => {
                 node.broadcast(text.as_bytes().to_vec());

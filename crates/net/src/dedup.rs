@@ -1,127 +1,15 @@
 //! Bounded duplicate-suppression set for gossip ids.
 //!
-//! The simulator can afford an unbounded seen-set; a long-running node
-//! cannot. [`RecentSet`] keeps the most recent `capacity` ids in FIFO
-//! order, which is correct for gossip dedup because duplicates arrive
-//! within a few network round-trips of the original.
+//! [`RecentSet`] now lives in `hyparview-core` (it is shared with the
+//! gossip bookkeeping and the Plumtree message cache); this module re-exports
+//! it under its historical path.
+//!
+//! ```
+//! use hyparview_net::dedup::RecentSet;
+//!
+//! let mut seen: RecentSet<u64> = RecentSet::new(2);
+//! assert!(seen.insert(1));
+//! assert!(!seen.insert(1), "duplicate detected");
+//! ```
 
-use std::collections::{HashSet, VecDeque};
-use std::hash::Hash;
-
-/// A FIFO-bounded set of recently seen identifiers.
-///
-/// # Examples
-///
-/// ```
-/// use hyparview_net::dedup::RecentSet;
-///
-/// let mut seen: RecentSet<u64> = RecentSet::new(2);
-/// assert!(seen.insert(1));
-/// assert!(!seen.insert(1), "duplicate detected");
-/// seen.insert(2);
-/// seen.insert(3); // evicts 1
-/// assert!(seen.insert(1), "evicted ids are forgotten");
-/// ```
-#[derive(Debug, Clone)]
-pub struct RecentSet<T> {
-    set: HashSet<T>,
-    order: VecDeque<T>,
-    capacity: usize,
-}
-
-impl<T: Copy + Eq + Hash> RecentSet<T> {
-    /// Creates a set remembering at most `capacity` identifiers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "capacity must be positive");
-        RecentSet {
-            set: HashSet::with_capacity(capacity),
-            order: VecDeque::with_capacity(capacity),
-            capacity,
-        }
-    }
-
-    /// Inserts `id`, returning `true` if it was not already present.
-    /// Evicts the oldest id when full.
-    pub fn insert(&mut self, id: T) -> bool {
-        if self.set.contains(&id) {
-            return false;
-        }
-        if self.order.len() >= self.capacity {
-            if let Some(oldest) = self.order.pop_front() {
-                self.set.remove(&oldest);
-            }
-        }
-        self.order.push_back(id);
-        self.set.insert(id);
-        true
-    }
-
-    /// Whether `id` is currently remembered.
-    pub fn contains(&self, id: &T) -> bool {
-        self.set.contains(id)
-    }
-
-    /// Number of remembered ids.
-    pub fn len(&self) -> usize {
-        self.set.len()
-    }
-
-    /// Returns `true` when nothing is remembered.
-    pub fn is_empty(&self) -> bool {
-        self.set.is_empty()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn insert_and_contains() {
-        let mut s: RecentSet<u32> = RecentSet::new(4);
-        assert!(s.insert(1));
-        assert!(s.contains(&1));
-        assert!(!s.insert(1));
-        assert_eq!(s.len(), 1);
-    }
-
-    #[test]
-    fn eviction_is_fifo() {
-        let mut s: RecentSet<u32> = RecentSet::new(3);
-        for i in 0..3 {
-            s.insert(i);
-        }
-        s.insert(3); // evicts 0
-        assert!(!s.contains(&0));
-        assert!(s.contains(&1));
-        assert!(s.contains(&3));
-        assert_eq!(s.len(), 3);
-    }
-
-    #[test]
-    fn duplicate_insert_does_not_evict() {
-        let mut s: RecentSet<u32> = RecentSet::new(2);
-        s.insert(1);
-        s.insert(2);
-        s.insert(2);
-        assert!(s.contains(&1), "duplicate must not trigger eviction");
-    }
-
-    #[test]
-    #[should_panic(expected = "capacity must be positive")]
-    fn zero_capacity_panics() {
-        let _: RecentSet<u32> = RecentSet::new(0);
-    }
-
-    #[test]
-    fn is_empty_reports() {
-        let mut s: RecentSet<u32> = RecentSet::new(1);
-        assert!(s.is_empty());
-        s.insert(5);
-        assert!(!s.is_empty());
-    }
-}
+pub use hyparview_core::collections::RecentSet;

@@ -23,6 +23,7 @@ pub mod node;
 pub mod transport;
 pub mod wire;
 
+pub use hyparview_plumtree::{BroadcastMode, PlumtreeConfig};
 pub use node::{Delivery, NetConfig, Node, NodeStats};
 pub use transport::{Transport, TransportConfig, TransportEvent};
 pub use wire::{Frame, FrameReader, WireError};

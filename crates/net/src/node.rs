@@ -1,6 +1,7 @@
 //! The node runtime: an event loop thread driving the sans-io
 //! [`HyParView`] state machine over the TCP [`Transport`], plus the gossip
-//! broadcast layer (eager flood with duplicate suppression).
+//! broadcast layer — the paper's eager flood with duplicate suppression, or
+//! Plumtree's epidemic broadcast tree ([`BroadcastMode`]).
 //!
 //! This is the deployable form of the system the paper sketches for its
 //! PlanetLab experiment (§6): real sockets, real connection failures, the
@@ -12,10 +13,15 @@ use crate::wire::Frame;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, tick, unbounded, Receiver, Sender};
 use hyparview_core::{Action, Actions, Config, HyParView, Message};
+use hyparview_plumtree::{
+    BroadcastMode, PlumtreeConfig, PlumtreeMessage, PlumtreeOut, PlumtreeState,
+};
 use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Runtime configuration for a [`Node`].
 #[derive(Debug, Clone)]
@@ -28,8 +34,17 @@ pub struct NetConfig {
     pub seed: Option<u64>,
     /// Transport tuning.
     pub transport: TransportConfig,
-    /// How many recent gossip ids to remember for duplicate suppression.
+    /// How many recent gossip ids to remember for duplicate suppression
+    /// (flood mode) / how many payloads the Plumtree cache keeps.
     pub dedup_capacity: usize,
+    /// How broadcast payloads are disseminated.
+    pub broadcast_mode: BroadcastMode,
+    /// Plumtree tuning (timeouts in abstract units, see
+    /// [`NetConfig::plumtree_timer_unit`]). The cache capacity is
+    /// overridden by `dedup_capacity` so both engines share one knob.
+    pub plumtree: PlumtreeConfig,
+    /// Wall-clock duration of one Plumtree timer unit.
+    pub plumtree_timer_unit: Duration,
 }
 
 impl Default for NetConfig {
@@ -40,7 +55,18 @@ impl Default for NetConfig {
             seed: None,
             transport: TransportConfig::default(),
             dedup_capacity: 8192,
+            broadcast_mode: BroadcastMode::Flood,
+            plumtree: PlumtreeConfig::default(),
+            plumtree_timer_unit: Duration::from_millis(20),
         }
+    }
+}
+
+impl NetConfig {
+    /// Selects the broadcast dissemination engine.
+    pub fn with_broadcast_mode(mut self, mode: BroadcastMode) -> Self {
+        self.broadcast_mode = mode;
+        self
     }
 }
 
@@ -66,6 +92,8 @@ enum Control {
 struct Shared {
     active: Vec<SocketAddr>,
     passive: Vec<SocketAddr>,
+    eager: Vec<SocketAddr>,
+    lazy: Vec<SocketAddr>,
     stats: NodeStats,
 }
 
@@ -78,6 +106,9 @@ pub struct NodeStats {
     pub deliveries: u64,
     /// Redundant gossip receipts suppressed by the dedup set.
     pub duplicates: u64,
+    /// Broadcast frames dropped because they belong to the *other*
+    /// [`BroadcastMode`] — nonzero means a mode-misconfigured cluster.
+    pub mode_mismatched: u64,
 }
 
 /// A running HyParView node bound to a TCP address.
@@ -124,7 +155,19 @@ impl Node {
 
         let loop_shared = Arc::clone(&shared);
         let shuffle_interval = config.shuffle_interval;
-        let dedup_capacity = config.dedup_capacity;
+        let broadcaster = match config.broadcast_mode {
+            BroadcastMode::Flood => {
+                Broadcaster::Flood { seen: RecentSet::new(config.dedup_capacity) }
+            }
+            BroadcastMode::Plumtree => Broadcaster::Plumtree {
+                state: PlumtreeState::new(
+                    local,
+                    config.plumtree.clone().with_cache_capacity(config.dedup_capacity),
+                ),
+                timers: BinaryHeap::new(),
+                unit: config.plumtree_timer_unit,
+            },
+        };
         let thread =
             std::thread::Builder::new().name(format!("hpv-node-{local}")).spawn(move || {
                 event_loop(EventLoop {
@@ -133,7 +176,7 @@ impl Node {
                     control_rx,
                     delivery_tx,
                     protocol,
-                    seen: RecentSet::new(dedup_capacity),
+                    broadcaster,
                     shared: loop_shared,
                     shuffle_interval,
                 })
@@ -181,6 +224,17 @@ impl Node {
         self.shared.lock().passive.clone()
     }
 
+    /// Snapshot of the Plumtree eager (tree) links. Empty in flood mode.
+    pub fn eager_peers(&self) -> Vec<SocketAddr> {
+        self.shared.lock().eager.clone()
+    }
+
+    /// Snapshot of the Plumtree lazy (announcement-only) links. Empty in
+    /// flood mode.
+    pub fn lazy_peers(&self) -> Vec<SocketAddr> {
+        self.shared.lock().lazy.clone()
+    }
+
     /// Number of gossip messages delivered so far.
     pub fn delivery_count(&self) -> u64 {
         self.shared.lock().stats.deliveries
@@ -225,19 +279,41 @@ impl std::fmt::Debug for Node {
     }
 }
 
+/// The broadcast engine the event loop runs.
+#[allow(clippy::large_enum_variant)] // exactly one per node; size is irrelevant
+enum Broadcaster {
+    /// The paper's eager flood (§4.1.ii) with bounded duplicate suppression.
+    Flood { seen: RecentSet<u128> },
+    /// Plumtree: eager/lazy dissemination with a wall-clock timer wheel for
+    /// the missing-message timers.
+    Plumtree {
+        state: PlumtreeState<SocketAddr, Bytes>,
+        /// Min-heap of `(deadline, message id)` timer deadlines.
+        timers: BinaryHeap<Reverse<(Instant, u128)>>,
+        /// Wall-clock duration of one abstract timer unit.
+        unit: Duration,
+    },
+}
+
 struct EventLoop {
     transport: Transport,
     transport_rx: Receiver<TransportEvent>,
     control_rx: Receiver<Control>,
     delivery_tx: Sender<Delivery>,
     protocol: HyParView<SocketAddr>,
-    seen: RecentSet<u128>,
+    broadcaster: Broadcaster,
     shared: Arc<Mutex<Shared>>,
     shuffle_interval: Duration,
 }
 
 fn event_loop(mut state: EventLoop) {
     let ticker = tick(state.shuffle_interval);
+    // The timer wheel only needs resolution in Plumtree mode; in flood mode
+    // the ticker idles at a long period.
+    let timer_tick = tick(match &state.broadcaster {
+        Broadcaster::Flood { .. } => Duration::from_secs(3600),
+        Broadcaster::Plumtree { unit, .. } => *unit,
+    });
     let mut actions = Actions::new();
     loop {
         crossbeam::channel::select! {
@@ -265,10 +341,25 @@ fn event_loop(mut state: EventLoop) {
             },
             recv(ticker) -> _ => {
                 state.protocol.shuffle_tick(&mut actions);
-            }
+            },
+            recv(timer_tick) -> _ => {
+                state.fire_due_timers();
+            },
         }
         state.execute(&mut actions);
         state.publish();
+    }
+}
+
+/// Plumtree message → wire frame.
+fn plumtree_frame(message: PlumtreeMessage<Bytes>) -> Frame {
+    match message {
+        PlumtreeMessage::Gossip { id, round, payload } => {
+            Frame::PlumtreeGossip { id, round, payload }
+        }
+        PlumtreeMessage::IHave { id, round } => Frame::PlumtreeIHave { id, round },
+        PlumtreeMessage::Graft { id, round } => Frame::PlumtreeGraft { id, round },
+        PlumtreeMessage::Prune => Frame::PlumtreePrune,
     }
 }
 
@@ -280,7 +371,12 @@ impl EventLoop {
                 self.protocol.handle_message(from, message, actions);
             }
             Frame::Gossip { id, hops, payload } => {
-                if !self.seen.insert(id) {
+                let Broadcaster::Flood { seen } = &mut self.broadcaster else {
+                    // Flood traffic in Plumtree mode: a misconfigured peer.
+                    self.shared.lock().stats.mode_mismatched += 1;
+                    return;
+                };
+                if !seen.insert(id) {
                     self.shared.lock().stats.duplicates += 1;
                     return;
                 }
@@ -293,22 +389,112 @@ impl EventLoop {
                     self.transport.send(peer, &frame);
                 }
             }
+            Frame::PlumtreeGossip { id, round, payload } => {
+                self.on_plumtree(from, PlumtreeMessage::Gossip { id, round, payload });
+            }
+            Frame::PlumtreeIHave { id, round } => {
+                self.on_plumtree(from, PlumtreeMessage::IHave { id, round });
+            }
+            Frame::PlumtreeGraft { id, round } => {
+                self.on_plumtree(from, PlumtreeMessage::Graft { id, round });
+            }
+            Frame::PlumtreePrune => {
+                self.on_plumtree(from, PlumtreeMessage::Prune);
+            }
         }
     }
 
+    fn on_plumtree(&mut self, from: SocketAddr, message: PlumtreeMessage<Bytes>) {
+        let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster else {
+            // Plumtree traffic in flood mode: a misconfigured peer.
+            self.shared.lock().stats.mode_mismatched += 1;
+            return;
+        };
+        if let PlumtreeMessage::Gossip { id, .. } = &message {
+            if state.has_seen(*id) {
+                self.shared.lock().stats.duplicates += 1;
+            }
+        }
+        let mut out = PlumtreeOut::new();
+        state.handle_message(from, message, &mut out);
+        self.apply_plumtree(out);
+    }
+
     fn broadcast(&mut self, id: u128, payload: Bytes) {
-        if !self.seen.insert(id) {
-            return; // id collision with a recent broadcast: drop
+        match &mut self.broadcaster {
+            Broadcaster::Flood { seen } => {
+                if !seen.insert(id) {
+                    return; // id collision with a recent broadcast: drop
+                }
+                {
+                    let mut shared = self.shared.lock();
+                    shared.stats.broadcasts_sent += 1;
+                    shared.stats.deliveries += 1;
+                }
+                let _ =
+                    self.delivery_tx.try_send(Delivery { id, hops: 0, payload: payload.clone() });
+                let frame = Frame::Gossip { id, hops: 1, payload };
+                for peer in self.protocol.broadcast_targets(None) {
+                    self.transport.send(peer, &frame);
+                }
+            }
+            Broadcaster::Plumtree { state, .. } => {
+                let mut out = PlumtreeOut::new();
+                state.broadcast(id, payload, &mut out);
+                if !out.deliveries.is_empty() {
+                    self.shared.lock().stats.broadcasts_sent += 1;
+                }
+                self.apply_plumtree(out);
+            }
         }
-        {
-            let mut shared = self.shared.lock();
-            shared.stats.broadcasts_sent += 1;
-            shared.stats.deliveries += 1;
+    }
+
+    /// Ships the effects of one Plumtree step: frames out, deliveries up,
+    /// timer requests onto the wheel.
+    fn apply_plumtree(&mut self, mut out: PlumtreeOut<SocketAddr, Bytes>) {
+        for (to, message) in out.outbox.drain() {
+            self.transport.send(to, &plumtree_frame(message));
         }
-        let _ = self.delivery_tx.try_send(Delivery { id, hops: 0, payload: payload.clone() });
-        let frame = Frame::Gossip { id, hops: 1, payload };
-        for peer in self.protocol.broadcast_targets(None) {
-            self.transport.send(peer, &frame);
+        for delivery in out.deliveries.drain(..) {
+            self.shared.lock().stats.deliveries += 1;
+            let _ = self.delivery_tx.try_send(Delivery {
+                id: delivery.id,
+                hops: delivery.round,
+                payload: delivery.payload,
+            });
+        }
+        if out.timers.is_empty() {
+            return;
+        }
+        let Broadcaster::Plumtree { timers, unit, .. } = &mut self.broadcaster else {
+            return;
+        };
+        let now = Instant::now();
+        for request in out.timers.drain(..) {
+            let delay = unit.saturating_mul(request.delay.min(u32::MAX as u64) as u32);
+            timers.push(Reverse((now + delay, request.id)));
+        }
+    }
+
+    /// Fires every Plumtree timer whose deadline passed.
+    fn fire_due_timers(&mut self) {
+        loop {
+            let id = {
+                let Broadcaster::Plumtree { timers, .. } = &mut self.broadcaster else {
+                    return;
+                };
+                match timers.peek() {
+                    Some(Reverse((deadline, _))) if *deadline <= Instant::now() => {
+                        let Some(Reverse((_, id))) = timers.pop() else { return };
+                        id
+                    }
+                    _ => return,
+                }
+            };
+            let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster else { return };
+            let mut out = PlumtreeOut::new();
+            state.on_timer(id, &mut out);
+            self.apply_plumtree(out);
         }
     }
 
@@ -324,9 +510,19 @@ impl EventLoop {
                         self.transport.disconnect(to);
                     }
                 }
-                Action::NeighborUp { .. } | Action::NeighborDown { .. } => {
-                    // Connections are opened lazily by sends; NeighborDown
-                    // peers keep their connection until DISCONNECT/failure.
+                Action::NeighborUp { peer } => {
+                    // New active-view links enter the Plumtree eager set;
+                    // connections themselves are opened lazily by sends.
+                    if let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster {
+                        state.on_neighbor_up(peer);
+                    }
+                }
+                Action::NeighborDown { peer } => {
+                    // The peer keeps its connection until DISCONNECT or
+                    // failure, but it leaves the broadcast tree immediately.
+                    if let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster {
+                        state.on_neighbor_down(peer);
+                    }
                 }
             }
         }
@@ -336,5 +532,9 @@ impl EventLoop {
         let mut shared = self.shared.lock();
         shared.active = self.protocol.active_view().to_vec();
         shared.passive = self.protocol.passive_view().to_vec();
+        if let Broadcaster::Plumtree { state, .. } = &self.broadcaster {
+            shared.eager = state.eager_peers();
+            shared.lazy = state.lazy_peers();
+        }
     }
 }

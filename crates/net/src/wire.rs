@@ -76,6 +76,31 @@ pub enum Frame {
         /// Application payload.
         payload: Bytes,
     },
+    /// Plumtree eager push: the payload travelling a tree link.
+    PlumtreeGossip {
+        /// Globally unique broadcast id.
+        id: u128,
+        /// Hop count at the receiver.
+        round: u32,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// Plumtree lazy announcement on a non-tree link.
+    PlumtreeIHave {
+        /// Announced broadcast id.
+        id: u128,
+        /// Hop count the payload would have at the receiver.
+        round: u32,
+    },
+    /// Plumtree tree repair: pull the payload and reinstate the link.
+    PlumtreeGraft {
+        /// Broadcast id being pulled.
+        id: u128,
+        /// Round echoed from the triggering announcement.
+        round: u32,
+    },
+    /// Plumtree tree optimization: demote the link to lazy.
+    PlumtreePrune,
 }
 
 const TAG_HELLO: u8 = 0;
@@ -88,6 +113,10 @@ const TAG_DISCONNECT: u8 = 6;
 const TAG_SHUFFLE: u8 = 7;
 const TAG_SHUFFLE_REPLY: u8 = 8;
 const TAG_GOSSIP: u8 = 9;
+const TAG_PLUMTREE_GOSSIP: u8 = 10;
+const TAG_PLUMTREE_IHAVE: u8 = 11;
+const TAG_PLUMTREE_GRAFT: u8 = 12;
+const TAG_PLUMTREE_PRUNE: u8 = 13;
 
 fn put_addr(buf: &mut BytesMut, addr: &SocketAddr) {
     match addr.ip() {
@@ -168,6 +197,24 @@ pub fn encode(frame: &Frame) -> Bytes {
             body.put_u32(payload.len() as u32);
             body.put_slice(payload);
         }
+        Frame::PlumtreeGossip { id, round, payload } => {
+            body.put_u8(TAG_PLUMTREE_GOSSIP);
+            body.put_u128(*id);
+            body.put_u32(*round);
+            body.put_u32(payload.len() as u32);
+            body.put_slice(payload);
+        }
+        Frame::PlumtreeIHave { id, round } => {
+            body.put_u8(TAG_PLUMTREE_IHAVE);
+            body.put_u128(*id);
+            body.put_u32(*round);
+        }
+        Frame::PlumtreeGraft { id, round } => {
+            body.put_u8(TAG_PLUMTREE_GRAFT);
+            body.put_u128(*id);
+            body.put_u32(*round);
+        }
+        Frame::PlumtreePrune => body.put_u8(TAG_PLUMTREE_PRUNE),
     }
     let mut framed = BytesMut::with_capacity(4 + body.len());
     framed.put_u32(body.len() as u32);
@@ -268,6 +315,31 @@ pub fn decode(mut payload: Bytes) -> Result<Frame, WireError> {
             }
             Frame::Gossip { id, hops, payload: payload.copy_to_bytes(len) }
         }
+        TAG_PLUMTREE_GOSSIP => {
+            if payload.remaining() < 16 + 4 + 4 {
+                return Err(WireError::Truncated);
+            }
+            let id = payload.get_u128();
+            let round = payload.get_u32();
+            let len = payload.get_u32() as usize;
+            if payload.remaining() < len {
+                return Err(WireError::Truncated);
+            }
+            Frame::PlumtreeGossip { id, round, payload: payload.copy_to_bytes(len) }
+        }
+        TAG_PLUMTREE_IHAVE | TAG_PLUMTREE_GRAFT => {
+            if payload.remaining() < 16 + 4 {
+                return Err(WireError::Truncated);
+            }
+            let id = payload.get_u128();
+            let round = payload.get_u32();
+            if tag == TAG_PLUMTREE_IHAVE {
+                Frame::PlumtreeIHave { id, round }
+            } else {
+                Frame::PlumtreeGraft { id, round }
+            }
+        }
+        TAG_PLUMTREE_PRUNE => Frame::PlumtreePrune,
         other => return Err(WireError::UnknownTag { tag: other }),
     };
     Ok(frame)
@@ -387,6 +459,36 @@ mod tests {
     #[test]
     fn round_trip_empty_gossip_payload() {
         round_trip(Frame::Gossip { id: 1, hops: 0, payload: Bytes::new() });
+    }
+
+    #[test]
+    fn round_trip_plumtree_frames() {
+        round_trip(Frame::PlumtreeGossip {
+            id: 0x0123_4567_89AB_CDEF_1111_2222_3333_4444,
+            round: 3,
+            payload: Bytes::from_static(b"tree payload"),
+        });
+        round_trip(Frame::PlumtreeGossip { id: 0, round: 0, payload: Bytes::new() });
+        round_trip(Frame::PlumtreeIHave { id: u128::MAX, round: u32::MAX });
+        round_trip(Frame::PlumtreeGraft { id: 7, round: 2 });
+        round_trip(Frame::PlumtreePrune);
+    }
+
+    #[test]
+    fn truncated_plumtree_frames_rejected() {
+        // IHave missing its round.
+        let mut body = BytesMut::new();
+        body.put_u8(11);
+        body.put_u128(9);
+        assert_eq!(decode(body.freeze()), Err(WireError::Truncated));
+        // PlumtreeGossip whose declared payload length overruns the frame.
+        let mut body = BytesMut::new();
+        body.put_u8(10);
+        body.put_u128(9);
+        body.put_u32(1);
+        body.put_u32(100);
+        body.put_slice(b"short");
+        assert_eq!(decode(body.freeze()), Err(WireError::Truncated));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! End-to-end tests of the TCP runtime on the loopback interface: the
 //! reproduction's stand-in for the paper's planned PlanetLab deployment.
 
-use hyparview_net::{NetConfig, Node};
+use hyparview_net::{BroadcastMode, NetConfig, Node};
 use std::time::{Duration, Instant};
 
 fn config() -> NetConfig {
@@ -12,10 +12,10 @@ fn config() -> NetConfig {
     }
 }
 
-fn spawn_cluster(n: usize) -> Vec<Node> {
+fn spawn_cluster_with<F: Fn() -> NetConfig>(n: usize, make: F) -> Vec<Node> {
     let mut nodes = Vec::with_capacity(n);
     for i in 0..n {
-        let mut cfg = config();
+        let mut cfg = make();
         cfg.seed = Some(100 + i as u64);
         let node = Node::spawn("127.0.0.1:0".parse().unwrap(), cfg).expect("spawn node");
         if let Some(contact) = nodes.first() {
@@ -25,6 +25,10 @@ fn spawn_cluster(n: usize) -> Vec<Node> {
         nodes.push(node);
     }
     nodes
+}
+
+fn spawn_cluster(n: usize) -> Vec<Node> {
+    spawn_cluster_with(n, config)
 }
 
 fn wait_until<F: FnMut() -> bool>(timeout: Duration, mut cond: F) -> bool {
@@ -177,6 +181,59 @@ fn graceful_leave_then_shutdown_clears_views() {
             nodes.iter().all(|n| !n.active_view().contains(&leaver_addr))
         }),
         "leaver still present in active views"
+    );
+}
+
+#[test]
+fn plumtree_broadcast_reaches_every_node() {
+    let nodes = spawn_cluster_with(8, || config().with_broadcast_mode(BroadcastMode::Plumtree));
+    wait_for_overlay(&nodes);
+
+    // Several rounds: the first broadcasts prune the overlay into a tree,
+    // later ones must still reach everyone (over fewer payload links).
+    for round in 0..5 {
+        let payload = format!("tree-{round}").into_bytes();
+        let id = nodes[round % nodes.len()].broadcast(payload.clone());
+        for (i, node) in nodes.iter().enumerate() {
+            let delivery = node
+                .deliveries()
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap_or_else(|_| panic!("node {i} missed plumtree broadcast {round}"));
+            assert_eq!(delivery.id, id);
+            assert_eq!(delivery.payload.as_ref(), payload.as_slice());
+        }
+    }
+}
+
+#[test]
+fn plumtree_eager_links_stay_within_active_view() {
+    let nodes = spawn_cluster_with(6, || config().with_broadcast_mode(BroadcastMode::Plumtree));
+    wait_for_overlay(&nodes);
+    for (i, node) in nodes.iter().take(3).enumerate() {
+        node.broadcast(format!("warm-{i}").into_bytes());
+    }
+    // Drain all deliveries so the traffic quiesces.
+    for node in &nodes {
+        for _ in 0..3 {
+            let _ = node.deliveries().recv_timeout(Duration::from_secs(5));
+        }
+    }
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            nodes.iter().all(|n| {
+                let active = n.active_view();
+                let eager = n.eager_peers();
+                let lazy = n.lazy_peers();
+                !eager.is_empty()
+                    && eager.iter().all(|p| active.contains(p) && !lazy.contains(p))
+                    && lazy.iter().all(|p| active.contains(p))
+            })
+        }),
+        "eager/lazy sets inconsistent with active views: {:?}",
+        nodes
+            .iter()
+            .map(|n| (n.addr(), n.active_view(), n.eager_peers(), n.lazy_peers()))
+            .collect::<Vec<_>>()
     );
 }
 

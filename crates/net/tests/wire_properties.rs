@@ -40,6 +40,16 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         (any::<u128>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..512)).prop_map(
             |(id, hops, payload)| Frame::Gossip { id, hops, payload: Bytes::from(payload) }
         ),
+        (any::<u128>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..512)).prop_map(
+            |(id, round, payload)| Frame::PlumtreeGossip {
+                id,
+                round,
+                payload: Bytes::from(payload)
+            }
+        ),
+        (any::<u128>(), any::<u32>()).prop_map(|(id, round)| Frame::PlumtreeIHave { id, round }),
+        (any::<u128>(), any::<u32>()).prop_map(|(id, round)| Frame::PlumtreeGraft { id, round }),
+        Just(Frame::PlumtreePrune),
     ]
 }
 

@@ -1,0 +1,99 @@
+//! Plumtree configuration and the broadcast-mode switch shared by the
+//! simulator and the TCP runtime.
+
+/// How a runtime disseminates broadcast payloads over the overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BroadcastMode {
+    /// The paper's eager flood: every delivering node forwards the full
+    /// payload to its whole active view (§4.1.ii). Maximally redundant,
+    /// maximally robust.
+    #[default]
+    Flood,
+    /// Plumtree: eager push along tree links, lazy `IHave` announcements on
+    /// the remaining overlay links, `Graft`/`Prune` tree repair. Near-zero
+    /// steady-state redundancy at flood-grade reliability.
+    Plumtree,
+}
+
+impl std::fmt::Display for BroadcastMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BroadcastMode::Flood => "Flood",
+            BroadcastMode::Plumtree => "Plumtree",
+        })
+    }
+}
+
+/// Tuning knobs of one Plumtree instance.
+///
+/// Timeouts are expressed in abstract *timer units*: the simulator treats
+/// them as virtual-time delays (one unit ≈ one network latency), the TCP
+/// runtime multiplies them by its configured unit duration.
+#[derive(Debug, Clone)]
+pub struct PlumtreeConfig {
+    /// Delay before the missing-message timer fires after the first `IHave`
+    /// for an undelivered message. Must comfortably exceed the eager path's
+    /// extra depth over the lazy shortcut that announced the id, or healthy
+    /// trees trigger spurious `Graft`s.
+    pub ihave_timeout: u64,
+    /// Delay between successive `Graft` attempts while a message is still
+    /// missing (the second, shorter timer of the Plumtree paper §3.8).
+    pub graft_timeout: u64,
+    /// Number of recent message payloads cached for answering `Graft`s
+    /// (FIFO-bounded; evicted messages can no longer repair the tree).
+    pub cache_capacity: usize,
+}
+
+impl Default for PlumtreeConfig {
+    fn default() -> Self {
+        PlumtreeConfig { ihave_timeout: 16, graft_timeout: 8, cache_capacity: 1 << 16 }
+    }
+}
+
+impl PlumtreeConfig {
+    /// Sets the first missing-message timeout.
+    pub fn with_ihave_timeout(mut self, units: u64) -> Self {
+        self.ihave_timeout = units;
+        self
+    }
+
+    /// Sets the follow-up graft timeout.
+    pub fn with_graft_timeout(mut self, units: u64) -> Self {
+        self.graft_timeout = units;
+        self
+    }
+
+    /// Sets the payload cache capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = PlumtreeConfig::default();
+        assert!(c.ihave_timeout > c.graft_timeout);
+        assert!(c.cache_capacity > 0);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = PlumtreeConfig::default()
+            .with_ihave_timeout(9)
+            .with_graft_timeout(3)
+            .with_cache_capacity(128);
+        assert_eq!((c.ihave_timeout, c.graft_timeout, c.cache_capacity), (9, 3, 128));
+    }
+
+    #[test]
+    fn broadcast_mode_displays() {
+        assert_eq!(BroadcastMode::Flood.to_string(), "Flood");
+        assert_eq!(BroadcastMode::Plumtree.to_string(), "Plumtree");
+        assert_eq!(BroadcastMode::default(), BroadcastMode::Flood);
+    }
+}

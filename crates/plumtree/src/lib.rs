@@ -1,0 +1,53 @@
+//! # hyparview-plumtree
+//!
+//! **Plumtree** — *epidemic broadcast trees* — over the HyParView overlay:
+//! the broadcast protocol the HyParView authors designed the overlay to
+//! carry (Leitão, Pereira, Rodrigues, SRDS 2007).
+//!
+//! The paper's evaluation disseminates broadcasts with an eager flood whose
+//! steady-state cost is roughly `fanout × N` payload transmissions per
+//! message. Plumtree keeps the flood's reliability while cutting the
+//! redundancy to near zero: each node splits its (symmetric, active-view)
+//! neighbors into an **eager** set, which receives the full payload
+//! immediately, and a **lazy** set, which only receives an `IHave`
+//! announcement. The first broadcasts prune redundant eager links
+//! (`Prune`), leaving a spanning tree embedded in the overlay; when a tree
+//! link fails, a missing-message timer fires at the node that saw an
+//! `IHave` without the payload and a `Graft` pulls the message — and the
+//! link back into the tree — from the announcer.
+//!
+//! Like `hyparview-core`, this crate is **sans-io**: [`PlumtreeState`] is a
+//! pure state machine that consumes events (messages, timer expirations,
+//! neighbor changes from any [`Membership`](hyparview_gossip::Membership)
+//! implementation) and emits effects through a [`PlumtreeOut`] buffer —
+//! sends via the gossip crate's `Outbox` seam, local deliveries, and timer
+//! requests. The discrete-event simulator (`hyparview-sim`) maps the timer
+//! requests to cycle-delayed events; the TCP runtime (`hyparview-net`) maps
+//! them to wall-clock deadlines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hyparview_plumtree::{PlumtreeConfig, PlumtreeOut, PlumtreeState};
+//!
+//! let mut node: PlumtreeState<u32, &'static str> =
+//!     PlumtreeState::new(0, PlumtreeConfig::default());
+//! node.on_neighbor_up(1);
+//! node.on_neighbor_up(2);
+//!
+//! let mut out = PlumtreeOut::new();
+//! node.broadcast(7, "hello", &mut out);
+//! assert_eq!(out.deliveries.len(), 1, "origin delivers locally");
+//! assert_eq!(out.outbox.len(), 2, "payload eager-pushed to both neighbors");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod message;
+pub mod state;
+
+pub use config::{BroadcastMode, PlumtreeConfig};
+pub use message::{MsgId, PlumtreeMessage};
+pub use state::{PlumtreeDelivery, PlumtreeOut, PlumtreeState, PlumtreeStats, TimerRequest};

@@ -1,0 +1,77 @@
+//! The Plumtree wire vocabulary.
+
+/// Globally unique broadcast identifier.
+///
+/// Wide enough for the TCP runtime's random ids; the simulator uses its
+/// sequential `u64` broadcast counter widened to `u128`.
+pub type MsgId = u128;
+
+/// One Plumtree protocol message, generic over the payload type (`()` in
+/// the simulator, `Bytes` on the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlumtreeMessage<P> {
+    /// Eager push: the full payload, sent along tree (eager) links. `round`
+    /// is the hop count at the receiver (the origin sends `round == 1`).
+    Gossip {
+        /// Broadcast identifier.
+        id: MsgId,
+        /// Hop count at the receiver.
+        round: u32,
+        /// Application payload.
+        payload: P,
+    },
+    /// Lazy push: an announcement that the sender has the message, sent
+    /// along non-tree (lazy) links.
+    IHave {
+        /// Broadcast identifier.
+        id: MsgId,
+        /// Hop count the payload would have at the receiver.
+        round: u32,
+    },
+    /// Tree repair: the receiver is asked to (re)send the payload and to
+    /// reinstate the link as an eager/tree link.
+    Graft {
+        /// Broadcast identifier being pulled.
+        id: MsgId,
+        /// Round echoed from the triggering `IHave`.
+        round: u32,
+    },
+    /// Tree optimization: the sender received a redundant payload from us;
+    /// the link is demoted to lazy.
+    Prune,
+}
+
+impl<P> PlumtreeMessage<P> {
+    /// `true` for the payload-bearing message (`Gossip`).
+    pub fn carries_payload(&self) -> bool {
+        matches!(self, PlumtreeMessage::Gossip { .. })
+    }
+
+    /// The broadcast id this message concerns, if any (`Prune` is a
+    /// link-scoped message and carries none).
+    pub fn id(&self) -> Option<MsgId> {
+        match self {
+            PlumtreeMessage::Gossip { id, .. }
+            | PlumtreeMessage::IHave { id, .. }
+            | PlumtreeMessage::Graft { id, .. } => Some(*id),
+            PlumtreeMessage::Prune => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_and_id_accessors() {
+        let gossip: PlumtreeMessage<u8> = PlumtreeMessage::Gossip { id: 7, round: 1, payload: 9 };
+        assert!(gossip.carries_payload());
+        assert_eq!(gossip.id(), Some(7));
+        let ihave: PlumtreeMessage<u8> = PlumtreeMessage::IHave { id: 8, round: 2 };
+        assert!(!ihave.carries_payload());
+        assert_eq!(ihave.id(), Some(8));
+        assert_eq!(PlumtreeMessage::<u8>::Graft { id: 9, round: 0 }.id(), Some(9));
+        assert_eq!(PlumtreeMessage::<u8>::Prune.id(), None);
+    }
+}

@@ -1,0 +1,625 @@
+//! The sans-io Plumtree state machine.
+
+use crate::config::PlumtreeConfig;
+use crate::message::{MsgId, PlumtreeMessage};
+use hyparview_core::collections::{RandomSet, RecentSet};
+use hyparview_core::Identity;
+use hyparview_gossip::Outbox;
+use std::collections::{HashMap, HashSet};
+
+/// A local delivery produced by the state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlumtreeDelivery<P> {
+    /// Broadcast identifier.
+    pub id: MsgId,
+    /// Hops travelled before delivery (0 = this node is the origin).
+    pub round: u32,
+    /// Application payload.
+    pub payload: P,
+}
+
+/// A request to schedule a missing-message timer.
+///
+/// The runtime must call [`PlumtreeState::on_timer`] with `id` after
+/// `delay` timer units. Timers need no cancellation support: an expiration
+/// for an already-delivered message is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerRequest {
+    /// Message the timer watches for.
+    pub id: MsgId,
+    /// Delay in abstract timer units (see [`PlumtreeConfig`]).
+    pub delay: u64,
+}
+
+/// Effects emitted by one state-machine event — the Plumtree counterpart of
+/// `hyparview_core::Actions`, built on the gossip crate's [`Outbox`] seam.
+#[derive(Debug, Clone)]
+pub struct PlumtreeOut<I: Identity, P> {
+    /// Protocol messages to ship, in FIFO order.
+    pub outbox: Outbox<I, PlumtreeMessage<P>>,
+    /// Payloads to hand to the application, in delivery order.
+    pub deliveries: Vec<PlumtreeDelivery<P>>,
+    /// Timers the runtime must arm.
+    pub timers: Vec<TimerRequest>,
+}
+
+impl<I: Identity, P> Default for PlumtreeOut<I, P> {
+    fn default() -> Self {
+        PlumtreeOut { outbox: Outbox::new(), deliveries: Vec::new(), timers: Vec::new() }
+    }
+}
+
+impl<I: Identity, P> PlumtreeOut<I, P> {
+    /// Creates an empty effect buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when no effect of any kind is pending.
+    pub fn is_empty(&self) -> bool {
+        self.outbox.is_empty() && self.deliveries.is_empty() && self.timers.is_empty()
+    }
+}
+
+/// Cumulative per-node counters (diagnostics and experiment output).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlumtreeStats {
+    /// Payload messages sent (eager pushes and graft replies).
+    pub gossip_sent: u64,
+    /// `IHave` announcements sent.
+    pub ihave_sent: u64,
+    /// `Graft` repairs sent.
+    pub grafts_sent: u64,
+    /// `Prune` demotions sent.
+    pub prunes_sent: u64,
+    /// First-time payload deliveries (own broadcasts included).
+    pub delivered: u64,
+    /// Redundant payload receipts.
+    pub redundant: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Cached<P> {
+    round: u32,
+    payload: P,
+}
+
+/// Per-node Plumtree state: eager/lazy peer sets, the message cache and the
+/// missing-message bookkeeping.
+///
+/// Neighbor maintenance is driven by the membership layer: feed active-view
+/// changes through [`PlumtreeState::on_neighbor_up`] /
+/// [`PlumtreeState::on_neighbor_down`], or let
+/// [`PlumtreeState::sync_neighbors`] diff a full view snapshot (works with
+/// any [`Membership`](hyparview_gossip::Membership) implementation). New
+/// links start *eager*, exactly like HyParView's freshly-promoted
+/// active-view members (§4.1's symmetric views make the tree edges
+/// bidirectional).
+#[derive(Debug, Clone)]
+pub struct PlumtreeState<I: Identity, P: Clone> {
+    me: I,
+    config: PlumtreeConfig,
+    eager: RandomSet<I>,
+    lazy: RandomSet<I>,
+    /// FIFO index over the cached ids; evictions keep `cache` in sync.
+    seen: RecentSet<MsgId>,
+    cache: HashMap<MsgId, Cached<P>>,
+    /// Announcers of messages we have not delivered yet, in arrival order.
+    missing: HashMap<MsgId, Vec<(I, u32)>>,
+    /// Messages with an armed missing-message timer.
+    timer_armed: HashSet<MsgId>,
+    stats: PlumtreeStats,
+}
+
+impl<I: Identity, P: Clone> PlumtreeState<I, P> {
+    /// Creates the state machine for node `me`.
+    pub fn new(me: I, config: PlumtreeConfig) -> Self {
+        let cache_capacity = config.cache_capacity;
+        PlumtreeState {
+            me,
+            config,
+            eager: RandomSet::new(),
+            lazy: RandomSet::new(),
+            seen: RecentSet::new(cache_capacity),
+            cache: HashMap::new(),
+            missing: HashMap::new(),
+            timer_armed: HashSet::new(),
+            stats: PlumtreeStats::default(),
+        }
+    }
+
+    /// This node's identifier.
+    pub fn me(&self) -> I {
+        self.me
+    }
+
+    /// The configuration this instance runs with.
+    pub fn config(&self) -> &PlumtreeConfig {
+        &self.config
+    }
+
+    /// Peers receiving eager payload pushes (the node's tree links).
+    pub fn eager_peers(&self) -> Vec<I> {
+        self.eager.to_vec()
+    }
+
+    /// Peers receiving lazy `IHave` announcements only.
+    pub fn lazy_peers(&self) -> Vec<I> {
+        self.lazy.to_vec()
+    }
+
+    /// `true` if `peer` is currently tracked (eager or lazy).
+    pub fn is_neighbor(&self, peer: &I) -> bool {
+        self.eager.contains(peer) || self.lazy.contains(peer)
+    }
+
+    /// `true` once `id` has been delivered (and is still remembered by the
+    /// bounded cache index).
+    pub fn has_seen(&self, id: MsgId) -> bool {
+        self.seen.contains(&id)
+    }
+
+    /// Number of payloads currently cached for graft replies.
+    pub fn cached_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &PlumtreeStats {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Neighbor maintenance
+    // ------------------------------------------------------------------
+
+    /// `peer` entered the active view: new links start eager so fresh
+    /// overlay repairs immediately carry payloads (Plumtree §3.5).
+    pub fn on_neighbor_up(&mut self, peer: I) {
+        if peer == self.me || self.is_neighbor(&peer) {
+            return;
+        }
+        self.eager.insert(peer);
+    }
+
+    /// `peer` left the active view: forget it entirely, including its
+    /// outstanding `IHave` announcements.
+    pub fn on_neighbor_down(&mut self, peer: I) {
+        self.eager.remove(&peer);
+        self.lazy.remove(&peer);
+        for announcers in self.missing.values_mut() {
+            announcers.retain(|(p, _)| *p != peer);
+        }
+    }
+
+    /// Reconciles the eager/lazy sets against a fresh active-view snapshot:
+    /// view members we do not track yet come up (eager), tracked peers that
+    /// left the view go down. This is the adapter that plugs Plumtree into
+    /// any `Membership` implementation without a neighbor-event callback.
+    pub fn sync_neighbors(&mut self, view: &[I]) {
+        let gone: Vec<I> = self
+            .eager
+            .iter()
+            .chain(self.lazy.iter())
+            .filter(|p| !view.contains(p))
+            .copied()
+            .collect();
+        for peer in gone {
+            self.on_neighbor_down(peer);
+        }
+        for peer in view {
+            self.on_neighbor_up(*peer);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast and message handling
+    // ------------------------------------------------------------------
+
+    /// Starts a broadcast at this node: delivers locally, eager-pushes the
+    /// payload and lazily announces it.
+    pub fn broadcast(&mut self, id: MsgId, payload: P, out: &mut PlumtreeOut<I, P>) {
+        if !self.remember(id, 0, payload.clone()) {
+            return; // id collision with a cached broadcast: drop
+        }
+        self.stats.delivered += 1;
+        out.deliveries.push(PlumtreeDelivery { id, round: 0, payload: payload.clone() });
+        self.eager_push(id, 1, payload, None, out);
+        self.lazy_push(id, 1, None, out);
+    }
+
+    /// Handles one Plumtree message received from `from`.
+    pub fn handle_message(
+        &mut self,
+        from: I,
+        message: PlumtreeMessage<P>,
+        out: &mut PlumtreeOut<I, P>,
+    ) {
+        match message {
+            PlumtreeMessage::Gossip { id, round, payload } => {
+                self.on_gossip(from, id, round, payload, out)
+            }
+            PlumtreeMessage::IHave { id, round } => self.on_ihave(from, id, round, out),
+            PlumtreeMessage::Graft { id, round } => self.on_graft(from, id, round, out),
+            PlumtreeMessage::Prune => self.on_prune(from),
+        }
+    }
+
+    /// A missing-message timer armed by an earlier [`TimerRequest`] expired.
+    pub fn on_timer(&mut self, id: MsgId, out: &mut PlumtreeOut<I, P>) {
+        self.timer_armed.remove(&id);
+        if self.has_seen(id) {
+            self.missing.remove(&id);
+            return;
+        }
+        let Some(announcers) = self.missing.get_mut(&id) else {
+            return;
+        };
+        if announcers.is_empty() {
+            self.missing.remove(&id);
+            return;
+        }
+        // Pull from the earliest announcer and move the link into the tree;
+        // if it too is gone, the next expiration tries the next one.
+        let (peer, round) = announcers.remove(0);
+        self.promote_eager(peer);
+        self.stats.grafts_sent += 1;
+        out.outbox.send(peer, PlumtreeMessage::Graft { id, round });
+        self.arm_timer(id, self.config.graft_timeout, out);
+    }
+
+    fn on_gossip(
+        &mut self,
+        from: I,
+        id: MsgId,
+        round: u32,
+        payload: P,
+        out: &mut PlumtreeOut<I, P>,
+    ) {
+        if self.remember(id, round, payload.clone()) {
+            self.stats.delivered += 1;
+            out.deliveries.push(PlumtreeDelivery { id, round, payload: payload.clone() });
+            self.missing.remove(&id);
+            // The sender is our parent in the tree for this message.
+            self.promote_eager(from);
+            self.eager_push(id, round + 1, payload, Some(from), out);
+            self.lazy_push(id, round + 1, Some(from), out);
+        } else {
+            // Redundant payload: demote the link and tell the sender.
+            self.stats.redundant += 1;
+            self.demote_lazy(from);
+            self.stats.prunes_sent += 1;
+            out.outbox.send(from, PlumtreeMessage::Prune);
+        }
+    }
+
+    fn on_ihave(&mut self, from: I, id: MsgId, round: u32, out: &mut PlumtreeOut<I, P>) {
+        if self.has_seen(id) {
+            return;
+        }
+        self.missing.entry(id).or_default().push((from, round));
+        if !self.timer_armed.contains(&id) {
+            self.arm_timer(id, self.config.ihave_timeout, out);
+        }
+    }
+
+    fn on_graft(&mut self, from: I, id: MsgId, _round: u32, out: &mut PlumtreeOut<I, P>) {
+        self.promote_eager(from);
+        if let Some(cached) = self.cache.get(&id) {
+            self.stats.gossip_sent += 1;
+            out.outbox.send(
+                from,
+                PlumtreeMessage::Gossip {
+                    id,
+                    round: cached.round + 1,
+                    payload: cached.payload.clone(),
+                },
+            );
+        }
+    }
+
+    fn on_prune(&mut self, from: I) {
+        self.demote_lazy(from);
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Marks the missing-message timer for `id` armed and asks the runtime
+    /// to schedule it.
+    fn arm_timer(&mut self, id: MsgId, delay: u64, out: &mut PlumtreeOut<I, P>) {
+        self.timer_armed.insert(id);
+        out.timers.push(TimerRequest { id, delay });
+    }
+
+    /// Records `id` as seen and caches its payload, returning `true` on
+    /// first sight. Evictions from the bounded index drop the payload too.
+    fn remember(&mut self, id: MsgId, round: u32, payload: P) -> bool {
+        let (fresh, evicted) = self.seen.insert_evicting(id);
+        if !fresh {
+            return false;
+        }
+        if let Some(old) = evicted {
+            self.cache.remove(&old);
+        }
+        self.cache.insert(id, Cached { round, payload });
+        true
+    }
+
+    fn eager_push(
+        &mut self,
+        id: MsgId,
+        round: u32,
+        payload: P,
+        exclude: Option<I>,
+        out: &mut PlumtreeOut<I, P>,
+    ) {
+        for peer in self.eager.iter().copied().collect::<Vec<_>>() {
+            if Some(peer) == exclude {
+                continue;
+            }
+            self.stats.gossip_sent += 1;
+            out.outbox.send(peer, PlumtreeMessage::Gossip { id, round, payload: payload.clone() });
+        }
+    }
+
+    fn lazy_push(
+        &mut self,
+        id: MsgId,
+        round: u32,
+        exclude: Option<I>,
+        out: &mut PlumtreeOut<I, P>,
+    ) {
+        for peer in self.lazy.iter().copied().collect::<Vec<_>>() {
+            if Some(peer) == exclude {
+                continue;
+            }
+            self.stats.ihave_sent += 1;
+            out.outbox.send(peer, PlumtreeMessage::IHave { id, round });
+        }
+    }
+
+    /// Moves a *known* neighbor into the eager set. Senders that are not in
+    /// the active view (stale links, in-flight membership changes) are left
+    /// alone — the eager/lazy sets stay within the view by construction.
+    fn promote_eager(&mut self, peer: I) {
+        if self.lazy.remove(&peer) {
+            self.eager.insert(peer);
+        }
+    }
+
+    fn demote_lazy(&mut self, peer: I) {
+        if self.eager.remove(&peer) {
+            self.lazy.insert(peer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type State = PlumtreeState<u32, &'static str>;
+
+    fn node_with_neighbors(neighbors: &[u32]) -> State {
+        let mut s = State::new(0, PlumtreeConfig::default());
+        for &p in neighbors {
+            s.on_neighbor_up(p);
+        }
+        s
+    }
+
+    fn sends(
+        out: &mut PlumtreeOut<u32, &'static str>,
+    ) -> Vec<(u32, PlumtreeMessage<&'static str>)> {
+        out.outbox.drain().collect()
+    }
+
+    #[test]
+    fn new_links_start_eager() {
+        let s = node_with_neighbors(&[1, 2, 3]);
+        let mut eager = s.eager_peers();
+        eager.sort_unstable();
+        assert_eq!(eager, vec![1, 2, 3]);
+        assert!(s.lazy_peers().is_empty());
+    }
+
+    #[test]
+    fn self_is_never_a_neighbor() {
+        let mut s = node_with_neighbors(&[]);
+        s.on_neighbor_up(0);
+        assert!(s.eager_peers().is_empty());
+    }
+
+    #[test]
+    fn broadcast_pushes_eager_and_announces_lazy() {
+        let mut s = node_with_neighbors(&[1, 2]);
+        // Demote 2 to lazy via a prune.
+        s.on_prune(2);
+        let mut out = PlumtreeOut::new();
+        s.broadcast(9, "m", &mut out);
+        assert_eq!(out.deliveries.len(), 1);
+        assert_eq!(out.deliveries[0].round, 0);
+        let msgs = sends(&mut out);
+        assert_eq!(msgs.len(), 2);
+        assert!(msgs.iter().any(
+            |(to, m)| *to == 1 && matches!(m, PlumtreeMessage::Gossip { id: 9, round: 1, .. })
+        ));
+        assert!(msgs
+            .iter()
+            .any(|(to, m)| *to == 2 && matches!(m, PlumtreeMessage::IHave { id: 9, round: 1 })));
+    }
+
+    #[test]
+    fn duplicate_gossip_prunes_the_link() {
+        let mut s = node_with_neighbors(&[1, 2]);
+        let mut out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::Gossip { id: 5, round: 1, payload: "m" }, &mut out);
+        assert_eq!(out.deliveries.len(), 1);
+        out = PlumtreeOut::new();
+        s.handle_message(2, PlumtreeMessage::Gossip { id: 5, round: 2, payload: "m" }, &mut out);
+        assert!(out.deliveries.is_empty(), "duplicates do not deliver");
+        let msgs = sends(&mut out);
+        assert_eq!(msgs, vec![(2, PlumtreeMessage::Prune)]);
+        assert!(s.lazy_peers().contains(&2), "redundant sender demoted to lazy");
+        assert!(s.eager_peers().contains(&1), "tree parent stays eager");
+        assert_eq!(s.stats().redundant, 1);
+    }
+
+    #[test]
+    fn first_gossip_forwards_to_other_eager_peers_only() {
+        let mut s = node_with_neighbors(&[1, 2, 3]);
+        let mut out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::Gossip { id: 4, round: 2, payload: "m" }, &mut out);
+        let msgs = sends(&mut out);
+        let targets: Vec<u32> = msgs.iter().map(|(to, _)| *to).collect();
+        assert!(!targets.contains(&1), "never echo back to the sender");
+        assert_eq!(msgs.len(), 2);
+        for (_, m) in &msgs {
+            assert!(matches!(m, PlumtreeMessage::Gossip { id: 4, round: 3, .. }));
+        }
+    }
+
+    #[test]
+    fn ihave_arms_one_timer_and_records_announcers() {
+        let mut s = node_with_neighbors(&[1, 2]);
+        let mut out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::IHave { id: 6, round: 3 }, &mut out);
+        assert_eq!(out.timers, vec![TimerRequest { id: 6, delay: s.config().ihave_timeout }]);
+        out = PlumtreeOut::new();
+        s.handle_message(2, PlumtreeMessage::IHave { id: 6, round: 4 }, &mut out);
+        assert!(out.timers.is_empty(), "second announcement reuses the armed timer");
+    }
+
+    #[test]
+    fn ihave_for_delivered_message_is_ignored() {
+        let mut s = node_with_neighbors(&[1]);
+        let mut out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::Gossip { id: 6, round: 1, payload: "m" }, &mut out);
+        out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::IHave { id: 6, round: 1 }, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn timer_grafts_from_first_announcer_and_rearms() {
+        let mut s = node_with_neighbors(&[1, 2]);
+        s.on_prune(1);
+        s.on_prune(2);
+        let mut out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::IHave { id: 6, round: 3 }, &mut out);
+        s.handle_message(2, PlumtreeMessage::IHave { id: 6, round: 5 }, &mut out);
+        out = PlumtreeOut::new();
+        s.on_timer(6, &mut out);
+        let msgs = sends(&mut out);
+        assert_eq!(msgs, vec![(1, PlumtreeMessage::Graft { id: 6, round: 3 })]);
+        assert!(s.eager_peers().contains(&1), "grafted link rejoins the tree");
+        assert_eq!(out.timers, vec![TimerRequest { id: 6, delay: s.config().graft_timeout }]);
+        // Second expiration tries the next announcer.
+        out = PlumtreeOut::new();
+        s.on_timer(6, &mut out);
+        let msgs = sends(&mut out);
+        assert_eq!(msgs, vec![(2, PlumtreeMessage::Graft { id: 6, round: 5 })]);
+        // Third expiration has nobody left: it stops quietly.
+        out = PlumtreeOut::new();
+        s.on_timer(6, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn timer_after_delivery_is_a_no_op() {
+        let mut s = node_with_neighbors(&[1, 2]);
+        let mut out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::IHave { id: 6, round: 3 }, &mut out);
+        s.handle_message(2, PlumtreeMessage::Gossip { id: 6, round: 2, payload: "m" }, &mut out);
+        out = PlumtreeOut::new();
+        s.on_timer(6, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn graft_returns_cached_payload_and_promotes() {
+        let mut s = node_with_neighbors(&[1, 2]);
+        s.on_prune(2);
+        let mut out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::Gossip { id: 3, round: 1, payload: "m" }, &mut out);
+        out = PlumtreeOut::new();
+        s.handle_message(2, PlumtreeMessage::Graft { id: 3, round: 1 }, &mut out);
+        let msgs = sends(&mut out);
+        assert_eq!(msgs.len(), 1);
+        assert!(matches!(msgs[0], (2, PlumtreeMessage::Gossip { id: 3, round: 2, payload: "m" })));
+        assert!(s.eager_peers().contains(&2));
+    }
+
+    #[test]
+    fn graft_for_unknown_id_sends_nothing() {
+        let mut s = node_with_neighbors(&[1]);
+        let mut out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::Graft { id: 99, round: 1 }, &mut out);
+        assert!(sends(&mut out).is_empty());
+    }
+
+    #[test]
+    fn neighbor_down_forgets_link_and_announcements() {
+        let mut s = node_with_neighbors(&[1, 2]);
+        let mut out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::IHave { id: 6, round: 3 }, &mut out);
+        s.on_neighbor_down(1);
+        assert!(!s.is_neighbor(&1));
+        out = PlumtreeOut::new();
+        s.on_timer(6, &mut out);
+        assert!(out.is_empty(), "downed announcer is never grafted");
+    }
+
+    #[test]
+    fn sync_neighbors_diffs_the_view() {
+        let mut s = node_with_neighbors(&[1, 2]);
+        s.on_prune(2); // 2 is lazy
+        s.sync_neighbors(&[2, 3]);
+        assert!(!s.is_neighbor(&1), "1 left the view");
+        assert!(s.lazy_peers().contains(&2), "2 keeps its lazy role");
+        assert!(s.eager_peers().contains(&3), "3 comes up eager");
+    }
+
+    #[test]
+    fn eager_and_lazy_stay_disjoint() {
+        let mut s = node_with_neighbors(&[1, 2, 3]);
+        let mut out = PlumtreeOut::new();
+        s.on_prune(1);
+        s.handle_message(1, PlumtreeMessage::Graft { id: 1, round: 0 }, &mut out);
+        s.on_prune(2);
+        s.on_prune(2);
+        for p in [1u32, 2, 3] {
+            assert!(
+                !(s.eager_peers().contains(&p) && s.lazy_peers().contains(&p)),
+                "peer {p} in both sets"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_eviction_drops_payloads() {
+        let mut s: PlumtreeState<u32, &'static str> =
+            PlumtreeState::new(0, PlumtreeConfig::default().with_cache_capacity(2));
+        let mut out = PlumtreeOut::new();
+        for id in 0..3u128 {
+            s.broadcast(id, "m", &mut out);
+        }
+        assert_eq!(s.cached_len(), 2, "cache tracks the bounded index");
+        assert!(!s.has_seen(0), "oldest id evicted");
+        out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::Graft { id: 0, round: 0 }, &mut out);
+        assert!(sends(&mut out).is_empty(), "evicted payloads cannot be grafted");
+    }
+
+    #[test]
+    fn broadcast_id_collision_is_dropped() {
+        let mut s = node_with_neighbors(&[1]);
+        let mut out = PlumtreeOut::new();
+        s.broadcast(7, "a", &mut out);
+        out = PlumtreeOut::new();
+        s.broadcast(7, "b", &mut out);
+        assert!(out.is_empty());
+    }
+}

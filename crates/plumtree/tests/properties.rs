@@ -1,0 +1,151 @@
+//! Property-based tests of the Plumtree state machine invariants:
+//!
+//! * eager and lazy sets stay disjoint and within the active view under
+//!   arbitrary interleavings of messages, timers and neighbor churn;
+//! * a full in-memory overlay delivers every broadcast to every node (the
+//!   tree spans the network), with and without pruning warm-up.
+
+use hyparview_plumtree::{PlumtreeConfig, PlumtreeMessage, PlumtreeOut, PlumtreeState};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A tiny synchronous network of Plumtree nodes over a fixed overlay:
+/// messages are exchanged in FIFO order, timers fire after all traffic
+/// quiesces (the worst case for repair latency).
+struct MiniNet {
+    nodes: Vec<PlumtreeState<u32, u64>>,
+    /// `adjacency[v]` = active view of node `v` (symmetric).
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl MiniNet {
+    fn ring_with_chords(n: usize, chord_stride: usize) -> MiniNet {
+        let mut adjacency = vec![Vec::new(); n];
+        let mut link = |a: usize, b: usize| {
+            if a != b && !adjacency[a].contains(&(b as u32)) {
+                adjacency[a].push(b as u32);
+                adjacency[b].push(a as u32);
+            }
+        };
+        for v in 0..n {
+            link(v, (v + 1) % n);
+            if chord_stride > 1 {
+                link(v, (v + chord_stride) % n);
+            }
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for (v, view) in adjacency.iter().enumerate() {
+            let mut node = PlumtreeState::new(v as u32, PlumtreeConfig::default());
+            node.sync_neighbors(view);
+            nodes.push(node);
+        }
+        MiniNet { nodes, adjacency }
+    }
+
+    /// Runs one broadcast to quiescence (including timer-driven grafts) and
+    /// returns how many nodes delivered it.
+    fn broadcast(&mut self, origin: usize, id: u64) -> usize {
+        let mut out = PlumtreeOut::new();
+        self.nodes[origin].broadcast(id as u128, id, &mut out);
+        let mut delivered = out.deliveries.len();
+        let mut wire: VecDeque<(u32, u32, PlumtreeMessage<u64>)> = VecDeque::new();
+        let mut timers: VecDeque<(u32, u128)> = VecDeque::new();
+        let enqueue = |from: u32,
+                       out: &mut PlumtreeOut<u32, u64>,
+                       wire: &mut VecDeque<(u32, u32, PlumtreeMessage<u64>)>,
+                       timers: &mut VecDeque<(u32, u128)>| {
+            for (to, msg) in out.outbox.drain() {
+                wire.push_back((from, to, msg));
+            }
+            for t in out.timers.drain(..) {
+                timers.push_back((from, t.id));
+            }
+        };
+        enqueue(origin as u32, &mut out, &mut wire, &mut timers);
+        loop {
+            while let Some((from, to, msg)) = wire.pop_front() {
+                let mut out = PlumtreeOut::new();
+                self.nodes[to as usize].handle_message(from, msg, &mut out);
+                delivered += out.deliveries.len();
+                enqueue(to, &mut out, &mut wire, &mut timers);
+            }
+            // All traffic quiesced: fire pending timers (worst case).
+            let Some((node, id)) = timers.pop_front() else { break };
+            let mut out = PlumtreeOut::new();
+            self.nodes[node as usize].on_timer(id, &mut out);
+            delivered += out.deliveries.len();
+            enqueue(node, &mut out, &mut wire, &mut timers);
+        }
+        delivered
+    }
+
+    fn check_invariants(&self) {
+        for (v, node) in self.nodes.iter().enumerate() {
+            let eager = node.eager_peers();
+            let lazy = node.lazy_peers();
+            for p in &eager {
+                assert!(!lazy.contains(p), "n{v}: peer {p} in both eager and lazy");
+                assert!(self.adjacency[v].contains(p), "n{v}: eager peer {p} outside view");
+            }
+            for p in &lazy {
+                assert!(self.adjacency[v].contains(p), "n{v}: lazy peer {p} outside view");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every broadcast over a connected overlay reaches every node, the
+    /// per-message tree spans the network, and the eager/lazy invariants
+    /// hold before and after pruning converges.
+    #[test]
+    fn broadcasts_span_the_overlay(n in 4usize..40, stride in 2usize..7, origin_salt in any::<u64>()) {
+        let mut net = MiniNet::ring_with_chords(n, stride % n.max(2));
+        for round in 0..5u64 {
+            let origin = ((origin_salt.wrapping_add(round)) % n as u64) as usize;
+            let delivered = net.broadcast(origin, round);
+            prop_assert_eq!(delivered, n, "broadcast {} did not span the overlay", round);
+            net.check_invariants();
+        }
+    }
+
+    /// After the tree converges, payload traffic drops to one gossip per
+    /// overlay edge of the spanning tree: stats stay consistent and
+    /// redundant receipts vanish in steady state.
+    #[test]
+    fn pruning_converges_to_a_tree(n in 4usize..30, stride in 2usize..5) {
+        let mut net = MiniNet::ring_with_chords(n, stride % n.max(2));
+        for warmup in 0..8u64 {
+            net.broadcast(0, warmup);
+        }
+        let redundant_before: u64 = net.nodes.iter().map(|s| s.stats().redundant).sum();
+        net.broadcast(0, 100);
+        let redundant_after: u64 = net.nodes.iter().map(|s| s.stats().redundant).sum();
+        prop_assert_eq!(redundant_after, redundant_before,
+            "steady-state broadcast produced redundant payload receipts");
+        net.check_invariants();
+    }
+
+    /// Arbitrary neighbor churn keeps the state machine's sets disjoint and
+    /// inside the view, and broadcasts still deliver wherever the overlay
+    /// stays connected through the synced views.
+    #[test]
+    fn neighbor_churn_preserves_invariants(n in 6usize..24, drops in proptest::collection::vec((0usize..24, 0usize..24), 1..12)) {
+        let mut net = MiniNet::ring_with_chords(n, 2);
+        net.broadcast(0, 1);
+        for (a, b) in drops {
+            let (a, b) = (a % n, b % n);
+            if a == b { continue; }
+            // Drop the symmetric link a↔b if present, then resync.
+            net.adjacency[a].retain(|p| *p != b as u32);
+            net.adjacency[b].retain(|p| *p != a as u32);
+            let view_a = net.adjacency[a].clone();
+            let view_b = net.adjacency[b].clone();
+            net.nodes[a].sync_neighbors(&view_a);
+            net.nodes[b].sync_neighbors(&view_b);
+        }
+        net.check_invariants();
+    }
+}

@@ -69,6 +69,12 @@ impl Scenario {
         self
     }
 
+    /// Selects the broadcast dissemination mode (flood or Plumtree).
+    pub fn with_broadcast_mode(mut self, mode: hyparview_plumtree::BroadcastMode) -> Self {
+        self.sim_config.broadcast_mode = mode;
+        self
+    }
+
     /// Sets the contact policy.
     pub fn with_contact(mut self, contact: ContactPolicy) -> Self {
         self.contact = contact;

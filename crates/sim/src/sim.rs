@@ -16,6 +16,9 @@
 use crate::event::EventQueue;
 use hyparview_core::SimId;
 use hyparview_gossip::{BroadcastReport, GossipState, Membership, Outbox};
+use hyparview_plumtree::{
+    BroadcastMode, MsgId, PlumtreeConfig, PlumtreeMessage, PlumtreeOut, PlumtreeState,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -58,6 +61,13 @@ pub struct SimConfig {
     /// CyclonAcked cleans its view on a failed send but does not
     /// retransmit. Enabling this is the "acked retry" ablation.
     pub retry_failed_gossip: bool,
+    /// How broadcast payloads are disseminated: the paper's eager flood
+    /// (default) or Plumtree's epidemic broadcast tree.
+    pub broadcast_mode: BroadcastMode,
+    /// Plumtree parameters (used only in [`BroadcastMode::Plumtree`]).
+    /// Timer units are virtual time units; the defaults comfortably exceed
+    /// the fixed per-hop latency of 1.
+    pub plumtree: PlumtreeConfig,
 }
 
 impl Default for SimConfig {
@@ -67,6 +77,8 @@ impl Default for SimConfig {
             latency: Latency::Fixed(1),
             max_drain_events: 200_000_000,
             retry_failed_gossip: false,
+            broadcast_mode: BroadcastMode::Flood,
+            plumtree: PlumtreeConfig::default(),
         }
     }
 }
@@ -87,6 +99,18 @@ impl SimConfig {
     /// Enables retrying failed gossip transmissions (ablation).
     pub fn with_retry_failed_gossip(mut self, enabled: bool) -> Self {
         self.retry_failed_gossip = enabled;
+        self
+    }
+
+    /// Selects the broadcast dissemination mode.
+    pub fn with_broadcast_mode(mut self, mode: BroadcastMode) -> Self {
+        self.broadcast_mode = mode;
+        self
+    }
+
+    /// Sets the Plumtree parameters.
+    pub fn with_plumtree(mut self, config: PlumtreeConfig) -> Self {
+        self.plumtree = config;
         self
     }
 }
@@ -122,12 +146,23 @@ enum Payload<Msg> {
     ConnectionLost {
         dead: SimId,
     },
+    /// One Plumtree protocol message ([`BroadcastMode::Plumtree`] only).
+    Plumtree(PlumtreeMessage<()>),
+    /// A Plumtree missing-message timer expiring at its owner
+    /// (`from == to`), scheduled `delay` virtual time units after the
+    /// [`hyparview_plumtree::TimerRequest`] was emitted.
+    PlumtreeTimer {
+        id: MsgId,
+    },
 }
 
 #[derive(Debug)]
 struct Slot<M> {
     memb: M,
     gossip: GossipState,
+    /// Present only in [`BroadcastMode::Plumtree`]; flood-mode slots carry
+    /// no Plumtree state (the paper's experiments run at n = 10,000).
+    plumtree: Option<PlumtreeState<SimId, ()>>,
     alive: bool,
 }
 
@@ -141,10 +176,25 @@ struct Track {
     sent: usize,
     redundant: usize,
     to_dead: usize,
+    control: usize,
     max_hops: u32,
     /// Gossip targets already used per sender for this broadcast, so that
     /// retry selection (CyclonAcked) does not repeat a target.
     sent_by: HashMap<usize, Vec<SimId>>,
+}
+
+impl Track {
+    const NONE: u64 = u64::MAX;
+
+    /// Whether a broadcast is being accounted right now.
+    fn active(&self) -> bool {
+        self.id != Track::NONE
+    }
+
+    /// Whether Plumtree message id `id` belongs to the tracked broadcast.
+    fn matches(&self, id: MsgId) -> bool {
+        self.active() && self.id as MsgId == id
+    }
 }
 
 /// Discrete-event simulator generic over the membership protocol.
@@ -205,8 +255,14 @@ impl<M: Membership<SimId>> Sim<M> {
         let seed =
             self.factory_seed.wrapping_add((id.index() as u64).wrapping_mul(0xA24B_AED4_963E_E407));
         let memb = (self.factory)(id, seed);
-        self.nodes.push(Slot { memb, gossip: GossipState::new(), alive: true });
+        let plumtree = self.make_plumtree(id);
+        self.nodes.push(Slot { memb, gossip: GossipState::new(), plumtree, alive: true });
         id
+    }
+
+    fn make_plumtree(&self, id: SimId) -> Option<PlumtreeState<SimId, ()>> {
+        (self.config.broadcast_mode == BroadcastMode::Plumtree)
+            .then(|| PlumtreeState::new(id, self.config.plumtree.clone()))
     }
 
     /// Number of nodes ever added.
@@ -242,6 +298,19 @@ impl<M: Membership<SimId>> Sim<M> {
     /// Mutable access to a node's protocol instance.
     pub fn node_mut(&mut self, id: SimId) -> &mut M {
         &mut self.nodes[id.index()].memb
+    }
+
+    /// Shared access to a node's Plumtree broadcast state (tree inspection:
+    /// eager/lazy sets, cache fill, per-node counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the simulation runs in [`BroadcastMode::Plumtree`].
+    pub fn plumtree_node(&self, id: SimId) -> &PlumtreeState<SimId, ()> {
+        self.nodes[id.index()]
+            .plumtree
+            .as_ref()
+            .expect("plumtree_node requires BroadcastMode::Plumtree")
     }
 
     /// Whether `id` is alive.
@@ -282,6 +351,7 @@ impl<M: Membership<SimId>> Sim<M> {
         let mut out = Outbox::new();
         self.nodes[joiner.index()].memb.join(contact, &mut out);
         self.dispatch(joiner, &mut out);
+        self.sync_plumtree(joiner.index());
         self.drain();
     }
 
@@ -303,6 +373,7 @@ impl<M: Membership<SimId>> Sim<M> {
                 let mut out = Outbox::new();
                 self.nodes[id.index()].memb.on_cycle(&mut out);
                 self.dispatch(id, &mut out);
+                self.sync_plumtree(id.index());
                 self.drain();
             }
         }
@@ -363,6 +434,7 @@ impl<M: Membership<SimId>> Sim<M> {
         slot.memb = (self.factory)(id, seed);
         slot.gossip = GossipState::new();
         slot.alive = true;
+        self.nodes[id.index()].plumtree = self.make_plumtree(id);
     }
 
     // ------------------------------------------------------------------
@@ -388,15 +460,34 @@ impl<M: Membership<SimId>> Sim<M> {
             ..Track::default()
         };
 
-        // The origin delivers its own message at hop 0 and floods.
-        self.nodes[origin.index()].gossip.deliver(id, 0);
-        track.delivered += 1;
-        let targets = self.nodes[origin.index()].memb.broadcast_targets(self.config.fanout, None);
-        track.sent_by.insert(origin.index(), targets.clone());
-        for t in targets {
-            track.sent += 1;
-            let latency = self.config.latency.sample(&mut self.rng);
-            self.queue.push(self.time + latency, origin, t, Payload::Gossip { id, hops: 1 });
+        match self.config.broadcast_mode {
+            BroadcastMode::Flood => {
+                // The origin delivers its own message at hop 0 and floods.
+                self.nodes[origin.index()].gossip.deliver(id, 0);
+                track.delivered += 1;
+                let targets =
+                    self.nodes[origin.index()].memb.broadcast_targets(self.config.fanout, None);
+                track.sent_by.insert(origin.index(), targets.clone());
+                for t in targets {
+                    track.sent += 1;
+                    let latency = self.config.latency.sample(&mut self.rng);
+                    self.queue.push(
+                        self.time + latency,
+                        origin,
+                        t,
+                        Payload::Gossip { id, hops: 1 },
+                    );
+                }
+            }
+            BroadcastMode::Plumtree => {
+                // Make sure the origin's tree links reflect its view before
+                // the first push (a node may broadcast before ever having
+                // handled a message).
+                self.sync_plumtree(origin.index());
+                let mut out = PlumtreeOut::new();
+                self.plumtree_mut(origin.index()).broadcast(id as MsgId, (), &mut out);
+                self.apply_plumtree_out(origin, out, &mut track);
+            }
         }
         self.drain_with_track(&mut track);
 
@@ -408,6 +499,7 @@ impl<M: Membership<SimId>> Sim<M> {
             sent: track.sent,
             redundant: track.redundant,
             to_dead: track.to_dead,
+            control: track.control,
             max_hops: track.max_hops,
         }
     }
@@ -462,7 +554,7 @@ impl<M: Membership<SimId>> Sim<M> {
 
     /// Drains all pending events (no broadcast in flight).
     pub fn drain(&mut self) {
-        let mut no_track = Track { id: u64::MAX, ..Track::default() };
+        let mut no_track = Track { id: Track::NONE, ..Track::default() };
         self.drain_with_track(&mut no_track);
     }
 
@@ -490,6 +582,17 @@ impl<M: Membership<SimId>> Sim<M> {
                         self.nodes[event.to.index()].memb.on_send_failed(dead, &mut out);
                         let to = event.to;
                         self.dispatch(to, &mut out);
+                        self.sync_plumtree(to.index());
+                    }
+                }
+                Payload::Plumtree(message) => {
+                    self.deliver_plumtree(event.from, event.to, message, track);
+                }
+                Payload::PlumtreeTimer { id } => {
+                    if self.nodes[event.to.index()].alive {
+                        let mut out = PlumtreeOut::new();
+                        self.plumtree_mut(event.to.index()).on_timer(id, &mut out);
+                        self.apply_plumtree_out(event.to, out, track);
                     }
                 }
             }
@@ -506,6 +609,117 @@ impl<M: Membership<SimId>> Sim<M> {
         let mut out = Outbox::new();
         self.nodes[to.index()].memb.handle_message(from, message, &mut out);
         self.dispatch(to, &mut out);
+        self.sync_plumtree(to.index());
+    }
+
+    /// Delivers one Plumtree message, with per-broadcast accounting for the
+    /// tracked id: payload receipts land in the delivered/redundant/to_dead
+    /// buckets exactly like flood transmissions; `IHave`/`Graft`/`Prune`
+    /// count as control traffic.
+    fn deliver_plumtree(
+        &mut self,
+        from: SimId,
+        to: SimId,
+        message: PlumtreeMessage<()>,
+        track: &mut Track,
+    ) {
+        let is_payload = message.carries_payload();
+        let tracked = message.id().map(|id| track.matches(id)).unwrap_or(false);
+        if !self.nodes[to.index()].alive {
+            if is_payload {
+                self.stats.gossip_to_dead += 1;
+                if tracked {
+                    track.to_dead += 1;
+                }
+            } else {
+                self.stats.membership_to_dead += 1;
+            }
+            self.notify_send_failure(from, to);
+            return;
+        }
+        if is_payload {
+            self.stats.gossip_delivered += 1;
+            if tracked {
+                if let Some(id) = message.id() {
+                    if self.plumtree_mut(to.index()).has_seen(id) {
+                        track.redundant += 1;
+                    }
+                }
+            }
+        } else {
+            self.stats.membership_delivered += 1;
+        }
+        let mut out = PlumtreeOut::new();
+        self.plumtree_mut(to.index()).handle_message(from, message, &mut out);
+        self.apply_plumtree_out(to, out, track);
+    }
+
+    /// The node's Plumtree state; only reachable in Plumtree mode (the
+    /// events and call sites that lead here exist only in that mode).
+    fn plumtree_mut(&mut self, node: usize) -> &mut PlumtreeState<SimId, ()> {
+        self.nodes[node].plumtree.as_mut().expect("Plumtree event outside Plumtree mode")
+    }
+
+    /// Ships the effects of one Plumtree state-machine step: sends become
+    /// latency-delayed events, timer requests become self-addressed events,
+    /// deliveries feed the gossip bookkeeping and the broadcast accounting.
+    fn apply_plumtree_out(
+        &mut self,
+        node: SimId,
+        mut out: PlumtreeOut<SimId, ()>,
+        track: &mut Track,
+    ) {
+        for (to, message) in out.outbox.drain() {
+            match &message {
+                PlumtreeMessage::Gossip { id, .. } => {
+                    if track.matches(*id) {
+                        track.sent += 1;
+                    }
+                }
+                PlumtreeMessage::IHave { id, .. } | PlumtreeMessage::Graft { id, .. } => {
+                    if track.matches(*id) {
+                        track.control += 1;
+                    }
+                }
+                PlumtreeMessage::Prune => {
+                    // Prunes carry no id; attribute them to the broadcast
+                    // whose dissemination provoked them (broadcasts are
+                    // disseminated one at a time).
+                    if track.active() {
+                        track.control += 1;
+                    }
+                }
+            }
+            let latency = self.config.latency.sample(&mut self.rng);
+            self.queue.push(self.time + latency, node, to, Payload::Plumtree(message));
+        }
+        for delivery in out.deliveries.drain(..) {
+            let first = self.nodes[node.index()].gossip.deliver(delivery.id as u64, delivery.round);
+            if first && track.matches(delivery.id) {
+                track.delivered += 1;
+                track.max_hops = track.max_hops.max(delivery.round);
+            }
+        }
+        for timer in out.timers.drain(..) {
+            self.queue.push(
+                self.time + timer.delay,
+                node,
+                node,
+                Payload::PlumtreeTimer { id: timer.id },
+            );
+        }
+    }
+
+    /// Reconciles a node's Plumtree eager/lazy sets with its membership
+    /// out-view (no-op in flood mode). HyParView's `NeighborUp` /
+    /// `NeighborDown` transitions surface here as view diffs, which also
+    /// covers protocols without neighbor callbacks.
+    fn sync_plumtree(&mut self, node: usize) {
+        if self.config.broadcast_mode != BroadcastMode::Plumtree {
+            return;
+        }
+        let view = self.nodes[node].memb.out_view();
+        self.plumtree_mut(node).sync_neighbors(&view);
     }
 
     fn deliver_gossip(&mut self, from: SimId, to: SimId, id: u64, hops: u32, track: &mut Track) {
@@ -557,6 +771,7 @@ impl<M: Membership<SimId>> Sim<M> {
         let mut out = Outbox::new();
         self.nodes[sender.index()].memb.on_send_failed(dead, &mut out);
         self.dispatch(sender, &mut out);
+        self.sync_plumtree(sender.index());
     }
 
     /// Ack-based gossip retry (ablation, off by default): the failed
@@ -733,5 +948,156 @@ mod tests {
         let a = sim.add_node();
         sim.fail_nodes(&[a]);
         sim.broadcast_from(a);
+    }
+
+    // ------------------------------------------------------------------
+    // Plumtree mode
+    // ------------------------------------------------------------------
+
+    fn plumtree_sim(seed: u64) -> Sim<HyParViewMembership<SimId>> {
+        let config = SimConfig::default().with_broadcast_mode(BroadcastMode::Plumtree);
+        Sim::new(config, seed, |id, seed| {
+            HyParViewMembership::new(id, Config::default(), seed).unwrap()
+        })
+    }
+
+    fn build_plumtree_overlay(seed: u64, n: usize) -> Sim<HyParViewMembership<SimId>> {
+        let mut sim = plumtree_sim(seed);
+        let contact = sim.add_node();
+        for _ in 1..n {
+            let id = sim.add_node();
+            sim.join(id, contact);
+        }
+        sim.run_cycles(5);
+        sim
+    }
+
+    #[test]
+    fn plumtree_broadcast_is_atomic_on_stable_overlay() {
+        let mut sim = build_plumtree_overlay(21, 50);
+        let origin = SimId::new(0);
+        let report = sim.broadcast_from(origin);
+        assert_eq!(report.alive, 50);
+        assert!(
+            report.is_atomic(),
+            "first Plumtree broadcast must span: {}/{}",
+            report.delivered,
+            report.alive
+        );
+    }
+
+    #[test]
+    fn plumtree_prunes_to_near_zero_redundancy() {
+        let mut sim = build_plumtree_overlay(22, 60);
+        let origin = SimId::new(0);
+        // Warm-up: the first broadcasts carve the tree out of the overlay.
+        for _ in 0..10 {
+            sim.broadcast_from(origin);
+        }
+        let report = sim.broadcast_from(origin);
+        assert!(report.is_atomic(), "steady state must stay atomic");
+        assert_eq!(report.redundant, 0, "converged tree sends no duplicate payloads");
+        assert_eq!(report.sent, report.delivered - 1, "payloads traverse exactly N-1 links");
+        assert!(report.rmr().abs() < 1e-9, "RMR of a spanning tree is 0, got {}", report.rmr());
+    }
+
+    #[test]
+    fn plumtree_eager_and_lazy_stay_within_active_view() {
+        let mut sim = build_plumtree_overlay(23, 40);
+        let origin = SimId::new(0);
+        for _ in 0..5 {
+            sim.broadcast_from(origin);
+        }
+        sim.fail_fraction(0.2);
+        sim.broadcast_random();
+        sim.run_cycles(2);
+        for id in sim.alive_ids() {
+            let view = sim.node(id).out_view();
+            let pt = sim.plumtree_node(id);
+            for peer in pt.eager_peers() {
+                assert!(view.contains(&peer), "{id}: eager peer {peer} outside active view");
+                assert!(!pt.lazy_peers().contains(&peer), "{id}: {peer} in both sets");
+            }
+            for peer in pt.lazy_peers() {
+                assert!(view.contains(&peer), "{id}: lazy peer {peer} outside active view");
+            }
+        }
+    }
+
+    #[test]
+    fn plumtree_accounting_balances() {
+        let mut sim = build_plumtree_overlay(24, 50);
+        for _ in 0..5 {
+            sim.broadcast_random();
+        }
+        sim.fail_fraction(0.3);
+        let report = sim.broadcast_random();
+        assert_eq!(
+            report.sent,
+            (report.delivered - 1) + report.redundant + report.to_dead,
+            "every payload send lands in exactly one bucket: {report:?}"
+        );
+    }
+
+    #[test]
+    fn plumtree_graft_restores_delivery_after_eager_crash() {
+        // Run Plumtree over *Cyclon*: no standing connections, so nobody is
+        // told about the crash — the only mechanism that can route around
+        // dead tree links during the broadcast is the IHave-timer → Graft
+        // repair. (Over HyParView the TCP failure detector additionally
+        // repairs the overlay itself; using Cyclon isolates the graft path
+        // and exercises the any-Membership seam.)
+        use hyparview_baselines::{Cyclon, CyclonConfig};
+        let config = SimConfig::default().with_broadcast_mode(BroadcastMode::Plumtree);
+        let mut sim = Sim::new(config, 25, |id, seed| Cyclon::new(id, CyclonConfig::paper(), seed));
+        let contact = sim.add_node();
+        for _ in 1..60 {
+            let id = sim.add_node();
+            sim.join(id, contact);
+        }
+        sim.run_cycles(5);
+        let origin = SimId::new(0);
+        for _ in 0..10 {
+            sim.broadcast_from(origin);
+        }
+        let grafts_before: u64 =
+            sim.alive_ids().iter().map(|id| sim.plumtree_node(*id).stats().grafts_sent).sum();
+        // Crash a fifth of the overlay, tree links included. Views are now
+        // stale and stay stale (no membership cycle runs).
+        sim.fail_fraction(0.2);
+        assert!(sim.is_alive(origin), "seed 25 must keep the origin alive");
+        let report = sim.broadcast_from(origin);
+        let grafts_after: u64 =
+            sim.alive_ids().iter().map(|id| sim.plumtree_node(*id).stats().grafts_sent).sum();
+        assert!(
+            grafts_after > grafts_before,
+            "crashed tree links must be repaired by Grafts ({grafts_before} -> {grafts_after})"
+        );
+        assert!(
+            report.reliability() > 0.95,
+            "graft repair should restore near-full delivery, got {}",
+            report.reliability()
+        );
+    }
+
+    #[test]
+    fn plumtree_mode_is_deterministic() {
+        let run = |seed: u64| {
+            let mut sim = build_plumtree_overlay(seed, 40);
+            sim.fail_fraction(0.3);
+            let r = sim.broadcast_random();
+            (r.delivered, r.sent, r.redundant, r.control, r.max_hops, *sim.stats())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn flood_reports_have_no_control_traffic() {
+        let mut sim = hyparview_sim(26);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.join(b, a);
+        let report = sim.broadcast_from(a);
+        assert_eq!(report.control, 0);
     }
 }

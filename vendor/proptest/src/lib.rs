@@ -1,6 +1,6 @@
 //! Minimal stand-in for the parts of `proptest` this workspace uses: the
-//! [`proptest!`] / [`prop_assert!`] / [`prop_oneof!`] macros, [`any`],
-//! ranges / tuples / [`Just`] as strategies, `prop_map` / `prop_flat_map`,
+//! [`proptest!`] / [`prop_assert!`] / [`prop_oneof!`] macros, [`any`](arbitrary::any),
+//! ranges / tuples / [`Just`](strategy::Just) as strategies, `prop_map` / `prop_flat_map`,
 //! [`collection::vec`] and [`option::of`].
 //!
 //! Compared to the real crate there is **no shrinking** and no persisted
