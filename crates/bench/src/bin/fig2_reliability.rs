@@ -3,14 +3,32 @@
 //!
 //! ```text
 //! cargo run --release -p hyparview-bench --bin fig2_reliability -- --quick
+//! cargo run --release -p hyparview-bench --bin fig2_reliability -- --smoke --assert --json fig2.json
 //! ```
+//!
+//! `--json PATH` writes the table as a JSON artifact; `--assert` exits
+//! nonzero unless HyParView reproduces the paper's headline: 100% mean
+//! reliability through 50% failures and ≥ 90% through 90% failures.
 
 use hyparview_bench::experiments::reliability_after_failures;
+use hyparview_bench::json::{array, JsonObject};
 use hyparview_bench::table::{pct, render};
 use hyparview_bench::{Params, ALL_PROTOCOLS, FIG2_FAILURES};
+use hyparview_sim::protocols::ProtocolKind;
 
 fn main() {
-    let (params, _) = Params::default().apply_args(std::env::args().skip(1));
+    let (params, rest) = Params::default().apply_args(std::env::args().skip(1));
+    let mut json_path: Option<String> = None;
+    let mut assert_mode = false;
+    let mut rest_iter = rest.iter();
+    while let Some(arg) = rest_iter.next() {
+        match arg.as_str() {
+            "--json" => json_path = rest_iter.next().cloned(),
+            "--assert" => assert_mode = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
     println!("# Figure 2 — reliability for {} messages after massive failures", params.messages);
     println!("# {}", params.describe());
 
@@ -31,4 +49,63 @@ fn main() {
     println!("{}", render(&headers, &rows));
     println!("(paper: HyParView ~100% up to 90%, ~90% at 95%; CyclonAcked competitive to 70%;");
     println!(" Cyclon and Scamp below 50% reliability for failure rates above 50%)");
+
+    if let Some(path) = json_path {
+        let json = JsonObject::new()
+            .str("experiment", "fig2_reliability")
+            .str("params", &params.describe())
+            .raw(
+                "rows",
+                array(rows_data.iter().map(|row| {
+                    JsonObject::new()
+                        .num("failure", row.failure)
+                        .raw(
+                            "cells",
+                            array(row.cells.iter().map(|c| {
+                                JsonObject::new()
+                                    .str("protocol", c.kind.label())
+                                    .num("mean_reliability", c.mean_reliability)
+                                    .num("min_reliability", c.min_reliability)
+                                    .num("accuracy_after", c.accuracy_after)
+                                    .build()
+                            })),
+                        )
+                        .build()
+                })),
+            )
+            .build();
+        std::fs::write(&path, json).expect("write JSON results");
+        println!("(JSON results written to {path})");
+    }
+
+    if assert_mode {
+        let mut failures = Vec::new();
+        for row in &rows_data {
+            let Some(hpv) = row.cells.iter().find(|c| c.kind == ProtocolKind::HyParView) else {
+                continue;
+            };
+            if row.failure <= 0.5 && hpv.mean_reliability < 0.9999 {
+                failures.push(format!(
+                    "HyParView at {:.0}% failures: reliability {} < 100%",
+                    row.failure * 100.0,
+                    pct(hpv.mean_reliability)
+                ));
+            }
+            if row.failure <= 0.9 && hpv.mean_reliability < 0.90 {
+                failures.push(format!(
+                    "HyParView at {:.0}% failures: reliability {} < 90%",
+                    row.failure * 100.0,
+                    pct(hpv.mean_reliability)
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("ASSERTION FAILURES:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("(asserts passed: HyParView at 100% through 50% failures, >= 90% through 90%)");
+    }
 }

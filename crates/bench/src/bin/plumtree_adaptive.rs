@@ -1,0 +1,176 @@
+//! Adaptive Plumtree — tree optimization and lazy-link batching on vs.
+//! off, across the paper's failure-and-healing scenario.
+//!
+//! ```text
+//! cargo run --release -p hyparview-bench --bin plumtree_adaptive
+//! cargo run --release -p hyparview-bench --bin plumtree_adaptive -- --smoke --assert
+//! cargo run --release -p hyparview-bench --bin plumtree_adaptive -- --json out.json
+//! ```
+//!
+//! Expected shape: every variant stays at 100% reliability on the stable
+//! network; the optimizing variants end with a shallower last-delivery-hop
+//! after the overlay heals from the failure (tree optimization swaps the
+//! short lazy paths back into the tree); the batching variants pay fewer
+//! control frames per broadcast (announcement queues flush as one
+//! `IHaveBatch` per lazy link instead of one `IHave` per message).
+
+use hyparview_bench::experiments::adaptive::{plumtree_adaptive, AdaptiveCell, BURST};
+use hyparview_bench::json::{array, JsonObject};
+use hyparview_bench::table::{num, pct, render};
+use hyparview_bench::Params;
+
+const DEFAULT_FAILURE: f64 = 0.3;
+const DEFAULT_WARMUP: usize = 30;
+const DEFAULT_HEAL_CYCLES: usize = 5;
+
+fn main() {
+    let (params, rest) = Params::default().apply_args(std::env::args().skip(1));
+    let mut failure = DEFAULT_FAILURE;
+    let mut warmup = DEFAULT_WARMUP;
+    let mut heal_cycles = DEFAULT_HEAL_CYCLES;
+    let mut json_path: Option<String> = None;
+    let mut assert_mode = false;
+    let mut rest_iter = rest.iter();
+    while let Some(arg) = rest_iter.next() {
+        match arg.as_str() {
+            "--failure" => {
+                if let Some(v) = rest_iter.next() {
+                    failure = v.parse().expect("--failure expects a fraction");
+                }
+            }
+            "--warmup" => {
+                if let Some(v) = rest_iter.next() {
+                    warmup = v.parse().expect("--warmup expects an integer");
+                }
+            }
+            "--heal-cycles" => {
+                if let Some(v) = rest_iter.next() {
+                    heal_cycles = v.parse().expect("--heal-cycles expects an integer");
+                }
+            }
+            "--json" => json_path = rest_iter.next().cloned(),
+            "--assert" => assert_mode = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    println!("# Adaptive Plumtree — optimization + batching across failure and healing");
+    println!(
+        "# {} (failure {:.0}%, warmup {warmup}, heal cycles {heal_cycles}, bursts of {BURST})",
+        params.describe(),
+        failure * 100.0
+    );
+
+    let cells = plumtree_adaptive(&params, failure, warmup, heal_cycles);
+
+    let headers = vec![
+        "variant",
+        "phase",
+        "reliability",
+        "RMR",
+        "last hop",
+        "control/bcast",
+        "optimizations",
+        "batches",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for cell in &cells {
+        for (phase, metrics) in [("stable", &cell.stable), ("healed", &cell.healed)] {
+            rows.push(vec![
+                cell.variant.label.to_owned(),
+                phase.to_owned(),
+                pct(metrics.mean_reliability),
+                num(metrics.mean_rmr, 3),
+                num(metrics.mean_last_hop, 1),
+                num(metrics.control_per_broadcast, 1),
+                cell.optimizations.to_string(),
+                cell.batches.to_string(),
+            ]);
+        }
+    }
+    println!("{}", render(&headers, &rows));
+
+    let by_label = |label: &str| -> &AdaptiveCell {
+        cells.iter().find(|c| c.variant.label == label).expect("variant present")
+    };
+    let (static_, optimized, batched) =
+        (by_label("static"), by_label("optimized"), by_label("batched"));
+    println!(
+        "healed last hop: optimized {} vs static {}; stable control/bcast: batched {} vs static {}",
+        num(optimized.healed.mean_last_hop, 1),
+        num(static_.healed.mean_last_hop, 1),
+        num(batched.stable.control_per_broadcast, 1),
+        num(static_.stable.control_per_broadcast, 1),
+    );
+
+    if let Some(path) = json_path {
+        let json = JsonObject::new()
+            .str("experiment", "plumtree_adaptive")
+            .str("params", &params.describe())
+            .num("failure", failure)
+            .int("warmup", warmup as u64)
+            .int("heal_cycles", heal_cycles as u64)
+            .raw("variants", array(cells.iter().map(cell_json)))
+            .build();
+        std::fs::write(&path, json).expect("write JSON results");
+        println!("(JSON results written to {path})");
+    }
+
+    if assert_mode {
+        let mut failures = Vec::new();
+        for cell in &cells {
+            if cell.stable.mean_reliability < 0.9999 {
+                failures.push(format!(
+                    "{}: stable reliability {} < 100%",
+                    cell.variant.label,
+                    pct(cell.stable.mean_reliability)
+                ));
+            }
+        }
+        if optimized.healed.mean_last_hop >= static_.healed.mean_last_hop {
+            failures.push(format!(
+                "optimization did not flatten the healed tree ({} vs static {})",
+                num(optimized.healed.mean_last_hop, 1),
+                num(static_.healed.mean_last_hop, 1)
+            ));
+        }
+        if batched.stable.control_per_broadcast >= static_.stable.control_per_broadcast {
+            failures.push(format!(
+                "batching did not cut control traffic ({} vs static {})",
+                num(batched.stable.control_per_broadcast, 1),
+                num(static_.stable.control_per_broadcast, 1)
+            ));
+        }
+        if !failures.is_empty() {
+            eprintln!("ASSERTION FAILURES:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "(asserts passed: 100% stable reliability, shallower healed trees, cheaper lazy links)"
+        );
+    }
+}
+
+fn cell_json(cell: &AdaptiveCell) -> String {
+    let phase = |metrics: &hyparview_bench::experiments::adaptive::PhaseMetrics| {
+        JsonObject::new()
+            .num("mean_reliability", metrics.mean_reliability)
+            .num("min_reliability", metrics.min_reliability)
+            .num("mean_rmr", metrics.mean_rmr)
+            .num("mean_last_hop", metrics.mean_last_hop)
+            .num("control_per_broadcast", metrics.control_per_broadcast)
+            .build()
+    };
+    JsonObject::new()
+        .str("variant", cell.variant.label)
+        .raw("stable", phase(&cell.stable))
+        .raw("healed", phase(&cell.healed))
+        .int("optimizations", cell.optimizations)
+        .int("batches", cell.batches)
+        .int("grafts", cell.grafts)
+        .int("dead_letters", cell.dead_letters)
+        .build()
+}

@@ -5,7 +5,12 @@
 //! ```text
 //! cargo run --release -p hyparview-bench --bin plumtree_vs_flood
 //! cargo run --release -p hyparview-bench --bin plumtree_vs_flood -- --quick --warmup 50
+//! cargo run --release -p hyparview-bench --bin plumtree_vs_flood -- --smoke --assert --json out.json
 //! ```
+//!
+//! `--json PATH` writes the table as a JSON artifact; `--assert` exits
+//! nonzero unless the stable network reproduces the headline result: both
+//! modes at 100% reliability with Plumtree RMR below 0.1.
 //!
 //! Expected shape: at 0% failures both modes deliver to ~100% of the
 //! nodes, but Plumtree's RMR sits below 0.1 (payloads traverse ~N−1 tree
@@ -14,6 +19,7 @@
 //! (graft round-trips) for the same reliability.
 
 use hyparview_bench::experiments::plumtree::flood_vs_plumtree;
+use hyparview_bench::json::{array, JsonObject};
 use hyparview_bench::table::{num, pct, render};
 use hyparview_bench::Params;
 
@@ -23,12 +29,19 @@ const DEFAULT_WARMUP: usize = 30;
 fn main() {
     let (params, rest) = Params::default().apply_args(std::env::args().skip(1));
     let mut warmup = DEFAULT_WARMUP;
+    let mut json_path: Option<String> = None;
+    let mut assert_mode = false;
     let mut rest_iter = rest.iter();
     while let Some(arg) = rest_iter.next() {
-        if arg == "--warmup" {
-            if let Some(v) = rest_iter.next() {
-                warmup = v.parse().expect("--warmup expects an integer");
+        match arg.as_str() {
+            "--warmup" => {
+                if let Some(v) = rest_iter.next() {
+                    warmup = v.parse().expect("--warmup expects an integer");
+                }
             }
+            "--json" => json_path = rest_iter.next().cloned(),
+            "--assert" => assert_mode = true,
+            other => panic!("unknown argument {other}"),
         }
     }
 
@@ -78,4 +91,66 @@ fn main() {
     println!(
         " flood RMR ~ fanout - 1; Plumtree pays a deeper last hop when grafts repair the tree)"
     );
+
+    if let Some(path) = json_path {
+        let json = JsonObject::new()
+            .str("experiment", "plumtree_vs_flood")
+            .str("params", &params.describe())
+            .int("warmup", warmup as u64)
+            .raw(
+                "rows",
+                array(rows_data.iter().map(|row| {
+                    JsonObject::new()
+                        .num("failure", row.failure)
+                        .raw(
+                            "cells",
+                            array(row.cells.iter().map(|c| {
+                                JsonObject::new()
+                                    .str("mode", &c.mode.to_string())
+                                    .num("mean_reliability", c.mean_reliability)
+                                    .num("min_reliability", c.min_reliability)
+                                    .num("mean_rmr", c.mean_rmr)
+                                    .num("mean_last_hop", c.mean_last_hop)
+                                    .num("payload_per_broadcast", c.payload_per_broadcast)
+                                    .num("control_per_broadcast", c.control_per_broadcast)
+                                    .build()
+                            })),
+                        )
+                        .build()
+                })),
+            )
+            .build();
+        std::fs::write(&path, json).expect("write JSON results");
+        println!("(JSON results written to {path})");
+    }
+
+    if assert_mode {
+        let mut failures = Vec::new();
+        if flood.mean_reliability < 0.9999 {
+            failures.push(format!(
+                "flood reliability {} < 100% on the stable network",
+                pct(flood.mean_reliability)
+            ));
+        }
+        if plumtree.mean_reliability < 0.9999 {
+            failures.push(format!(
+                "Plumtree reliability {} < 100% on the stable network",
+                pct(plumtree.mean_reliability)
+            ));
+        }
+        if plumtree.mean_rmr >= 0.1 {
+            failures.push(format!(
+                "Plumtree RMR {} regressed past the 0.1 threshold",
+                num(plumtree.mean_rmr, 3)
+            ));
+        }
+        if !failures.is_empty() {
+            eprintln!("ASSERTION FAILURES:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("(asserts passed: 100% reliability both modes, Plumtree RMR < 0.1)");
+    }
 }

@@ -1,0 +1,263 @@
+//! Adaptive Plumtree — tree optimization and lazy-link batching, measured
+//! across the paper's failure-and-healing scenario (Figures 3/4).
+//!
+//! PR 2's Plumtree keeps RMR near zero, but its trees are *static*: once a
+//! tree link is carved it only changes through `Prune`/`Graft` repair, so
+//! a tree that healed around failures keeps its deep detours forever, and
+//! every lazy link pays one `IHave` frame per message. The Plumtree paper
+//! (§3.8) adds two adaptive mechanisms:
+//!
+//! * **tree optimization** — an `IHave` whose round beats the eager
+//!   delivery round by a threshold swaps the shorter lazy path into the
+//!   tree, keeping last-delivery-hop bounded as the overlay evolves;
+//! * **lazy-link batching** — queued announcements flush periodically as
+//!   one `IHaveBatch` frame, cutting control frames per broadcast when
+//!   several messages are in flight.
+//!
+//! This experiment measures all four feature combinations over the same
+//! HyParView overlay, before a massive failure (stable phase) and after
+//! the overlay heals from it (healed phase, the Figure 4 methodology).
+
+use crate::params::Params;
+use hyparview_core::SimId;
+use hyparview_plumtree::{BroadcastMode, PlumtreeConfig};
+use hyparview_sim::protocols::build_hyparview;
+
+/// One adaptive-feature combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveVariant {
+    /// Display label.
+    pub label: &'static str,
+    /// Tree-optimization round threshold (`None` = off).
+    pub optimization_threshold: Option<u32>,
+    /// Lazy-flush interval in timer units (`0` = per-message `IHave`s).
+    pub lazy_flush_interval: u64,
+}
+
+/// Round-difference threshold used by the optimizing variants.
+pub const OPTIMIZATION_THRESHOLD: u32 = 2;
+/// Flush interval (timer units ≈ network latencies) of the batching
+/// variants.
+pub const LAZY_FLUSH_INTERVAL: u64 = 4;
+
+/// The four feature combinations, in display order.
+pub const ADAPTIVE_VARIANTS: [AdaptiveVariant; 4] = [
+    AdaptiveVariant { label: "static", optimization_threshold: None, lazy_flush_interval: 0 },
+    AdaptiveVariant {
+        label: "optimized",
+        optimization_threshold: Some(OPTIMIZATION_THRESHOLD),
+        lazy_flush_interval: 0,
+    },
+    AdaptiveVariant {
+        label: "batched",
+        optimization_threshold: None,
+        lazy_flush_interval: LAZY_FLUSH_INTERVAL,
+    },
+    AdaptiveVariant {
+        label: "adaptive",
+        optimization_threshold: Some(OPTIMIZATION_THRESHOLD),
+        lazy_flush_interval: LAZY_FLUSH_INTERVAL,
+    },
+];
+
+impl AdaptiveVariant {
+    /// The Plumtree configuration of this variant.
+    pub fn config(&self) -> PlumtreeConfig {
+        PlumtreeConfig::default()
+            .with_optimization_threshold(self.optimization_threshold)
+            .with_lazy_flush_interval(self.lazy_flush_interval)
+    }
+}
+
+/// Broadcast metrics of one measurement phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseMetrics {
+    /// Mean reliability over the measured broadcasts.
+    pub mean_reliability: f64,
+    /// Minimum per-broadcast reliability.
+    pub min_reliability: f64,
+    /// Mean Relative Message Redundancy.
+    pub mean_rmr: f64,
+    /// Mean last-delivery hop (deepest first delivery per broadcast).
+    pub mean_last_hop: f64,
+    /// Mean control frames (`IHave`/`IHaveBatch`/`Graft`/`Prune`) per
+    /// broadcast.
+    pub control_per_broadcast: f64,
+}
+
+/// Result of one variant across both phases.
+#[derive(Debug, Clone)]
+pub struct AdaptiveCell {
+    /// Feature combination measured.
+    pub variant: AdaptiveVariant,
+    /// Metrics on the stable network (before the failure).
+    pub stable: PhaseMetrics,
+    /// Metrics after the failure healed (Figure 4 methodology).
+    pub healed: PhaseMetrics,
+    /// Total tree optimizations performed across the run.
+    pub optimizations: u64,
+    /// Total `IHaveBatch` frames sent across the run.
+    pub batches: u64,
+    /// Total `Graft` repairs across the run.
+    pub grafts: u64,
+    /// Missing messages abandoned after exhausting graft retries.
+    pub dead_letters: u64,
+}
+
+/// Messages per concurrent burst — the workload where batching can fold
+/// several announcements into one frame (single-message dissemination
+/// never queues more than one announcement per peer).
+pub const BURST: usize = 4;
+
+fn measure(
+    sim: &mut hyparview_sim::protocols::HyParViewSim,
+    origin: SimId,
+    messages: usize,
+) -> PhaseMetrics {
+    let mut reliability_sum = 0.0;
+    let mut min_reliability = f64::INFINITY;
+    let mut rmr_sum = 0.0;
+    let mut hop_sum = 0.0;
+    let mut control = 0usize;
+    let mut count = 0usize;
+    // Honor `messages` exactly: full bursts plus a partial final burst.
+    while count < messages.max(1) {
+        let size = BURST.min(messages.max(1) - count);
+        let burst = sim.broadcast_burst_from(origin, size);
+        control += burst.control_frames;
+        for report in &burst.reports {
+            reliability_sum += report.reliability();
+            min_reliability = min_reliability.min(report.reliability());
+            rmr_sum += report.rmr();
+            hop_sum += report.max_hops as f64;
+            count += 1;
+        }
+    }
+    let n = count.max(1) as f64;
+    PhaseMetrics {
+        mean_reliability: reliability_sum / n,
+        min_reliability: if min_reliability.is_finite() { min_reliability } else { 0.0 },
+        mean_rmr: rmr_sum / n,
+        mean_last_hop: hop_sum / n,
+        control_per_broadcast: control as f64 / n,
+    }
+}
+
+/// Measures one variant: build + stabilize, carve the tree with `warmup`
+/// broadcasts, measure the stable phase, crash `failure` of the nodes,
+/// heal for `heal_cycles` membership cycles, re-carve with `warmup`
+/// broadcasts (the adaptation window where optimization reshapes the
+/// tree), then measure the healed phase. All broadcasts originate at one
+/// fixed node so last-delivery-hop tracks the depth of *one* tree.
+pub fn adaptive_cell(
+    params: &Params,
+    variant: AdaptiveVariant,
+    failure: f64,
+    warmup: usize,
+    heal_cycles: usize,
+) -> AdaptiveCell {
+    let scenario = params
+        .scenario(0)
+        .with_broadcast_mode(BroadcastMode::Plumtree)
+        .with_plumtree(variant.config());
+    let mut sim = build_hyparview(&scenario, params.configs.hyparview.clone());
+    sim.run_cycles(params.stabilization_cycles);
+
+    let origin = SimId::new(0);
+    for _ in 0..warmup {
+        sim.broadcast_from(origin);
+    }
+    let stable = measure(&mut sim, origin, params.messages);
+
+    // The failure and its healing (Figure 4): the fixed latency model
+    // draws no randomness per send, so every variant crashes the *same*
+    // node set and heals through the same cycle schedule — the phases stay
+    // comparable across variants.
+    sim.fail_fraction(failure);
+    sim.run_cycles(heal_cycles);
+
+    let origin = if sim.is_alive(origin) { origin } else { sim.alive_ids()[0] };
+    for _ in 0..warmup {
+        sim.broadcast_from(origin);
+    }
+    let healed = measure(&mut sim, origin, params.messages);
+
+    let stats = sim.plumtree_stats_total().expect("Plumtree mode");
+    AdaptiveCell {
+        variant,
+        stable,
+        healed,
+        optimizations: stats.optimizations,
+        batches: stats.ihave_batches_sent,
+        grafts: stats.grafts_sent,
+        dead_letters: stats.graft_dead_letters,
+    }
+}
+
+/// The full experiment: every feature combination over the same scenario.
+pub fn plumtree_adaptive(
+    params: &Params,
+    failure: f64,
+    warmup: usize,
+    heal_cycles: usize,
+) -> Vec<AdaptiveCell> {
+    ADAPTIVE_VARIANTS
+        .iter()
+        .map(|&variant| adaptive_cell(params, variant, failure, warmup, heal_cycles))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells() -> Vec<AdaptiveCell> {
+        plumtree_adaptive(&Params::smoke().with_messages(24), 0.3, 20, 3)
+    }
+
+    #[test]
+    fn all_variants_stay_fully_reliable_on_the_stable_network() {
+        for cell in cells() {
+            assert!(
+                cell.stable.mean_reliability > 0.9999,
+                "{}: stable reliability {}",
+                cell.variant.label,
+                cell.stable.mean_reliability
+            );
+        }
+    }
+
+    #[test]
+    fn optimization_reduces_last_hop_after_healing() {
+        let cells = cells();
+        let by_label = |label: &str| {
+            cells.iter().find(|c| c.variant.label == label).expect("variant present").clone()
+        };
+        let static_ = by_label("static");
+        let optimized = by_label("optimized");
+        assert!(optimized.optimizations > 0, "the optimizer must actually fire");
+        assert!(
+            optimized.healed.mean_last_hop < static_.healed.mean_last_hop,
+            "optimization should flatten the healed tree: optimized {} vs static {}",
+            optimized.healed.mean_last_hop,
+            static_.healed.mean_last_hop
+        );
+    }
+
+    #[test]
+    fn batching_reduces_control_frames_per_broadcast() {
+        let cells = cells();
+        let by_label = |label: &str| {
+            cells.iter().find(|c| c.variant.label == label).expect("variant present").clone()
+        };
+        let static_ = by_label("static");
+        let batched = by_label("batched");
+        assert!(batched.batches > 0, "batches must actually be sent");
+        assert!(
+            batched.stable.control_per_broadcast < static_.stable.control_per_broadcast * 0.6,
+            "batching should cut stable control traffic: batched {} vs static {}",
+            batched.stable.control_per_broadcast,
+            static_.stable.control_per_broadcast
+        );
+    }
+}

@@ -6,6 +6,7 @@
 //! that print the tables.
 
 pub mod ablations;
+pub mod adaptive;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -17,6 +18,10 @@ pub mod table1;
 
 pub use ablations::{
     flood_vs_random, passive_size_sweep, shuffle_payload_sweep, walk_length_sweep, AblationPoint,
+};
+pub use adaptive::{
+    adaptive_cell, plumtree_adaptive, AdaptiveCell, AdaptiveVariant, PhaseMetrics,
+    ADAPTIVE_VARIANTS,
 };
 pub use fig1::{fanout_sweep, Fig1Point};
 pub use fig2::{reliability_after_failures, Fig2Cell, Fig2Row};

@@ -1,0 +1,93 @@
+//! Minimal JSON emission for the CI bench artifacts.
+//!
+//! The offline build environment vendors no serialization framework, and
+//! the artifacts are flat tables of numbers — a tiny hand-rolled builder
+//! keeps the bins dependency-free and the output `jq`-friendly.
+
+/// Builder for one JSON object, fields in insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<String>,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds a string field (escapes quotes and backslashes).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields.push(format!("{}:{}", quote(key), quote(value)));
+        self
+    }
+
+    /// Adds a finite-number field (`NaN`/infinities become `null`).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() { format!("{value}") } else { "null".to_owned() };
+        self.fields.push(format!("{}:{rendered}", quote(key)));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push(format!("{}:{value}", quote(key)));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (nested object or array).
+    pub fn raw(mut self, key: &str, value: String) -> Self {
+        self.fields.push(format!("{}:{value}", quote(key)));
+        self
+    }
+
+    /// Renders the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+/// Renders a JSON array from pre-rendered values.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    format!("[{}]", items.into_iter().collect::<Vec<_>>().join(","))
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_objects() {
+        let obj = JsonObject::new().str("name", "fig2").num("rel", 1.0).int("n", 200).build();
+        assert_eq!(obj, r#"{"name":"fig2","rel":1,"n":200}"#);
+    }
+
+    #[test]
+    fn escapes_and_nests() {
+        let inner = JsonObject::new().str("k", "a\"b\\c").build();
+        let outer = JsonObject::new().raw("rows", array([inner])).build();
+        assert_eq!(outer, r#"{"rows":[{"k":"a\"b\\c"}]}"#);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(JsonObject::new().num("x", f64::NAN).build(), r#"{"x":null}"#);
+        assert_eq!(JsonObject::new().num("x", f64::INFINITY).build(), r#"{"x":null}"#);
+    }
+}

@@ -12,6 +12,8 @@
 //! * `table1_graph_props` — Table 1: clustering / path length / hops.
 //! * `plumtree_vs_flood` — beyond the paper: eager flood vs Plumtree
 //!   broadcast trees (reliability, RMR, last-delivery-hop).
+//! * `plumtree_adaptive` — adaptive Plumtree (tree optimization + lazy
+//!   batching) on vs. off across the failure-and-healing scenario.
 //! * `all_experiments` — everything above, in `EXPERIMENTS.md` format.
 //!
 //! Every binary accepts `--n`, `--messages`, `--seed`, `--runs`,
@@ -22,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod json;
 pub mod params;
 pub mod table;
 

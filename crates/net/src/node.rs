@@ -14,7 +14,8 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, tick, unbounded, Receiver, Sender};
 use hyparview_core::{Action, Actions, Config, HyParView, Message};
 use hyparview_plumtree::{
-    BroadcastMode, PlumtreeConfig, PlumtreeMessage, PlumtreeOut, PlumtreeState,
+    Announcement, BroadcastMode, PlumtreeConfig, PlumtreeMessage, PlumtreeOut, PlumtreeState,
+    PlumtreeTimer,
 };
 use parking_lot::Mutex;
 use std::cmp::Reverse;
@@ -66,6 +67,14 @@ impl NetConfig {
     /// Selects the broadcast dissemination engine.
     pub fn with_broadcast_mode(mut self, mode: BroadcastMode) -> Self {
         self.broadcast_mode = mode;
+        self
+    }
+
+    /// Sets the Plumtree tuning (timeouts, tree optimization threshold,
+    /// lazy-flush interval). The cache capacity is still overridden by
+    /// [`NetConfig::dedup_capacity`].
+    pub fn with_plumtree(mut self, config: PlumtreeConfig) -> Self {
+        self.plumtree = config;
         self
     }
 }
@@ -235,6 +244,15 @@ impl Node {
         self.shared.lock().lazy.clone()
     }
 
+    /// One *consistent* snapshot of `(active view, eager links, lazy
+    /// links)` — taken under a single lock, so the three sets come from
+    /// the same event-loop iteration (the separate accessors can observe
+    /// different iterations).
+    pub fn broadcast_links(&self) -> (Vec<SocketAddr>, Vec<SocketAddr>, Vec<SocketAddr>) {
+        let shared = self.shared.lock();
+        (shared.active.clone(), shared.eager.clone(), shared.lazy.clone())
+    }
+
     /// Number of gossip messages delivered so far.
     pub fn delivery_count(&self) -> u64 {
         self.shared.lock().stats.deliveries
@@ -285,11 +303,11 @@ enum Broadcaster {
     /// The paper's eager flood (§4.1.ii) with bounded duplicate suppression.
     Flood { seen: RecentSet<u128> },
     /// Plumtree: eager/lazy dissemination with a wall-clock timer wheel for
-    /// the missing-message timers.
+    /// the missing-message and lazy-flush timers.
     Plumtree {
         state: PlumtreeState<SocketAddr, Bytes>,
-        /// Min-heap of `(deadline, message id)` timer deadlines.
-        timers: BinaryHeap<Reverse<(Instant, u128)>>,
+        /// Min-heap of `(deadline, timer)` deadlines.
+        timers: BinaryHeap<Reverse<(Instant, PlumtreeTimer)>>,
         /// Wall-clock duration of one abstract timer unit.
         unit: Duration,
     },
@@ -358,6 +376,9 @@ fn plumtree_frame(message: PlumtreeMessage<Bytes>) -> Frame {
             Frame::PlumtreeGossip { id, round, payload }
         }
         PlumtreeMessage::IHave { id, round } => Frame::PlumtreeIHave { id, round },
+        PlumtreeMessage::IHaveBatch { anns } => {
+            Frame::PlumtreeIHaveBatch { anns: anns.iter().map(|a| (a.id, a.round)).collect() }
+        }
         PlumtreeMessage::Graft { id, round } => Frame::PlumtreeGraft { id, round },
         PlumtreeMessage::Prune => Frame::PlumtreePrune,
     }
@@ -394,6 +415,10 @@ impl EventLoop {
             }
             Frame::PlumtreeIHave { id, round } => {
                 self.on_plumtree(from, PlumtreeMessage::IHave { id, round });
+            }
+            Frame::PlumtreeIHaveBatch { anns } => {
+                let anns = anns.iter().map(|&(id, round)| Announcement { id, round }).collect();
+                self.on_plumtree(from, PlumtreeMessage::IHaveBatch { anns });
             }
             Frame::PlumtreeGraft { id, round } => {
                 self.on_plumtree(from, PlumtreeMessage::Graft { id, round });
@@ -472,28 +497,28 @@ impl EventLoop {
         let now = Instant::now();
         for request in out.timers.drain(..) {
             let delay = unit.saturating_mul(request.delay.min(u32::MAX as u64) as u32);
-            timers.push(Reverse((now + delay, request.id)));
+            timers.push(Reverse((now + delay, request.timer)));
         }
     }
 
     /// Fires every Plumtree timer whose deadline passed.
     fn fire_due_timers(&mut self) {
         loop {
-            let id = {
+            let timer = {
                 let Broadcaster::Plumtree { timers, .. } = &mut self.broadcaster else {
                     return;
                 };
                 match timers.peek() {
                     Some(Reverse((deadline, _))) if *deadline <= Instant::now() => {
-                        let Some(Reverse((_, id))) = timers.pop() else { return };
-                        id
+                        let Some(Reverse((_, timer))) = timers.pop() else { return };
+                        timer
                     }
                     _ => return,
                 }
             };
             let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster else { return };
             let mut out = PlumtreeOut::new();
-            state.on_timer(id, &mut out);
+            state.on_timer(timer, &mut out);
             self.apply_plumtree(out);
         }
     }

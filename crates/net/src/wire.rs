@@ -92,14 +92,22 @@ pub enum Frame {
         /// Hop count the payload would have at the receiver.
         round: u32,
     },
-    /// Plumtree tree repair: pull the payload and reinstate the link.
+    /// Batched Plumtree lazy announcements: every `(id, round)` queued for
+    /// this peer since the last flush, in one frame.
+    PlumtreeIHaveBatch {
+        /// Announcements, oldest first. Never empty on the wire.
+        anns: Vec<(u128, u32)>,
+    },
+    /// Plumtree tree repair or optimization: reinstate the link as eager
+    /// and — when `id` is present — (re)send that payload. An absent id is
+    /// the payload-free promotion of Plumtree's tree optimization.
     PlumtreeGraft {
-        /// Broadcast id being pulled.
-        id: u128,
+        /// Broadcast id being pulled, or `None` for a promotion-only graft.
+        id: Option<u128>,
         /// Round echoed from the triggering announcement.
         round: u32,
     },
-    /// Plumtree tree optimization: demote the link to lazy.
+    /// Plumtree tree maintenance: demote the link to lazy.
     PlumtreePrune,
 }
 
@@ -117,6 +125,10 @@ const TAG_PLUMTREE_GOSSIP: u8 = 10;
 const TAG_PLUMTREE_IHAVE: u8 = 11;
 const TAG_PLUMTREE_GRAFT: u8 = 12;
 const TAG_PLUMTREE_PRUNE: u8 = 13;
+const TAG_PLUMTREE_IHAVE_BATCH: u8 = 14;
+
+/// Encoded size of one announcement inside an `IHaveBatch` frame.
+const ANNOUNCEMENT_LEN: usize = 16 + 4;
 
 fn put_addr(buf: &mut BytesMut, addr: &SocketAddr) {
     match addr.ip() {
@@ -182,6 +194,11 @@ fn get_addr_list(buf: &mut Bytes) -> Result<Vec<SocketAddr>, WireError> {
 }
 
 /// Encodes a frame, including the `u32` length prefix.
+///
+/// # Panics
+///
+/// Panics if a [`Frame::PlumtreeIHaveBatch`] carries more than `u16::MAX`
+/// announcements (senders chunk far below that).
 pub fn encode(frame: &Frame) -> Bytes {
     let mut body = BytesMut::with_capacity(64);
     match frame {
@@ -209,9 +226,28 @@ pub fn encode(frame: &Frame) -> Bytes {
             body.put_u128(*id);
             body.put_u32(*round);
         }
+        Frame::PlumtreeIHaveBatch { anns } => {
+            // The count is a u16; a silent truncation here would desync
+            // count and payload and drop announcements at the decoder.
+            // Senders chunk at hyparview_plumtree::MAX_IHAVE_BATCH (1024),
+            // far below this limit.
+            assert!(anns.len() <= u16::MAX as usize, "IHaveBatch exceeds the wire count field");
+            body.put_u8(TAG_PLUMTREE_IHAVE_BATCH);
+            body.put_u16(anns.len() as u16);
+            for (id, round) in anns {
+                body.put_u128(*id);
+                body.put_u32(*round);
+            }
+        }
         Frame::PlumtreeGraft { id, round } => {
             body.put_u8(TAG_PLUMTREE_GRAFT);
-            body.put_u128(*id);
+            match id {
+                Some(id) => {
+                    body.put_u8(1);
+                    body.put_u128(*id);
+                }
+                None => body.put_u8(0),
+            }
             body.put_u32(*round);
         }
         Frame::PlumtreePrune => body.put_u8(TAG_PLUMTREE_PRUNE),
@@ -327,17 +363,47 @@ pub fn decode(mut payload: Bytes) -> Result<Frame, WireError> {
             }
             Frame::PlumtreeGossip { id, round, payload: payload.copy_to_bytes(len) }
         }
-        TAG_PLUMTREE_IHAVE | TAG_PLUMTREE_GRAFT => {
+        TAG_PLUMTREE_IHAVE => {
             if payload.remaining() < 16 + 4 {
                 return Err(WireError::Truncated);
             }
             let id = payload.get_u128();
             let round = payload.get_u32();
-            if tag == TAG_PLUMTREE_IHAVE {
-                Frame::PlumtreeIHave { id, round }
-            } else {
-                Frame::PlumtreeGraft { id, round }
+            Frame::PlumtreeIHave { id, round }
+        }
+        TAG_PLUMTREE_IHAVE_BATCH => {
+            if payload.remaining() < 2 {
+                return Err(WireError::Truncated);
             }
+            let count = payload.get_u16() as usize;
+            if payload.remaining() < count * ANNOUNCEMENT_LEN {
+                return Err(WireError::Truncated);
+            }
+            let mut anns = Vec::with_capacity(count);
+            for _ in 0..count {
+                let id = payload.get_u128();
+                let round = payload.get_u32();
+                anns.push((id, round));
+            }
+            Frame::PlumtreeIHaveBatch { anns }
+        }
+        TAG_PLUMTREE_GRAFT => {
+            if payload.remaining() < 1 {
+                return Err(WireError::Truncated);
+            }
+            let id = match payload.get_u8() {
+                0 => None,
+                _ => {
+                    if payload.remaining() < 16 {
+                        return Err(WireError::Truncated);
+                    }
+                    Some(payload.get_u128())
+                }
+            };
+            if payload.remaining() < 4 {
+                return Err(WireError::Truncated);
+            }
+            Frame::PlumtreeGraft { id, round: payload.get_u32() }
         }
         TAG_PLUMTREE_PRUNE => Frame::PlumtreePrune,
         other => return Err(WireError::UnknownTag { tag: other }),
@@ -470,8 +536,24 @@ mod tests {
         });
         round_trip(Frame::PlumtreeGossip { id: 0, round: 0, payload: Bytes::new() });
         round_trip(Frame::PlumtreeIHave { id: u128::MAX, round: u32::MAX });
-        round_trip(Frame::PlumtreeGraft { id: 7, round: 2 });
+        round_trip(Frame::PlumtreeGraft { id: Some(7), round: 2 });
+        round_trip(Frame::PlumtreeGraft { id: None, round: 9 });
         round_trip(Frame::PlumtreePrune);
+        round_trip(Frame::PlumtreeIHaveBatch { anns: vec![(1, 2)] });
+        round_trip(Frame::PlumtreeIHaveBatch {
+            anns: vec![(u128::MAX, u32::MAX), (0, 0), (42, 7)],
+        });
+    }
+
+    #[test]
+    fn large_ihave_batch_fits_a_frame() {
+        // The state machine chunks at 1024 announcements; the frame must
+        // accept that comfortably under MAX_FRAME_LEN.
+        let anns: Vec<(u128, u32)> = (0..1024u128).map(|i| (i, i as u32)).collect();
+        let frame = Frame::PlumtreeIHaveBatch { anns };
+        let encoded = encode(&frame);
+        assert!(encoded.len() < MAX_FRAME_LEN, "batch frame too large: {}", encoded.len());
+        round_trip(frame);
     }
 
     #[test]
@@ -489,6 +571,25 @@ mod tests {
         body.put_u32(100);
         body.put_slice(b"short");
         assert_eq!(decode(body.freeze()), Err(WireError::Truncated));
+        // Graft announcing an id but not carrying it.
+        let mut body = BytesMut::new();
+        body.put_u8(12);
+        body.put_u8(1);
+        assert_eq!(decode(body.freeze()), Err(WireError::Truncated));
+        // Graft missing its round.
+        let mut body = BytesMut::new();
+        body.put_u8(12);
+        body.put_u8(0);
+        assert_eq!(decode(body.freeze()), Err(WireError::Truncated));
+        // IHaveBatch whose declared count overruns the frame.
+        let mut body = BytesMut::new();
+        body.put_u8(14);
+        body.put_u16(3);
+        body.put_u128(1);
+        body.put_u32(1);
+        assert_eq!(decode(body.freeze()), Err(WireError::Truncated));
+        // IHaveBatch with no count at all.
+        assert_eq!(decode(Bytes::from_static(&[14])), Err(WireError::Truncated));
     }
 
     #[test]

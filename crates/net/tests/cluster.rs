@@ -218,23 +218,58 @@ fn plumtree_eager_links_stay_within_active_view() {
             let _ = node.deliveries().recv_timeout(Duration::from_secs(5));
         }
     }
+    // A node's eager set may legitimately be *empty* at quiescence (its
+    // last payload exchanges all ended in Prunes; only the next broadcast
+    // re-promotes its parent), so each polling round sends a fresh probe
+    // broadcast before evaluating. The per-node snapshot is taken under a
+    // single lock — separate accessor calls can mix event-loop iterations.
+    let consistent = |attempt: usize| {
+        let _ = nodes[0].broadcast(format!("probe-{attempt}").into_bytes());
+        std::thread::sleep(Duration::from_millis(150));
+        for node in &nodes {
+            while node.deliveries().try_recv().is_ok() {}
+        }
+        nodes.iter().all(|n| {
+            let (active, eager, lazy) = n.broadcast_links();
+            !eager.is_empty()
+                && eager.iter().all(|p| active.contains(p) && !lazy.contains(p))
+                && lazy.iter().all(|p| active.contains(p))
+        })
+    };
     assert!(
-        wait_until(Duration::from_secs(5), || {
-            nodes.iter().all(|n| {
-                let active = n.active_view();
-                let eager = n.eager_peers();
-                let lazy = n.lazy_peers();
-                !eager.is_empty()
-                    && eager.iter().all(|p| active.contains(p) && !lazy.contains(p))
-                    && lazy.iter().all(|p| active.contains(p))
-            })
-        }),
+        (0..40).any(consistent),
         "eager/lazy sets inconsistent with active views: {:?}",
         nodes
             .iter()
             .map(|n| (n.addr(), n.active_view(), n.eager_peers(), n.lazy_peers()))
             .collect::<Vec<_>>()
     );
+}
+
+#[test]
+fn adaptive_plumtree_broadcast_reaches_every_node() {
+    // Tree optimization + lazy batching on: broadcasts must still deliver
+    // everywhere, now with IHaveBatch frames on the lazy links.
+    let nodes = spawn_cluster_with(6, || {
+        config().with_broadcast_mode(BroadcastMode::Plumtree).with_plumtree(
+            hyparview_net::PlumtreeConfig::default()
+                .with_optimization_threshold(Some(2))
+                .with_lazy_flush_interval(2),
+        )
+    });
+    wait_for_overlay(&nodes);
+    for round in 0..4 {
+        let payload = format!("adaptive-{round}").into_bytes();
+        let id = nodes[round % nodes.len()].broadcast(payload.clone());
+        for (i, node) in nodes.iter().enumerate() {
+            let delivery = node
+                .deliveries()
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap_or_else(|_| panic!("node {i} missed adaptive broadcast {round}"));
+            assert_eq!(delivery.id, id);
+            assert_eq!(delivery.payload.as_ref(), payload.as_slice());
+        }
+    }
 }
 
 #[test]

@@ -48,7 +48,10 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             }
         ),
         (any::<u128>(), any::<u32>()).prop_map(|(id, round)| Frame::PlumtreeIHave { id, round }),
-        (any::<u128>(), any::<u32>()).prop_map(|(id, round)| Frame::PlumtreeGraft { id, round }),
+        proptest::collection::vec((any::<u128>(), any::<u32>()), 1..64)
+            .prop_map(|anns| Frame::PlumtreeIHaveBatch { anns }),
+        (proptest::option::of(any::<u128>()), any::<u32>())
+            .prop_map(|(id, round)| Frame::PlumtreeGraft { id, round }),
         Just(Frame::PlumtreePrune),
     ]
 }

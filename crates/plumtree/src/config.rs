@@ -42,11 +42,37 @@ pub struct PlumtreeConfig {
     /// Number of recent message payloads cached for answering `Graft`s
     /// (FIFO-bounded; evicted messages can no longer repair the tree).
     pub cache_capacity: usize,
+    /// Tree optimization (Plumtree §3.8): when an `IHave` announces a round
+    /// that beats the round the payload was delivered eagerly at by at
+    /// least this threshold, the node swaps the shorter lazy path into the
+    /// tree — it promotes the announcer (a payload-free `Graft`) and prunes
+    /// its current eager parent. `None` disables optimization and trees
+    /// only change shape through `Prune`/`Graft` repair.
+    pub optimization_threshold: Option<u32>,
+    /// Lazy-link batching: instead of sending one `IHave` frame per message
+    /// per lazy peer, queue announcements per peer and drain the queues
+    /// when a flush timer expires this many timer units after the first
+    /// queued announcement. Queues of two or more announcements travel as a
+    /// single `IHaveBatch` frame. `0` disables batching (announce
+    /// immediately, the original per-message behavior).
+    pub lazy_flush_interval: u64,
+    /// Upper bound on `Graft` attempts per missing message. Once a message
+    /// has been grafted this many times without arriving (a partitioned
+    /// overlay, or every announcer dead), the missing-message entry is
+    /// dropped and counted as a dead letter instead of re-arming forever.
+    pub graft_retry_limit: u32,
 }
 
 impl Default for PlumtreeConfig {
     fn default() -> Self {
-        PlumtreeConfig { ihave_timeout: 16, graft_timeout: 8, cache_capacity: 1 << 16 }
+        PlumtreeConfig {
+            ihave_timeout: 16,
+            graft_timeout: 8,
+            cache_capacity: 1 << 16,
+            optimization_threshold: None,
+            lazy_flush_interval: 0,
+            graft_retry_limit: 8,
+        }
     }
 }
 
@@ -68,6 +94,24 @@ impl PlumtreeConfig {
         self.cache_capacity = capacity;
         self
     }
+
+    /// Sets the tree-optimization round threshold (`None` disables).
+    pub fn with_optimization_threshold(mut self, threshold: Option<u32>) -> Self {
+        self.optimization_threshold = threshold;
+        self
+    }
+
+    /// Sets the lazy-announcement flush interval (`0` disables batching).
+    pub fn with_lazy_flush_interval(mut self, units: u64) -> Self {
+        self.lazy_flush_interval = units;
+        self
+    }
+
+    /// Sets the per-message `Graft` retry cap.
+    pub fn with_graft_retry_limit(mut self, limit: u32) -> Self {
+        self.graft_retry_limit = limit;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +123,9 @@ mod tests {
         let c = PlumtreeConfig::default();
         assert!(c.ihave_timeout > c.graft_timeout);
         assert!(c.cache_capacity > 0);
+        assert!(c.graft_retry_limit > 0);
+        assert_eq!(c.optimization_threshold, None, "optimization is opt-in");
+        assert_eq!(c.lazy_flush_interval, 0, "batching is opt-in");
     }
 
     #[test]
@@ -86,8 +133,14 @@ mod tests {
         let c = PlumtreeConfig::default()
             .with_ihave_timeout(9)
             .with_graft_timeout(3)
-            .with_cache_capacity(128);
+            .with_cache_capacity(128)
+            .with_optimization_threshold(Some(2))
+            .with_lazy_flush_interval(5)
+            .with_graft_retry_limit(4);
         assert_eq!((c.ihave_timeout, c.graft_timeout, c.cache_capacity), (9, 3, 128));
+        assert_eq!(c.optimization_threshold, Some(2));
+        assert_eq!(c.lazy_flush_interval, 5);
+        assert_eq!(c.graft_retry_limit, 4);
     }
 
     #[test]

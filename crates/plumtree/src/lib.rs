@@ -16,6 +16,17 @@
 //! `IHave` without the payload and a `Graft` pulls the message — and the
 //! link back into the tree — from the announcer.
 //!
+//! The paper's *adaptive* mechanisms (§3.8) are available behind two
+//! [`PlumtreeConfig`] knobs: **tree optimization**
+//! ([`PlumtreeConfig::optimization_threshold`]) swaps a shorter lazy path
+//! into the tree when an `IHave`'s round beats the eager delivery round by
+//! the threshold, and **lazy-link batching**
+//! ([`PlumtreeConfig::lazy_flush_interval`]) queues announcements per peer
+//! and flushes them as one [`PlumtreeMessage::IHaveBatch`] frame. A third
+//! knob, [`PlumtreeConfig::graft_retry_limit`], bounds `Graft` retries for
+//! messages whose announcers never answer (partitioned overlays) and
+//! counts the abandoned ids in [`PlumtreeStats::graft_dead_letters`].
+//!
 //! Like `hyparview-core`, this crate is **sans-io**: [`PlumtreeState`] is a
 //! pure state machine that consumes events (messages, timer expirations,
 //! neighbor changes from any [`Membership`](hyparview_gossip::Membership)
@@ -49,5 +60,8 @@ pub mod message;
 pub mod state;
 
 pub use config::{BroadcastMode, PlumtreeConfig};
-pub use message::{MsgId, PlumtreeMessage};
-pub use state::{PlumtreeDelivery, PlumtreeOut, PlumtreeState, PlumtreeStats, TimerRequest};
+pub use message::{Announcement, MsgId, PlumtreeMessage};
+pub use state::{
+    PlumtreeDelivery, PlumtreeOut, PlumtreeState, PlumtreeStats, PlumtreeTimer, TimerRequest,
+    MAX_IHAVE_BATCH,
+};

@@ -6,6 +6,17 @@
 /// sequential `u64` broadcast counter widened to `u128`.
 pub type MsgId = u128;
 
+/// One lazy announcement: a broadcast id plus the hop count the payload
+/// would have at the receiver. Travels alone in [`PlumtreeMessage::IHave`]
+/// or batched in [`PlumtreeMessage::IHaveBatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Announcement {
+    /// Announced broadcast id.
+    pub id: MsgId,
+    /// Hop count the payload would have at the receiver.
+    pub round: u32,
+}
+
 /// One Plumtree protocol message, generic over the payload type (`()` in
 /// the simulator, `Bytes` on the wire).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,15 +39,28 @@ pub enum PlumtreeMessage<P> {
         /// Hop count the payload would have at the receiver.
         round: u32,
     },
-    /// Tree repair: the receiver is asked to (re)send the payload and to
-    /// reinstate the link as an eager/tree link.
+    /// Batched lazy push: every announcement queued for this peer since the
+    /// last flush, in one frame ([`PlumtreeConfig::lazy_flush_interval`]).
+    ///
+    /// [`PlumtreeConfig::lazy_flush_interval`]:
+    /// crate::PlumtreeConfig::lazy_flush_interval
+    IHaveBatch {
+        /// Queued announcements, oldest first. Never empty on the wire.
+        anns: Vec<Announcement>,
+    },
+    /// Tree repair or optimization: the receiver reinstates the link as an
+    /// eager/tree link and — when `id` names a message — (re)sends its
+    /// payload. `id == None` is the optimization-only graft of Plumtree
+    /// §3.8: the sender already has the payload via a shorter lazy path and
+    /// only wants the link promoted.
     Graft {
-        /// Broadcast identifier being pulled.
-        id: MsgId,
+        /// Broadcast id being pulled, or `None` for a payload-free
+        /// promotion.
+        id: Option<MsgId>,
         /// Round echoed from the triggering `IHave`.
         round: u32,
     },
-    /// Tree optimization: the sender received a redundant payload from us;
+    /// Tree maintenance: the sender received a redundant payload from us;
     /// the link is demoted to lazy.
     Prune,
 }
@@ -47,14 +71,24 @@ impl<P> PlumtreeMessage<P> {
         matches!(self, PlumtreeMessage::Gossip { .. })
     }
 
-    /// The broadcast id this message concerns, if any (`Prune` is a
-    /// link-scoped message and carries none).
+    /// The single broadcast id this message concerns, if any (`Prune` is
+    /// link-scoped, an optimization `Graft` pulls nothing, and an
+    /// `IHaveBatch` spans several ids — see
+    /// [`PlumtreeMessage::announcements`]).
     pub fn id(&self) -> Option<MsgId> {
         match self {
-            PlumtreeMessage::Gossip { id, .. }
-            | PlumtreeMessage::IHave { id, .. }
-            | PlumtreeMessage::Graft { id, .. } => Some(*id),
-            PlumtreeMessage::Prune => None,
+            PlumtreeMessage::Gossip { id, .. } | PlumtreeMessage::IHave { id, .. } => Some(*id),
+            PlumtreeMessage::Graft { id, .. } => *id,
+            PlumtreeMessage::IHaveBatch { .. } | PlumtreeMessage::Prune => None,
+        }
+    }
+
+    /// The announcements carried by a lazy push (one for `IHave`, all of
+    /// them for `IHaveBatch`, empty otherwise).
+    pub fn announcements(&self) -> &[Announcement] {
+        match self {
+            PlumtreeMessage::IHaveBatch { anns } => anns,
+            _ => &[],
         }
     }
 }
@@ -71,7 +105,18 @@ mod tests {
         let ihave: PlumtreeMessage<u8> = PlumtreeMessage::IHave { id: 8, round: 2 };
         assert!(!ihave.carries_payload());
         assert_eq!(ihave.id(), Some(8));
-        assert_eq!(PlumtreeMessage::<u8>::Graft { id: 9, round: 0 }.id(), Some(9));
+        assert_eq!(PlumtreeMessage::<u8>::Graft { id: Some(9), round: 0 }.id(), Some(9));
+        assert_eq!(PlumtreeMessage::<u8>::Graft { id: None, round: 0 }.id(), None);
         assert_eq!(PlumtreeMessage::<u8>::Prune.id(), None);
+    }
+
+    #[test]
+    fn batch_exposes_announcements() {
+        let anns = vec![Announcement { id: 1, round: 2 }, Announcement { id: 3, round: 4 }];
+        let batch: PlumtreeMessage<u8> = PlumtreeMessage::IHaveBatch { anns: anns.clone() };
+        assert!(!batch.carries_payload());
+        assert_eq!(batch.id(), None, "a batch spans several ids");
+        assert_eq!(batch.announcements(), anns.as_slice());
+        assert!(PlumtreeMessage::<u8>::Prune.announcements().is_empty());
     }
 }

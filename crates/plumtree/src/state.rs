@@ -1,11 +1,16 @@
 //! The sans-io Plumtree state machine.
 
 use crate::config::PlumtreeConfig;
-use crate::message::{MsgId, PlumtreeMessage};
+use crate::message::{Announcement, MsgId, PlumtreeMessage};
 use hyparview_core::collections::{RandomSet, RecentSet};
 use hyparview_core::Identity;
 use hyparview_gossip::Outbox;
 use std::collections::{HashMap, HashSet};
+
+/// Maximum number of announcements per `IHaveBatch` message. Flushes chunk
+/// longer queues so one batch always fits a wire frame (20 bytes per
+/// announcement, well under `hyparview-net`'s 64 KiB frame cap).
+pub const MAX_IHAVE_BATCH: usize = 1024;
 
 /// A local delivery produced by the state machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,15 +23,27 @@ pub struct PlumtreeDelivery<P> {
     pub payload: P,
 }
 
-/// A request to schedule a missing-message timer.
+/// The timers a Plumtree runtime must support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PlumtreeTimer {
+    /// Missing-message timer: an `IHave` arrived for an undelivered
+    /// message; on expiration the node grafts from an announcer.
+    Missing(MsgId),
+    /// Lazy-flush timer: announcements are queued; on expiration the
+    /// per-peer queues drain as (batched) `IHave`s.
+    LazyFlush,
+}
+
+/// A request to schedule a timer.
 ///
-/// The runtime must call [`PlumtreeState::on_timer`] with `id` after
+/// The runtime must call [`PlumtreeState::on_timer`] with `timer` after
 /// `delay` timer units. Timers need no cancellation support: an expiration
-/// for an already-delivered message is a no-op.
+/// that is no longer relevant (message already delivered, queues empty) is
+/// a no-op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimerRequest {
-    /// Message the timer watches for.
-    pub id: MsgId,
+    /// Which timer to arm.
+    pub timer: PlumtreeTimer,
     /// Delay in abstract timer units (see [`PlumtreeConfig`]).
     pub delay: u64,
 }
@@ -66,22 +83,64 @@ impl<I: Identity, P> PlumtreeOut<I, P> {
 pub struct PlumtreeStats {
     /// Payload messages sent (eager pushes and graft replies).
     pub gossip_sent: u64,
-    /// `IHave` announcements sent.
+    /// `IHave` announcements sent (batched announcements count
+    /// individually; see [`PlumtreeStats::ihave_batches_sent`] for frames).
     pub ihave_sent: u64,
-    /// `Graft` repairs sent.
+    /// `IHaveBatch` frames sent (each carrying ≥ 2 announcements).
+    pub ihave_batches_sent: u64,
+    /// `Graft` repairs sent (payload-pulling grafts only).
     pub grafts_sent: u64,
     /// `Prune` demotions sent.
     pub prunes_sent: u64,
+    /// Tree optimizations performed (§3.8): a shorter lazy path was
+    /// swapped into the tree (one payload-free `Graft` + one `Prune`).
+    pub optimizations: u64,
+    /// Missing messages abandoned after
+    /// [`PlumtreeConfig::graft_retry_limit`] failed `Graft` attempts.
+    pub graft_dead_letters: u64,
     /// First-time payload deliveries (own broadcasts included).
     pub delivered: u64,
     /// Redundant payload receipts.
     pub redundant: u64,
 }
 
+impl std::ops::AddAssign for PlumtreeStats {
+    fn add_assign(&mut self, rhs: PlumtreeStats) {
+        self.gossip_sent += rhs.gossip_sent;
+        self.ihave_sent += rhs.ihave_sent;
+        self.ihave_batches_sent += rhs.ihave_batches_sent;
+        self.grafts_sent += rhs.grafts_sent;
+        self.prunes_sent += rhs.prunes_sent;
+        self.optimizations += rhs.optimizations;
+        self.graft_dead_letters += rhs.graft_dead_letters;
+        self.delivered += rhs.delivered;
+        self.redundant += rhs.redundant;
+    }
+}
+
 #[derive(Debug, Clone)]
-struct Cached<P> {
+struct Cached<I, P> {
     round: u32,
+    /// The eager peer that delivered the payload (`None` for own
+    /// broadcasts) — the node's parent in this message's tree, and the
+    /// link tree optimization prunes when a shorter lazy path shows up.
+    parent: Option<I>,
     payload: P,
+}
+
+/// Announcers and graft attempts of one undelivered message.
+#[derive(Debug, Clone)]
+struct MissingEntry<I> {
+    /// Announcers in arrival order, each with the round it announced.
+    announcers: Vec<(I, u32)>,
+    /// `Graft`s already sent for this message.
+    grafts: u32,
+}
+
+impl<I> Default for MissingEntry<I> {
+    fn default() -> Self {
+        MissingEntry { announcers: Vec::new(), grafts: 0 }
+    }
 }
 
 /// Per-node Plumtree state: eager/lazy peer sets, the message cache and the
@@ -103,11 +162,16 @@ pub struct PlumtreeState<I: Identity, P: Clone> {
     lazy: RandomSet<I>,
     /// FIFO index over the cached ids; evictions keep `cache` in sync.
     seen: RecentSet<MsgId>,
-    cache: HashMap<MsgId, Cached<P>>,
-    /// Announcers of messages we have not delivered yet, in arrival order.
-    missing: HashMap<MsgId, Vec<(I, u32)>>,
+    cache: HashMap<MsgId, Cached<I, P>>,
+    /// Undelivered messages we have heard announcements for.
+    missing: HashMap<MsgId, MissingEntry<I>>,
     /// Messages with an armed missing-message timer.
     timer_armed: HashSet<MsgId>,
+    /// Per-peer queued lazy announcements, in lazy-set insertion order
+    /// (a `Vec` keeps flush order deterministic for the simulator).
+    lazy_queue: Vec<(I, Vec<Announcement>)>,
+    /// Whether a [`PlumtreeTimer::LazyFlush`] is in flight.
+    flush_armed: bool,
     stats: PlumtreeStats,
 }
 
@@ -124,6 +188,8 @@ impl<I: Identity, P: Clone> PlumtreeState<I, P> {
             cache: HashMap::new(),
             missing: HashMap::new(),
             timer_armed: HashSet::new(),
+            lazy_queue: Vec::new(),
+            flush_armed: false,
             stats: PlumtreeStats::default(),
         }
     }
@@ -164,6 +230,12 @@ impl<I: Identity, P: Clone> PlumtreeState<I, P> {
         self.cache.len()
     }
 
+    /// Number of lazy announcements queued for the next flush (0 when
+    /// batching is disabled).
+    pub fn queued_announcements(&self) -> usize {
+        self.lazy_queue.iter().map(|(_, anns)| anns.len()).sum()
+    }
+
     /// Cumulative counters.
     pub fn stats(&self) -> &PlumtreeStats {
         &self.stats
@@ -183,13 +255,14 @@ impl<I: Identity, P: Clone> PlumtreeState<I, P> {
     }
 
     /// `peer` left the active view: forget it entirely, including its
-    /// outstanding `IHave` announcements.
+    /// outstanding `IHave` announcements and queued lazy pushes.
     pub fn on_neighbor_down(&mut self, peer: I) {
         self.eager.remove(&peer);
         self.lazy.remove(&peer);
-        for announcers in self.missing.values_mut() {
-            announcers.retain(|(p, _)| *p != peer);
+        for entry in self.missing.values_mut() {
+            entry.announcers.retain(|(p, _)| *p != peer);
         }
+        self.lazy_queue.retain(|(p, _)| *p != peer);
     }
 
     /// Reconciles the eager/lazy sets against a fresh active-view snapshot:
@@ -219,7 +292,7 @@ impl<I: Identity, P: Clone> PlumtreeState<I, P> {
     /// Starts a broadcast at this node: delivers locally, eager-pushes the
     /// payload and lazily announces it.
     pub fn broadcast(&mut self, id: MsgId, payload: P, out: &mut PlumtreeOut<I, P>) {
-        if !self.remember(id, 0, payload.clone()) {
+        if !self.remember(id, 0, None, payload.clone()) {
             return; // id collision with a cached broadcast: drop
         }
         self.stats.delivered += 1;
@@ -240,32 +313,72 @@ impl<I: Identity, P: Clone> PlumtreeState<I, P> {
                 self.on_gossip(from, id, round, payload, out)
             }
             PlumtreeMessage::IHave { id, round } => self.on_ihave(from, id, round, out),
+            PlumtreeMessage::IHaveBatch { anns } => {
+                for ann in anns {
+                    self.on_ihave(from, ann.id, ann.round, out);
+                }
+            }
             PlumtreeMessage::Graft { id, round } => self.on_graft(from, id, round, out),
             PlumtreeMessage::Prune => self.on_prune(from),
         }
     }
 
-    /// A missing-message timer armed by an earlier [`TimerRequest`] expired.
-    pub fn on_timer(&mut self, id: MsgId, out: &mut PlumtreeOut<I, P>) {
+    /// A timer armed by an earlier [`TimerRequest`] expired.
+    pub fn on_timer(&mut self, timer: PlumtreeTimer, out: &mut PlumtreeOut<I, P>) {
+        match timer {
+            PlumtreeTimer::Missing(id) => self.on_missing_timer(id, out),
+            PlumtreeTimer::LazyFlush => self.on_flush_timer(out),
+        }
+    }
+
+    fn on_missing_timer(&mut self, id: MsgId, out: &mut PlumtreeOut<I, P>) {
         self.timer_armed.remove(&id);
         if self.has_seen(id) {
             self.missing.remove(&id);
             return;
         }
-        let Some(announcers) = self.missing.get_mut(&id) else {
+        let Some(entry) = self.missing.get_mut(&id) else {
             return;
         };
-        if announcers.is_empty() {
+        if entry.announcers.is_empty() {
             self.missing.remove(&id);
             return;
         }
+        if entry.grafts >= self.config.graft_retry_limit {
+            // Every retry failed (partitioned overlay, dead announcers):
+            // stop re-arming and count the message as a dead letter.
+            self.missing.remove(&id);
+            self.stats.graft_dead_letters += 1;
+            return;
+        }
+        entry.grafts += 1;
         // Pull from the earliest announcer and move the link into the tree;
         // if it too is gone, the next expiration tries the next one.
-        let (peer, round) = announcers.remove(0);
+        let (peer, round) = entry.announcers.remove(0);
         self.promote_eager(peer);
         self.stats.grafts_sent += 1;
-        out.outbox.send(peer, PlumtreeMessage::Graft { id, round });
-        self.arm_timer(id, self.config.graft_timeout, out);
+        out.outbox.send(peer, PlumtreeMessage::Graft { id: Some(id), round });
+        self.arm_missing_timer(id, self.config.graft_timeout, out);
+    }
+
+    /// Drains the per-peer announcement queues as (batched) `IHave`s.
+    fn on_flush_timer(&mut self, out: &mut PlumtreeOut<I, P>) {
+        self.flush_armed = false;
+        let queue = std::mem::take(&mut self.lazy_queue);
+        for (peer, anns) in queue {
+            if !self.is_neighbor(&peer) {
+                continue;
+            }
+            for chunk in anns.chunks(MAX_IHAVE_BATCH) {
+                self.stats.ihave_sent += chunk.len() as u64;
+                if let [ann] = chunk {
+                    out.outbox.send(peer, PlumtreeMessage::IHave { id: ann.id, round: ann.round });
+                } else {
+                    self.stats.ihave_batches_sent += 1;
+                    out.outbox.send(peer, PlumtreeMessage::IHaveBatch { anns: chunk.to_vec() });
+                }
+            }
+        }
     }
 
     fn on_gossip(
@@ -276,14 +389,31 @@ impl<I: Identity, P: Clone> PlumtreeState<I, P> {
         payload: P,
         out: &mut PlumtreeOut<I, P>,
     ) {
-        if self.remember(id, round, payload.clone()) {
+        if self.remember(id, round, Some(from), payload.clone()) {
             self.stats.delivered += 1;
             out.deliveries.push(PlumtreeDelivery { id, round, payload: payload.clone() });
-            self.missing.remove(&id);
+            let pending = self.missing.remove(&id);
             // The sender is our parent in the tree for this message.
             self.promote_eager(from);
             self.eager_push(id, round + 1, payload, Some(from), out);
             self.lazy_push(id, round + 1, Some(from), out);
+            // Over unit-latency links payloads and announcements arrive in
+            // strict round order, so the announcement of a shorter lazy
+            // path always *precedes* the eager delivery — it is waiting in
+            // the missing entry rather than arriving as a late IHave.
+            // Consider the shortest still-lazy announcer for optimization
+            // (after the pushes above, which must use the pre-swap sets).
+            if let Some(entry) = pending {
+                let best = entry
+                    .announcers
+                    .iter()
+                    .filter(|(peer, _)| self.lazy.contains(peer))
+                    .min_by_key(|(_, ann_round)| *ann_round)
+                    .copied();
+                if let Some((peer, ann_round)) = best {
+                    self.maybe_optimize(peer, id, ann_round, out);
+                }
+            }
         } else {
             // Redundant payload: demote the link and tell the sender.
             self.stats.redundant += 1;
@@ -295,16 +425,61 @@ impl<I: Identity, P: Clone> PlumtreeState<I, P> {
 
     fn on_ihave(&mut self, from: I, id: MsgId, round: u32, out: &mut PlumtreeOut<I, P>) {
         if self.has_seen(id) {
+            self.maybe_optimize(from, id, round, out);
             return;
         }
-        self.missing.entry(id).or_default().push((from, round));
+        self.missing.entry(id).or_default().announcers.push((from, round));
         if !self.timer_armed.contains(&id) {
-            self.arm_timer(id, self.config.ihave_timeout, out);
+            self.arm_missing_timer(id, self.config.ihave_timeout, out);
         }
     }
 
-    fn on_graft(&mut self, from: I, id: MsgId, _round: u32, out: &mut PlumtreeOut<I, P>) {
+    /// Plumtree §3.8 tree optimization: an `IHave` for an already-delivered
+    /// message whose announced round beats the eager delivery round by at
+    /// least [`PlumtreeConfig::optimization_threshold`] reveals a shorter
+    /// path through the overlay. Swap it into the tree: promote the lazy
+    /// announcer with a payload-free `Graft` and `Prune` the current eager
+    /// parent, keeping the tree shallow as the overlay evolves.
+    fn maybe_optimize(&mut self, from: I, id: MsgId, round: u32, out: &mut PlumtreeOut<I, P>) {
+        let Some(threshold) = self.config.optimization_threshold else {
+            return;
+        };
+        if !self.lazy.contains(&from) {
+            return;
+        }
+        let Some(cached) = self.cache.get(&id) else {
+            return;
+        };
+        let (eager_round, parent) = (cached.round, cached.parent);
+        let Some(parent) = parent else {
+            return; // own broadcast: this node is the root
+        };
+        if parent == from || !self.eager.contains(&parent) {
+            return;
+        }
+        if round >= eager_round || eager_round - round < threshold {
+            return;
+        }
         self.promote_eager(from);
+        out.outbox.send(from, PlumtreeMessage::Graft { id: None, round });
+        self.demote_lazy(parent);
+        self.stats.prunes_sent += 1;
+        out.outbox.send(parent, PlumtreeMessage::Prune);
+        if let Some(cached) = self.cache.get_mut(&id) {
+            // The swap makes `from` the expected parent at *its* announced
+            // round: later announcements must beat the new path, not the
+            // original delivery, or a worse announcer could undo the swap.
+            cached.parent = Some(from);
+            cached.round = round;
+        }
+        self.stats.optimizations += 1;
+    }
+
+    fn on_graft(&mut self, from: I, id: Option<MsgId>, _round: u32, out: &mut PlumtreeOut<I, P>) {
+        self.promote_eager(from);
+        let Some(id) = id else {
+            return; // optimization graft: promotion only, no payload pull
+        };
         if let Some(cached) = self.cache.get(&id) {
             self.stats.gossip_sent += 1;
             out.outbox.send(
@@ -328,14 +503,14 @@ impl<I: Identity, P: Clone> PlumtreeState<I, P> {
 
     /// Marks the missing-message timer for `id` armed and asks the runtime
     /// to schedule it.
-    fn arm_timer(&mut self, id: MsgId, delay: u64, out: &mut PlumtreeOut<I, P>) {
+    fn arm_missing_timer(&mut self, id: MsgId, delay: u64, out: &mut PlumtreeOut<I, P>) {
         self.timer_armed.insert(id);
-        out.timers.push(TimerRequest { id, delay });
+        out.timers.push(TimerRequest { timer: PlumtreeTimer::Missing(id), delay });
     }
 
     /// Records `id` as seen and caches its payload, returning `true` on
     /// first sight. Evictions from the bounded index drop the payload too.
-    fn remember(&mut self, id: MsgId, round: u32, payload: P) -> bool {
+    fn remember(&mut self, id: MsgId, round: u32, parent: Option<I>, payload: P) -> bool {
         let (fresh, evicted) = self.seen.insert_evicting(id);
         if !fresh {
             return false;
@@ -343,7 +518,7 @@ impl<I: Identity, P: Clone> PlumtreeState<I, P> {
         if let Some(old) = evicted {
             self.cache.remove(&old);
         }
-        self.cache.insert(id, Cached { round, payload });
+        self.cache.insert(id, Cached { round, parent, payload });
         true
     }
 
@@ -371,12 +546,35 @@ impl<I: Identity, P: Clone> PlumtreeState<I, P> {
         exclude: Option<I>,
         out: &mut PlumtreeOut<I, P>,
     ) {
+        if self.config.lazy_flush_interval == 0 {
+            // Batching disabled: one IHave frame per message per lazy peer.
+            for peer in self.lazy.iter().copied().collect::<Vec<_>>() {
+                if Some(peer) == exclude {
+                    continue;
+                }
+                self.stats.ihave_sent += 1;
+                out.outbox.send(peer, PlumtreeMessage::IHave { id, round });
+            }
+            return;
+        }
+        let ann = Announcement { id, round };
+        let mut queued = false;
         for peer in self.lazy.iter().copied().collect::<Vec<_>>() {
             if Some(peer) == exclude {
                 continue;
             }
-            self.stats.ihave_sent += 1;
-            out.outbox.send(peer, PlumtreeMessage::IHave { id, round });
+            match self.lazy_queue.iter_mut().find(|(p, _)| *p == peer) {
+                Some((_, anns)) => anns.push(ann),
+                None => self.lazy_queue.push((peer, vec![ann])),
+            }
+            queued = true;
+        }
+        if queued && !self.flush_armed {
+            self.flush_armed = true;
+            out.timers.push(TimerRequest {
+                timer: PlumtreeTimer::LazyFlush,
+                delay: self.config.lazy_flush_interval,
+            });
         }
     }
 
@@ -403,7 +601,11 @@ mod tests {
     type State = PlumtreeState<u32, &'static str>;
 
     fn node_with_neighbors(neighbors: &[u32]) -> State {
-        let mut s = State::new(0, PlumtreeConfig::default());
+        node_with_config(neighbors, PlumtreeConfig::default())
+    }
+
+    fn node_with_config(neighbors: &[u32], config: PlumtreeConfig) -> State {
+        let mut s = State::new(0, config);
         for &p in neighbors {
             s.on_neighbor_up(p);
         }
@@ -486,10 +688,38 @@ mod tests {
         let mut s = node_with_neighbors(&[1, 2]);
         let mut out = PlumtreeOut::new();
         s.handle_message(1, PlumtreeMessage::IHave { id: 6, round: 3 }, &mut out);
-        assert_eq!(out.timers, vec![TimerRequest { id: 6, delay: s.config().ihave_timeout }]);
+        assert_eq!(
+            out.timers,
+            vec![TimerRequest {
+                timer: PlumtreeTimer::Missing(6),
+                delay: s.config().ihave_timeout
+            }]
+        );
         out = PlumtreeOut::new();
         s.handle_message(2, PlumtreeMessage::IHave { id: 6, round: 4 }, &mut out);
         assert!(out.timers.is_empty(), "second announcement reuses the armed timer");
+    }
+
+    #[test]
+    fn ihave_batch_is_equivalent_to_single_ihaves() {
+        let mut s = node_with_neighbors(&[1, 2]);
+        let mut out = PlumtreeOut::new();
+        let anns = vec![Announcement { id: 6, round: 3 }, Announcement { id: 7, round: 4 }];
+        s.handle_message(1, PlumtreeMessage::IHaveBatch { anns }, &mut out);
+        let timers: Vec<PlumtreeTimer> = out.timers.iter().map(|t| t.timer).collect();
+        assert_eq!(timers, vec![PlumtreeTimer::Missing(6), PlumtreeTimer::Missing(7)]);
+        // The announcers are recorded per id: both messages graft from 1.
+        out = PlumtreeOut::new();
+        s.on_timer(PlumtreeTimer::Missing(6), &mut out);
+        s.on_timer(PlumtreeTimer::Missing(7), &mut out);
+        let msgs = sends(&mut out);
+        assert_eq!(
+            msgs,
+            vec![
+                (1, PlumtreeMessage::Graft { id: Some(6), round: 3 }),
+                (1, PlumtreeMessage::Graft { id: Some(7), round: 4 }),
+            ]
+        );
     }
 
     #[test]
@@ -511,19 +741,52 @@ mod tests {
         s.handle_message(1, PlumtreeMessage::IHave { id: 6, round: 3 }, &mut out);
         s.handle_message(2, PlumtreeMessage::IHave { id: 6, round: 5 }, &mut out);
         out = PlumtreeOut::new();
-        s.on_timer(6, &mut out);
+        s.on_timer(PlumtreeTimer::Missing(6), &mut out);
         let msgs = sends(&mut out);
-        assert_eq!(msgs, vec![(1, PlumtreeMessage::Graft { id: 6, round: 3 })]);
+        assert_eq!(msgs, vec![(1, PlumtreeMessage::Graft { id: Some(6), round: 3 })]);
         assert!(s.eager_peers().contains(&1), "grafted link rejoins the tree");
-        assert_eq!(out.timers, vec![TimerRequest { id: 6, delay: s.config().graft_timeout }]);
+        assert_eq!(
+            out.timers,
+            vec![TimerRequest {
+                timer: PlumtreeTimer::Missing(6),
+                delay: s.config().graft_timeout
+            }]
+        );
         // Second expiration tries the next announcer.
         out = PlumtreeOut::new();
-        s.on_timer(6, &mut out);
+        s.on_timer(PlumtreeTimer::Missing(6), &mut out);
         let msgs = sends(&mut out);
-        assert_eq!(msgs, vec![(2, PlumtreeMessage::Graft { id: 6, round: 5 })]);
+        assert_eq!(msgs, vec![(2, PlumtreeMessage::Graft { id: Some(6), round: 5 })]);
         // Third expiration has nobody left: it stops quietly.
         out = PlumtreeOut::new();
-        s.on_timer(6, &mut out);
+        s.on_timer(PlumtreeTimer::Missing(6), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn graft_retries_cap_at_the_limit_and_count_dead_letters() {
+        let mut s = node_with_config(&[1, 2], PlumtreeConfig::default().with_graft_retry_limit(2));
+        s.on_prune(1);
+        let mut out = PlumtreeOut::new();
+        // An endless stream of announcements for a message that never
+        // arrives (the announcer is partitioned away).
+        for round in 0..8 {
+            s.handle_message(1, PlumtreeMessage::IHave { id: 6, round }, &mut out);
+        }
+        out = PlumtreeOut::new();
+        s.on_timer(PlumtreeTimer::Missing(6), &mut out);
+        assert_eq!(sends(&mut out).len(), 1, "first graft");
+        out = PlumtreeOut::new();
+        s.on_timer(PlumtreeTimer::Missing(6), &mut out);
+        assert_eq!(sends(&mut out).len(), 1, "second graft");
+        out = PlumtreeOut::new();
+        s.on_timer(PlumtreeTimer::Missing(6), &mut out);
+        assert!(out.is_empty(), "retry cap reached: no further grafts, no re-arm");
+        assert_eq!(s.stats().graft_dead_letters, 1);
+        assert_eq!(s.stats().grafts_sent, 2);
+        // Later expirations for the dropped entry are no-ops.
+        out = PlumtreeOut::new();
+        s.on_timer(PlumtreeTimer::Missing(6), &mut out);
         assert!(out.is_empty());
     }
 
@@ -534,7 +797,7 @@ mod tests {
         s.handle_message(1, PlumtreeMessage::IHave { id: 6, round: 3 }, &mut out);
         s.handle_message(2, PlumtreeMessage::Gossip { id: 6, round: 2, payload: "m" }, &mut out);
         out = PlumtreeOut::new();
-        s.on_timer(6, &mut out);
+        s.on_timer(PlumtreeTimer::Missing(6), &mut out);
         assert!(out.is_empty());
     }
 
@@ -545,7 +808,7 @@ mod tests {
         let mut out = PlumtreeOut::new();
         s.handle_message(1, PlumtreeMessage::Gossip { id: 3, round: 1, payload: "m" }, &mut out);
         out = PlumtreeOut::new();
-        s.handle_message(2, PlumtreeMessage::Graft { id: 3, round: 1 }, &mut out);
+        s.handle_message(2, PlumtreeMessage::Graft { id: Some(3), round: 1 }, &mut out);
         let msgs = sends(&mut out);
         assert_eq!(msgs.len(), 1);
         assert!(matches!(msgs[0], (2, PlumtreeMessage::Gossip { id: 3, round: 2, payload: "m" })));
@@ -556,8 +819,20 @@ mod tests {
     fn graft_for_unknown_id_sends_nothing() {
         let mut s = node_with_neighbors(&[1]);
         let mut out = PlumtreeOut::new();
-        s.handle_message(1, PlumtreeMessage::Graft { id: 99, round: 1 }, &mut out);
+        s.handle_message(1, PlumtreeMessage::Graft { id: Some(99), round: 1 }, &mut out);
         assert!(sends(&mut out).is_empty());
+    }
+
+    #[test]
+    fn optimization_graft_promotes_without_pulling() {
+        let mut s = node_with_neighbors(&[1]);
+        s.on_prune(1);
+        let mut out = PlumtreeOut::new();
+        s.broadcast(3, "m", &mut out);
+        out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::Graft { id: None, round: 1 }, &mut out);
+        assert!(sends(&mut out).is_empty(), "no payload reply to an optimization graft");
+        assert!(s.eager_peers().contains(&1), "the link is promoted");
     }
 
     #[test]
@@ -568,7 +843,7 @@ mod tests {
         s.on_neighbor_down(1);
         assert!(!s.is_neighbor(&1));
         out = PlumtreeOut::new();
-        s.on_timer(6, &mut out);
+        s.on_timer(PlumtreeTimer::Missing(6), &mut out);
         assert!(out.is_empty(), "downed announcer is never grafted");
     }
 
@@ -587,7 +862,7 @@ mod tests {
         let mut s = node_with_neighbors(&[1, 2, 3]);
         let mut out = PlumtreeOut::new();
         s.on_prune(1);
-        s.handle_message(1, PlumtreeMessage::Graft { id: 1, round: 0 }, &mut out);
+        s.handle_message(1, PlumtreeMessage::Graft { id: Some(1), round: 0 }, &mut out);
         s.on_prune(2);
         s.on_prune(2);
         for p in [1u32, 2, 3] {
@@ -609,7 +884,7 @@ mod tests {
         assert_eq!(s.cached_len(), 2, "cache tracks the bounded index");
         assert!(!s.has_seen(0), "oldest id evicted");
         out = PlumtreeOut::new();
-        s.handle_message(1, PlumtreeMessage::Graft { id: 0, round: 0 }, &mut out);
+        s.handle_message(1, PlumtreeMessage::Graft { id: Some(0), round: 0 }, &mut out);
         assert!(sends(&mut out).is_empty(), "evicted payloads cannot be grafted");
     }
 
@@ -621,5 +896,263 @@ mod tests {
         out = PlumtreeOut::new();
         s.broadcast(7, "b", &mut out);
         assert!(out.is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // Tree optimization (§3.8)
+    // ------------------------------------------------------------------
+
+    fn optimizing_node() -> State {
+        // Node 0 with eager parent 1 and lazy shortcut 2.
+        let mut s = node_with_config(
+            &[1, 2],
+            PlumtreeConfig::default().with_optimization_threshold(Some(3)),
+        );
+        s.on_prune(2);
+        let mut out = PlumtreeOut::new();
+        // Deep eager delivery: round 8 through parent 1.
+        s.handle_message(1, PlumtreeMessage::Gossip { id: 5, round: 8, payload: "m" }, &mut out);
+        s
+    }
+
+    #[test]
+    fn short_ihave_swaps_the_lazy_link_into_the_tree() {
+        let mut s = optimizing_node();
+        let mut out = PlumtreeOut::new();
+        // The lazy peer announces the same message at round 2: 8 − 2 ≥ 3.
+        s.handle_message(2, PlumtreeMessage::IHave { id: 5, round: 2 }, &mut out);
+        let msgs = sends(&mut out);
+        assert_eq!(
+            msgs,
+            vec![(2, PlumtreeMessage::Graft { id: None, round: 2 }), (1, PlumtreeMessage::Prune),]
+        );
+        assert!(s.eager_peers().contains(&2), "shorter path promoted");
+        assert!(s.lazy_peers().contains(&1), "old parent demoted");
+        assert_eq!(s.stats().optimizations, 1);
+        assert!(out.timers.is_empty(), "no missing timer for a delivered message");
+    }
+
+    #[test]
+    fn pending_short_announcement_optimizes_at_delivery() {
+        // Unit-latency order: the short lazy announcement arrives *before*
+        // the deep eager payload. The swap must still happen, evaluated
+        // when the payload lands.
+        let mut s = node_with_config(
+            &[1, 2],
+            PlumtreeConfig::default().with_optimization_threshold(Some(3)),
+        );
+        s.on_prune(2);
+        let mut out = PlumtreeOut::new();
+        s.handle_message(2, PlumtreeMessage::IHave { id: 5, round: 2 }, &mut out);
+        out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::Gossip { id: 5, round: 8, payload: "m" }, &mut out);
+        let msgs = sends(&mut out);
+        assert!(
+            msgs.contains(&(2, PlumtreeMessage::Graft { id: None, round: 2 })),
+            "promote the shorter lazy path: {msgs:?}"
+        );
+        assert!(msgs.contains(&(1, PlumtreeMessage::Prune)), "prune the deep parent: {msgs:?}");
+        assert!(s.eager_peers().contains(&2) && s.lazy_peers().contains(&1));
+        assert_eq!(s.stats().optimizations, 1);
+    }
+
+    #[test]
+    fn optimization_tracks_the_swapped_round() {
+        // After swapping to a round-2 path, a later round-5 announcement
+        // must NOT win (5 ≥ 2), even though it beats the original round-8
+        // delivery — otherwise a worse announcer undoes the optimization.
+        let mut s = node_with_config(
+            &[1, 2, 3],
+            PlumtreeConfig::default().with_optimization_threshold(Some(3)),
+        );
+        s.on_prune(2);
+        s.on_prune(3);
+        let mut out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::Gossip { id: 5, round: 8, payload: "m" }, &mut out);
+        out = PlumtreeOut::new();
+        s.handle_message(2, PlumtreeMessage::IHave { id: 5, round: 2 }, &mut out);
+        assert_eq!(s.stats().optimizations, 1, "first swap: 8 − 2 ≥ 3");
+        out = PlumtreeOut::new();
+        s.handle_message(3, PlumtreeMessage::IHave { id: 5, round: 5 }, &mut out);
+        assert!(out.is_empty(), "round 5 must not displace the round-2 parent");
+        assert!(s.eager_peers().contains(&2), "the round-2 parent keeps its tree link");
+        assert_eq!(s.stats().optimizations, 1);
+    }
+
+    #[test]
+    fn optimization_respects_the_threshold() {
+        let mut s = optimizing_node();
+        let mut out = PlumtreeOut::new();
+        // 8 − 6 = 2 < threshold 3: no swap.
+        s.handle_message(2, PlumtreeMessage::IHave { id: 5, round: 6 }, &mut out);
+        assert!(out.is_empty());
+        assert!(s.eager_peers().contains(&1), "parent keeps its tree link");
+        assert_eq!(s.stats().optimizations, 0);
+    }
+
+    #[test]
+    fn optimization_disabled_by_default() {
+        let mut s = node_with_neighbors(&[1, 2]);
+        s.on_prune(2);
+        let mut out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::Gossip { id: 5, round: 9, payload: "m" }, &mut out);
+        out = PlumtreeOut::new();
+        s.handle_message(2, PlumtreeMessage::IHave { id: 5, round: 1 }, &mut out);
+        assert!(out.is_empty(), "threshold None never optimizes");
+    }
+
+    #[test]
+    fn optimization_skips_own_broadcasts_and_repeat_announcers() {
+        let mut s = node_with_config(
+            &[1, 2],
+            PlumtreeConfig::default().with_optimization_threshold(Some(1)),
+        );
+        s.on_prune(2);
+        let mut out = PlumtreeOut::new();
+        s.broadcast(5, "m", &mut out);
+        out = PlumtreeOut::new();
+        // This node is the root for id 5: nothing to optimize.
+        s.handle_message(2, PlumtreeMessage::IHave { id: 5, round: 0 }, &mut out);
+        assert!(out.is_empty());
+        // A second message delivered through 1, then announced *by 1*:
+        // the announcer is the parent itself, no swap.
+        s.handle_message(1, PlumtreeMessage::Gossip { id: 6, round: 7, payload: "m" }, &mut out);
+        s.on_prune(1);
+        out = PlumtreeOut::new();
+        s.handle_message(1, PlumtreeMessage::IHave { id: 6, round: 1 }, &mut out);
+        assert!(sends(&mut out).is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy-link batching
+    // ------------------------------------------------------------------
+
+    fn batching_node() -> State {
+        let mut s =
+            node_with_config(&[1, 2, 3], PlumtreeConfig::default().with_lazy_flush_interval(4));
+        s.on_prune(2);
+        s.on_prune(3);
+        s
+    }
+
+    #[test]
+    fn batching_queues_announcements_until_the_flush_timer() {
+        let mut s = batching_node();
+        let mut out = PlumtreeOut::new();
+        s.broadcast(10, "a", &mut out);
+        s.broadcast(11, "b", &mut out);
+        let msgs = sends(&mut out);
+        assert!(
+            msgs.iter().all(|(_, m)| m.carries_payload()),
+            "no IHave leaves before the flush: {msgs:?}"
+        );
+        assert_eq!(s.queued_announcements(), 4, "2 messages × 2 lazy peers");
+        // Exactly one flush timer armed for the pair of broadcasts.
+        let flushes: Vec<_> =
+            out.timers.iter().filter(|t| t.timer == PlumtreeTimer::LazyFlush).collect();
+        assert_eq!(flushes.len(), 1);
+        assert_eq!(flushes[0].delay, 4);
+
+        out = PlumtreeOut::new();
+        s.on_timer(PlumtreeTimer::LazyFlush, &mut out);
+        let msgs = sends(&mut out);
+        assert_eq!(msgs.len(), 2, "one batch per lazy peer");
+        for (to, m) in &msgs {
+            assert!([2, 3].contains(to));
+            let anns = m.announcements();
+            assert_eq!(anns.len(), 2, "both announcements batched: {m:?}");
+            assert_eq!(anns[0], Announcement { id: 10, round: 1 });
+            assert_eq!(anns[1], Announcement { id: 11, round: 1 });
+        }
+        assert_eq!(s.queued_announcements(), 0);
+        assert_eq!(s.stats().ihave_sent, 4);
+        assert_eq!(s.stats().ihave_batches_sent, 2);
+    }
+
+    #[test]
+    fn single_queued_announcement_flushes_as_plain_ihave() {
+        let mut s = batching_node();
+        let mut out = PlumtreeOut::new();
+        s.broadcast(10, "a", &mut out);
+        out = PlumtreeOut::new();
+        s.on_timer(PlumtreeTimer::LazyFlush, &mut out);
+        for (_, m) in sends(&mut out) {
+            assert!(matches!(m, PlumtreeMessage::IHave { id: 10, round: 1 }));
+        }
+        assert_eq!(s.stats().ihave_batches_sent, 0);
+    }
+
+    #[test]
+    fn flush_rearms_only_after_new_announcements() {
+        let mut s = batching_node();
+        let mut out = PlumtreeOut::new();
+        s.broadcast(10, "a", &mut out);
+        assert_eq!(out.timers.len(), 1);
+        out = PlumtreeOut::new();
+        s.on_timer(PlumtreeTimer::LazyFlush, &mut out);
+        assert!(out.timers.is_empty(), "an empty queue does not re-arm");
+        out = PlumtreeOut::new();
+        s.broadcast(11, "b", &mut out);
+        assert_eq!(out.timers.len(), 1, "new announcements arm a fresh flush");
+    }
+
+    #[test]
+    fn flush_skips_departed_peers() {
+        let mut s = batching_node();
+        let mut out = PlumtreeOut::new();
+        s.broadcast(10, "a", &mut out);
+        s.on_neighbor_down(2);
+        out = PlumtreeOut::new();
+        s.on_timer(PlumtreeTimer::LazyFlush, &mut out);
+        let msgs = sends(&mut out);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].0, 3, "only the surviving lazy peer is announced to");
+    }
+
+    #[test]
+    fn oversized_queues_chunk_at_the_batch_cap() {
+        let mut s =
+            node_with_config(&[1, 2], PlumtreeConfig::default().with_lazy_flush_interval(1));
+        s.on_prune(2);
+        let mut out = PlumtreeOut::new();
+        for id in 0..(MAX_IHAVE_BATCH as u128 + 5) {
+            s.broadcast(id, "m", &mut out);
+        }
+        out = PlumtreeOut::new();
+        s.on_timer(PlumtreeTimer::LazyFlush, &mut out);
+        let msgs = sends(&mut out);
+        assert_eq!(msgs.len(), 2, "queue splits into a full batch and a remainder");
+        assert_eq!(msgs[0].1.announcements().len(), MAX_IHAVE_BATCH);
+        assert_eq!(msgs[1].1.announcements().len(), 5);
+    }
+
+    #[test]
+    fn stats_add_assign_sums_every_field() {
+        let mut a = PlumtreeStats {
+            gossip_sent: 1,
+            ihave_sent: 2,
+            ihave_batches_sent: 3,
+            grafts_sent: 4,
+            prunes_sent: 5,
+            optimizations: 6,
+            graft_dead_letters: 7,
+            delivered: 8,
+            redundant: 9,
+        };
+        a += a;
+        assert_eq!(
+            a,
+            PlumtreeStats {
+                gossip_sent: 2,
+                ihave_sent: 4,
+                ihave_batches_sent: 6,
+                grafts_sent: 8,
+                prunes_sent: 10,
+                optimizations: 12,
+                graft_dead_letters: 14,
+                delivered: 16,
+                redundant: 18,
+            }
+        );
     }
 }

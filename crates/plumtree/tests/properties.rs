@@ -5,7 +5,9 @@
 //! * a full in-memory overlay delivers every broadcast to every node (the
 //!   tree spans the network), with and without pruning warm-up.
 
-use hyparview_plumtree::{PlumtreeConfig, PlumtreeMessage, PlumtreeOut, PlumtreeState};
+use hyparview_plumtree::{
+    PlumtreeConfig, PlumtreeMessage, PlumtreeOut, PlumtreeState, PlumtreeTimer,
+};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 
@@ -20,6 +22,10 @@ struct MiniNet {
 
 impl MiniNet {
     fn ring_with_chords(n: usize, chord_stride: usize) -> MiniNet {
+        MiniNet::ring_with_chords_cfg(n, chord_stride, PlumtreeConfig::default())
+    }
+
+    fn ring_with_chords_cfg(n: usize, chord_stride: usize, config: PlumtreeConfig) -> MiniNet {
         let mut adjacency = vec![Vec::new(); n];
         let mut link = |a: usize, b: usize| {
             if a != b && !adjacency[a].contains(&(b as u32)) {
@@ -35,7 +41,7 @@ impl MiniNet {
         }
         let mut nodes = Vec::with_capacity(n);
         for (v, view) in adjacency.iter().enumerate() {
-            let mut node = PlumtreeState::new(v as u32, PlumtreeConfig::default());
+            let mut node = PlumtreeState::new(v as u32, config.clone());
             node.sync_neighbors(view);
             nodes.push(node);
         }
@@ -49,16 +55,16 @@ impl MiniNet {
         self.nodes[origin].broadcast(id as u128, id, &mut out);
         let mut delivered = out.deliveries.len();
         let mut wire: VecDeque<(u32, u32, PlumtreeMessage<u64>)> = VecDeque::new();
-        let mut timers: VecDeque<(u32, u128)> = VecDeque::new();
+        let mut timers: VecDeque<(u32, PlumtreeTimer)> = VecDeque::new();
         let enqueue = |from: u32,
                        out: &mut PlumtreeOut<u32, u64>,
                        wire: &mut VecDeque<(u32, u32, PlumtreeMessage<u64>)>,
-                       timers: &mut VecDeque<(u32, u128)>| {
+                       timers: &mut VecDeque<(u32, PlumtreeTimer)>| {
             for (to, msg) in out.outbox.drain() {
                 wire.push_back((from, to, msg));
             }
             for t in out.timers.drain(..) {
-                timers.push_back((from, t.id));
+                timers.push_back((from, t.timer));
             }
         };
         enqueue(origin as u32, &mut out, &mut wire, &mut timers);
@@ -70,9 +76,9 @@ impl MiniNet {
                 enqueue(to, &mut out, &mut wire, &mut timers);
             }
             // All traffic quiesced: fire pending timers (worst case).
-            let Some((node, id)) = timers.pop_front() else { break };
+            let Some((node, timer)) = timers.pop_front() else { break };
             let mut out = PlumtreeOut::new();
-            self.nodes[node as usize].on_timer(id, &mut out);
+            self.nodes[node as usize].on_timer(timer, &mut out);
             delivered += out.deliveries.len();
             enqueue(node, &mut out, &mut wire, &mut timers);
         }
@@ -126,6 +132,33 @@ proptest! {
         prop_assert_eq!(redundant_after, redundant_before,
             "steady-state broadcast produced redundant payload receipts");
         net.check_invariants();
+    }
+
+    /// With tree optimization and lazy batching enabled, broadcasts still
+    /// span the overlay and the eager/lazy invariants hold — the adaptive
+    /// machinery must never cost reliability.
+    #[test]
+    fn adaptive_broadcasts_span_the_overlay(
+        n in 4usize..40,
+        stride in 2usize..7,
+        threshold in 1u32..4,
+        flush in 1u64..6,
+    ) {
+        let config = PlumtreeConfig::default()
+            .with_optimization_threshold(Some(threshold))
+            .with_lazy_flush_interval(flush);
+        let mut net = MiniNet::ring_with_chords_cfg(n, stride % n.max(2), config);
+        for round in 0..6u64 {
+            let delivered = net.broadcast(round as usize % n, round);
+            prop_assert_eq!(delivered, n, "adaptive broadcast {} did not span", round);
+            net.check_invariants();
+        }
+        // Any connected overlay with n ≥ 4 produces at least one redundant
+        // delivery, so pruning demotes links and later broadcasts announce
+        // over them — through the flush-timer queue, since flush > 0. A
+        // zero here means the batched lazy path went dead.
+        let announced: u64 = net.nodes.iter().map(|s| s.stats().ihave_sent).sum();
+        prop_assert!(announced > 0, "flushed lazy links never announced anything");
     }
 
     /// Arbitrary neighbor churn keeps the state machine's sets disjoint and

@@ -103,6 +103,13 @@ pub struct ChurnReport {
     pub crashed: usize,
     /// Nodes joined this epoch (new + revived).
     pub joined: usize,
+    /// `Graft` repairs sent during the epoch — Plumtree's tree-repair
+    /// activity; spikes right after crashes and decays as the tree heals.
+    /// Always 0 in flood mode.
+    pub grafts: u64,
+    /// Missing messages abandoned after exhausting their graft retries
+    /// during the epoch (Plumtree mode only).
+    pub graft_dead_letters: u64,
 }
 
 /// Executes `plan` against `sim`, returning one report per epoch.
@@ -117,6 +124,7 @@ pub fn run_churn<M: Membership<SimId>>(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut dead_pool: Vec<SimId> = Vec::new();
     let mut reports = Vec::with_capacity(plan.len());
+    let mut stats_before = sim.plumtree_stats_total();
     for (index, epoch) in plan.epochs().iter().enumerate() {
         // 1. Crashes.
         let crashed = sim.fail_fraction(epoch.crash_fraction);
@@ -156,6 +164,18 @@ pub fn run_churn<M: Membership<SimId>>(
             }
             probe_total += sim.broadcast_random().reliability();
         }
+        // Plumtree tree-repair activity this epoch: counter deltas. A
+        // revival resets that node's counters, which can only lower the
+        // total — clamp the difference at zero.
+        let stats_after = sim.plumtree_stats_total();
+        let (grafts, graft_dead_letters) = match (&stats_before, &stats_after) {
+            (Some(before), Some(after)) => (
+                after.grafts_sent.saturating_sub(before.grafts_sent),
+                after.graft_dead_letters.saturating_sub(before.graft_dead_letters),
+            ),
+            _ => (0, 0),
+        };
+        stats_before = stats_after;
         reports.push(ChurnReport {
             epoch: index,
             alive: sim.alive_count(),
@@ -167,6 +187,8 @@ pub fn run_churn<M: Membership<SimId>>(
             accuracy: sim.accuracy(),
             crashed: crashed_count,
             joined,
+            grafts,
+            graft_dead_letters,
         });
     }
     reports
@@ -254,6 +276,55 @@ mod tests {
         assert_eq!(reports[0].alive, 70);
         assert_eq!(reports[1].alive, 100, "all crashed nodes revived");
         assert!(reports[1].probe_reliability > 0.95);
+    }
+
+    #[test]
+    fn flood_churn_reports_no_grafts() {
+        let scenario = Scenario::new(60, 40);
+        let mut sim = build_hyparview(&scenario, Config::default());
+        sim.run_cycles(3);
+        let reports = run_churn(&mut sim, &ChurnPlan::steady(2, 0.1, 1), 3);
+        assert!(reports.iter().all(|r| r.grafts == 0 && r.graft_dead_letters == 0));
+    }
+
+    #[test]
+    fn plumtree_churn_grafts_spike_after_crashes_then_decay() {
+        use hyparview_plumtree::BroadcastMode;
+        // Plumtree over HyParView with *no* membership cycles inside the
+        // epochs: the crash's ConnectionLost notifications race the probe
+        // broadcasts (like real TCP resets), so part of the dead tree links
+        // must be repaired by the IHave-timer → Graft path while the
+        // overlay itself is still healing.
+        let scenario = Scenario::new(120, 45).with_broadcast_mode(BroadcastMode::Plumtree);
+        let mut sim = build_hyparview(&scenario, Config::default());
+        sim.run_cycles(5);
+        // Carve the broadcast tree out of the overlay before the churn.
+        for _ in 0..10 {
+            sim.broadcast_random();
+        }
+        // Epochs: stable baseline → crash → quiescent aftermath. No
+        // membership cycles anywhere, so the grafts-per-epoch series
+        // isolates the tree repair triggered by the crash itself.
+        let quiet = ChurnEpoch { cycles: 0, probes: 10, ..ChurnEpoch::default() };
+        let plan = ChurnPlan::new()
+            .epoch(quiet.clone())
+            .epoch(ChurnEpoch { crash_fraction: 0.2, ..quiet.clone() })
+            .epoch(quiet);
+        let reports = run_churn(&mut sim, &plan, 11);
+        let grafts: Vec<u64> = reports.iter().map(|r| r.grafts).collect();
+        assert!(grafts[1] > grafts[0], "the crash epoch must spike Graft tree repair: {grafts:?}");
+        assert!(
+            grafts[2] < grafts[1],
+            "graft activity should decay once the tree re-forms: {grafts:?}"
+        );
+        for r in &reports {
+            assert!(
+                r.probe_reliability > 0.95,
+                "epoch {}: Plumtree reliability under churn {}",
+                r.epoch,
+                r.probe_reliability
+            );
+        }
     }
 
     #[test]

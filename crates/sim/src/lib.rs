@@ -25,6 +25,6 @@ pub mod sim;
 
 pub use any::{AnySim, ProtocolConfigs};
 pub use churn::{run_churn, ChurnEpoch, ChurnPlan, ChurnReport};
-pub use hyparview_plumtree::{BroadcastMode, PlumtreeConfig};
+pub use hyparview_plumtree::{BroadcastMode, PlumtreeConfig, PlumtreeStats, PlumtreeTimer};
 pub use scenario::{protocols, ContactPolicy, Scenario};
-pub use sim::{Latency, Sim, SimConfig, SimStats};
+pub use sim::{BurstReport, Latency, Sim, SimConfig, SimStats};

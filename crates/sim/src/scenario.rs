@@ -75,6 +75,13 @@ impl Scenario {
         self
     }
 
+    /// Sets the Plumtree tuning (timeouts, tree-optimization threshold,
+    /// lazy-flush interval) used in Plumtree mode.
+    pub fn with_plumtree(mut self, config: hyparview_plumtree::PlumtreeConfig) -> Self {
+        self.sim_config.plumtree = config;
+        self
+    }
+
     /// Sets the contact policy.
     pub fn with_contact(mut self, contact: ContactPolicy) -> Self {
         self.contact = contact;

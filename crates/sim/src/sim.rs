@@ -18,6 +18,7 @@ use hyparview_core::SimId;
 use hyparview_gossip::{BroadcastReport, GossipState, Membership, Outbox};
 use hyparview_plumtree::{
     BroadcastMode, MsgId, PlumtreeConfig, PlumtreeMessage, PlumtreeOut, PlumtreeState,
+    PlumtreeStats, PlumtreeTimer,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -148,11 +149,11 @@ enum Payload<Msg> {
     },
     /// One Plumtree protocol message ([`BroadcastMode::Plumtree`] only).
     Plumtree(PlumtreeMessage<()>),
-    /// A Plumtree missing-message timer expiring at its owner
-    /// (`from == to`), scheduled `delay` virtual time units after the
+    /// A Plumtree timer (missing-message or lazy-flush) expiring at its
+    /// owner (`from == to`), scheduled `delay` virtual time units after the
     /// [`hyparview_plumtree::TimerRequest`] was emitted.
     PlumtreeTimer {
-        id: MsgId,
+        timer: PlumtreeTimer,
     },
 }
 
@@ -166,34 +167,102 @@ struct Slot<M> {
     alive: bool,
 }
 
-/// Accounting for the broadcast currently being disseminated.
-#[derive(Debug, Default)]
-struct Track {
-    id: u64,
-    origin: usize,
-    alive_at_start: usize,
+/// Per-message tallies of one tracked broadcast.
+#[derive(Debug, Clone, Default)]
+struct PerMsg {
     delivered: usize,
     sent: usize,
     redundant: usize,
     to_dead: usize,
     control: usize,
     max_hops: u32,
-    /// Gossip targets already used per sender for this broadcast, so that
-    /// retry selection (CyclonAcked) does not repeat a target.
-    sent_by: HashMap<usize, Vec<SimId>>,
+}
+
+/// Accounting for the broadcasts currently being disseminated. Broadcast
+/// ids are sequential, so a burst of `count` concurrent messages is the
+/// contiguous id range `[base, base + count)`.
+#[derive(Debug, Default)]
+struct Track {
+    base: u64,
+    count: u64,
+    origin: usize,
+    alive_at_start: usize,
+    /// Tallies per tracked message, indexed by `id - base`.
+    per: Vec<PerMsg>,
+    /// Control frames that cannot be pinned on one message: `Prune`s and
+    /// optimization `Graft`s carry no id, and one `IHaveBatch` frame can
+    /// announce several tracked messages at once.
+    shared_control: usize,
+    /// Gossip targets already used per `(sender, id)`, so that retry
+    /// selection (CyclonAcked) does not repeat a target.
+    sent_by: HashMap<(usize, u64), Vec<SimId>>,
 }
 
 impl Track {
-    const NONE: u64 = u64::MAX;
-
-    /// Whether a broadcast is being accounted right now.
-    fn active(&self) -> bool {
-        self.id != Track::NONE
+    fn none() -> Track {
+        Track::default()
     }
 
-    /// Whether Plumtree message id `id` belongs to the tracked broadcast.
+    fn tracking(base: u64, count: u64, origin: usize, alive_at_start: usize) -> Track {
+        Track {
+            base,
+            count,
+            origin,
+            alive_at_start,
+            per: vec![PerMsg::default(); count as usize],
+            ..Track::default()
+        }
+    }
+
+    /// Whether any broadcast is being accounted right now.
+    fn active(&self) -> bool {
+        self.count > 0
+    }
+
+    /// Whether Plumtree message id `id` belongs to a tracked broadcast.
     fn matches(&self, id: MsgId) -> bool {
-        self.active() && self.id as MsgId == id
+        (self.base as MsgId..self.base as MsgId + self.count as MsgId).contains(&id)
+    }
+
+    /// The tallies of tracked broadcast `id`, if tracked.
+    fn per_mut(&mut self, id: u64) -> Option<&mut PerMsg> {
+        if self.active() && (self.base..self.base + self.count).contains(&id) {
+            self.per.get_mut((id - self.base) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Total control frames across the tracked burst.
+    fn total_control(&self) -> usize {
+        self.shared_control + self.per.iter().map(|p| p.control).sum::<usize>()
+    }
+}
+
+/// Outcome of a concurrent broadcast burst
+/// ([`Sim::broadcast_burst_from`]): per-message reports plus burst-level
+/// control-frame accounting.
+///
+/// The per-message `control` fields are zero — with several messages in
+/// flight a control frame (one `IHaveBatch` in particular) can serve many
+/// of them, so control traffic is only meaningful for the burst as a whole.
+#[derive(Debug, Clone)]
+pub struct BurstReport {
+    /// One report per message, in broadcast order.
+    pub reports: Vec<BroadcastReport>,
+    /// Total control frames (`IHave`/`IHaveBatch`/`Graft`/`Prune`) sent
+    /// while the burst disseminated.
+    pub control_frames: usize,
+}
+
+impl BurstReport {
+    /// Mean control frames per broadcast of the burst.
+    pub fn control_per_broadcast(&self) -> f64 {
+        if self.reports.is_empty() {
+            0.0
+        } else {
+            self.control_frames as f64 / self.reports.len() as f64
+        }
     }
 }
 
@@ -311,6 +380,22 @@ impl<M: Membership<SimId>> Sim<M> {
             .plumtree
             .as_ref()
             .expect("plumtree_node requires BroadcastMode::Plumtree")
+    }
+
+    /// Sum of every node's Plumtree counters (crashed nodes included —
+    /// their counters freeze at crash time; revived nodes restart at zero).
+    /// `None` outside [`BroadcastMode::Plumtree`].
+    pub fn plumtree_stats_total(&self) -> Option<PlumtreeStats> {
+        if self.config.broadcast_mode != BroadcastMode::Plumtree {
+            return None;
+        }
+        let mut total = PlumtreeStats::default();
+        for slot in &self.nodes {
+            if let Some(pt) = &slot.plumtree {
+                total += *pt.stats();
+            }
+        }
+        Some(total)
     }
 
     /// Whether `id` is alive.
@@ -448,60 +533,90 @@ impl<M: Membership<SimId>> Sim<M> {
     ///
     /// Panics if `origin` is dead.
     pub fn broadcast_from(&mut self, origin: SimId) -> BroadcastReport {
+        let burst = self.broadcast_burst_from(origin, 1);
+        let mut report = burst.reports.into_iter().next().expect("burst of one");
+        // With a single message in flight every control frame belongs to
+        // it, including the id-less Prunes and optimization Grafts.
+        report.control = burst.control_frames;
+        report
+    }
+
+    /// Broadcasts `count` messages from `origin` *concurrently*: all of
+    /// them are injected before the network drains, so they disseminate
+    /// together — this is the workload where lazy-link batching can fold
+    /// announcements of several messages into one `IHaveBatch` frame.
+    ///
+    /// Per-message reports carry `control == 0`; control traffic of a
+    /// burst is only meaningful in aggregate ([`BurstReport`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is dead or `count` is zero.
+    pub fn broadcast_burst_from(&mut self, origin: SimId, count: usize) -> BurstReport {
         assert!(self.is_alive(origin), "broadcast origin must be alive");
-        let id = self.next_broadcast;
-        self.next_broadcast += 1;
-        self.stats.broadcasts += 1;
+        assert!(count > 0, "a burst needs at least one message");
+        let base = self.next_broadcast;
+        self.next_broadcast += count as u64;
+        self.stats.broadcasts += count as u64;
 
-        let mut track = Track {
-            id,
-            origin: origin.index(),
-            alive_at_start: self.alive_count(),
-            ..Track::default()
-        };
+        let mut track = Track::tracking(base, count as u64, origin.index(), self.alive_count());
 
-        match self.config.broadcast_mode {
-            BroadcastMode::Flood => {
-                // The origin delivers its own message at hop 0 and floods.
-                self.nodes[origin.index()].gossip.deliver(id, 0);
-                track.delivered += 1;
-                let targets =
-                    self.nodes[origin.index()].memb.broadcast_targets(self.config.fanout, None);
-                track.sent_by.insert(origin.index(), targets.clone());
-                for t in targets {
-                    track.sent += 1;
-                    let latency = self.config.latency.sample(&mut self.rng);
-                    self.queue.push(
-                        self.time + latency,
-                        origin,
-                        t,
-                        Payload::Gossip { id, hops: 1 },
-                    );
+        if self.config.broadcast_mode == BroadcastMode::Plumtree {
+            // Make sure the origin's tree links reflect its view before the
+            // first push (a node may broadcast before ever having handled a
+            // message). Once per burst: no events land mid-loop.
+            self.sync_plumtree(origin.index());
+        }
+        for id in base..base + count as u64 {
+            match self.config.broadcast_mode {
+                BroadcastMode::Flood => {
+                    // The origin delivers its own message at hop 0 and
+                    // floods.
+                    self.nodes[origin.index()].gossip.deliver(id, 0);
+                    let targets =
+                        self.nodes[origin.index()].memb.broadcast_targets(self.config.fanout, None);
+                    if let Some(per) = track.per_mut(id) {
+                        per.delivered += 1;
+                        per.sent += targets.len();
+                    }
+                    track.sent_by.insert((origin.index(), id), targets.clone());
+                    for t in targets {
+                        let latency = self.config.latency.sample(&mut self.rng);
+                        self.queue.push(
+                            self.time + latency,
+                            origin,
+                            t,
+                            Payload::Gossip { id, hops: 1 },
+                        );
+                    }
                 }
-            }
-            BroadcastMode::Plumtree => {
-                // Make sure the origin's tree links reflect its view before
-                // the first push (a node may broadcast before ever having
-                // handled a message).
-                self.sync_plumtree(origin.index());
-                let mut out = PlumtreeOut::new();
-                self.plumtree_mut(origin.index()).broadcast(id as MsgId, (), &mut out);
-                self.apply_plumtree_out(origin, out, &mut track);
+                BroadcastMode::Plumtree => {
+                    let mut out = PlumtreeOut::new();
+                    self.plumtree_mut(origin.index()).broadcast(id as MsgId, (), &mut out);
+                    self.apply_plumtree_out(origin, out, &mut track);
+                }
             }
         }
         self.drain_with_track(&mut track);
 
-        BroadcastReport {
-            id,
-            origin: track.origin,
-            alive: track.alive_at_start,
-            delivered: track.delivered,
-            sent: track.sent,
-            redundant: track.redundant,
-            to_dead: track.to_dead,
-            control: track.control,
-            max_hops: track.max_hops,
-        }
+        let control_frames = track.total_control();
+        let reports = track
+            .per
+            .iter()
+            .enumerate()
+            .map(|(offset, per)| BroadcastReport {
+                id: track.base + offset as u64,
+                origin: track.origin,
+                alive: track.alive_at_start,
+                delivered: per.delivered,
+                sent: per.sent,
+                redundant: per.redundant,
+                to_dead: per.to_dead,
+                control: 0,
+                max_hops: per.max_hops,
+            })
+            .collect();
+        BurstReport { reports, control_frames }
     }
 
     /// Broadcasts from a uniformly random alive node.
@@ -554,7 +669,7 @@ impl<M: Membership<SimId>> Sim<M> {
 
     /// Drains all pending events (no broadcast in flight).
     pub fn drain(&mut self) {
-        let mut no_track = Track { id: Track::NONE, ..Track::default() };
+        let mut no_track = Track::none();
         self.drain_with_track(&mut no_track);
     }
 
@@ -588,10 +703,10 @@ impl<M: Membership<SimId>> Sim<M> {
                 Payload::Plumtree(message) => {
                     self.deliver_plumtree(event.from, event.to, message, track);
                 }
-                Payload::PlumtreeTimer { id } => {
+                Payload::PlumtreeTimer { timer } => {
                     if self.nodes[event.to.index()].alive {
                         let mut out = PlumtreeOut::new();
-                        self.plumtree_mut(event.to.index()).on_timer(id, &mut out);
+                        self.plumtree_mut(event.to.index()).on_timer(timer, &mut out);
                         self.apply_plumtree_out(event.to, out, track);
                     }
                 }
@@ -624,12 +739,11 @@ impl<M: Membership<SimId>> Sim<M> {
         track: &mut Track,
     ) {
         let is_payload = message.carries_payload();
-        let tracked = message.id().map(|id| track.matches(id)).unwrap_or(false);
         if !self.nodes[to.index()].alive {
             if is_payload {
                 self.stats.gossip_to_dead += 1;
-                if tracked {
-                    track.to_dead += 1;
+                if let Some(per) = message.id().and_then(|id| track.per_mut(id as u64)) {
+                    per.to_dead += 1;
                 }
             } else {
                 self.stats.membership_to_dead += 1;
@@ -639,10 +753,10 @@ impl<M: Membership<SimId>> Sim<M> {
         }
         if is_payload {
             self.stats.gossip_delivered += 1;
-            if tracked {
-                if let Some(id) = message.id() {
-                    if self.plumtree_mut(to.index()).has_seen(id) {
-                        track.redundant += 1;
+            if let Some(id) = message.id() {
+                if track.matches(id) && self.plumtree_mut(to.index()).has_seen(id) {
+                    if let Some(per) = track.per_mut(id as u64) {
+                        per.redundant += 1;
                     }
                 }
             }
@@ -672,21 +786,36 @@ impl<M: Membership<SimId>> Sim<M> {
         for (to, message) in out.outbox.drain() {
             match &message {
                 PlumtreeMessage::Gossip { id, .. } => {
-                    if track.matches(*id) {
-                        track.sent += 1;
+                    if let Some(per) = track.per_mut(*id as u64) {
+                        per.sent += 1;
                     }
                 }
-                PlumtreeMessage::IHave { id, .. } | PlumtreeMessage::Graft { id, .. } => {
-                    if track.matches(*id) {
-                        track.control += 1;
+                PlumtreeMessage::IHave { id, .. } => {
+                    if let Some(per) = track.per_mut(*id as u64) {
+                        per.control += 1;
                     }
                 }
-                PlumtreeMessage::Prune => {
-                    // Prunes carry no id; attribute them to the broadcast
-                    // whose dissemination provoked them (broadcasts are
-                    // disseminated one at a time).
+                PlumtreeMessage::IHaveBatch { anns } => {
+                    // Batch-aware accounting: however many announcements it
+                    // carries, a batch is *one* control frame — that is the
+                    // entire point of lazy-link batching. It can span
+                    // several tracked messages, so it lands in the burst's
+                    // shared bucket.
+                    if anns.iter().any(|a| track.matches(a.id)) {
+                        track.shared_control += 1;
+                    }
+                }
+                PlumtreeMessage::Graft { id: Some(id), .. } => {
+                    if let Some(per) = track.per_mut(*id as u64) {
+                        per.control += 1;
+                    }
+                }
+                PlumtreeMessage::Graft { id: None, .. } | PlumtreeMessage::Prune => {
+                    // Optimization grafts and prunes carry no id; attribute
+                    // them to the burst whose dissemination provoked them
+                    // (bursts are disseminated one at a time).
                     if track.active() {
-                        track.control += 1;
+                        track.shared_control += 1;
                     }
                 }
             }
@@ -696,16 +825,19 @@ impl<M: Membership<SimId>> Sim<M> {
         for delivery in out.deliveries.drain(..) {
             let first = self.nodes[node.index()].gossip.deliver(delivery.id as u64, delivery.round);
             if first && track.matches(delivery.id) {
-                track.delivered += 1;
-                track.max_hops = track.max_hops.max(delivery.round);
+                let round = delivery.round;
+                if let Some(per) = track.per_mut(delivery.id as u64) {
+                    per.delivered += 1;
+                    per.max_hops = per.max_hops.max(round);
+                }
             }
         }
-        for timer in out.timers.drain(..) {
+        for request in out.timers.drain(..) {
             self.queue.push(
-                self.time + timer.delay,
+                self.time + request.delay,
                 node,
                 node,
-                Payload::PlumtreeTimer { id: timer.id },
+                Payload::PlumtreeTimer { timer: request.timer },
             );
         }
     }
@@ -725,8 +857,8 @@ impl<M: Membership<SimId>> Sim<M> {
     fn deliver_gossip(&mut self, from: SimId, to: SimId, id: u64, hops: u32, track: &mut Track) {
         if !self.nodes[to.index()].alive {
             self.stats.gossip_to_dead += 1;
-            if track.id == id {
-                track.to_dead += 1;
+            if let Some(per) = track.per_mut(id) {
+                per.to_dead += 1;
             }
             self.notify_send_failure(from, to);
             self.retry_gossip(from, to, id, hops, track);
@@ -735,24 +867,22 @@ impl<M: Membership<SimId>> Sim<M> {
         self.stats.gossip_delivered += 1;
         let first_time = self.nodes[to.index()].gossip.deliver(id, hops);
         if !first_time {
-            if track.id == id {
-                track.redundant += 1;
+            if let Some(per) = track.per_mut(id) {
+                per.redundant += 1;
             }
             return;
         }
-        if track.id == id {
-            track.delivered += 1;
-            track.max_hops = track.max_hops.max(hops);
-        }
         // Forward to this node's gossip targets, excluding the sender.
         let targets = self.nodes[to.index()].memb.broadcast_targets(self.config.fanout, Some(from));
-        if track.id == id {
-            track.sent_by.entry(to.index()).or_default().extend(targets.iter().copied());
+        if let Some(per) = track.per_mut(id) {
+            per.delivered += 1;
+            per.max_hops = per.max_hops.max(hops);
+            per.sent += targets.len();
+        }
+        if track.matches(id as MsgId) {
+            track.sent_by.entry((to.index(), id)).or_default().extend(targets.iter().copied());
         }
         for t in targets {
-            if track.id == id {
-                track.sent += 1;
-            }
             let latency = self.config.latency.sample(&mut self.rng);
             self.queue.push(self.time + latency, to, t, Payload::Gossip { id, hops: hops + 1 });
         }
@@ -781,19 +911,21 @@ impl<M: Membership<SimId>> Sim<M> {
         if !self.config.retry_failed_gossip {
             return;
         }
-        if track.id != id || !self.nodes[sender.index()].alive {
+        if track.per_mut(id).is_none() || !self.nodes[sender.index()].alive {
             return;
         }
         if !self.nodes[sender.index()].memb.detects_send_failures() {
             return;
         }
-        let mut exclude = track.sent_by.get(&sender.index()).cloned().unwrap_or_default();
+        let mut exclude = track.sent_by.get(&(sender.index(), id)).cloned().unwrap_or_default();
         exclude.push(dead);
         let Some(replacement) = self.nodes[sender.index()].memb.retry_target(&exclude) else {
             return;
         };
-        track.sent_by.entry(sender.index()).or_default().push(replacement);
-        track.sent += 1;
+        track.sent_by.entry((sender.index(), id)).or_default().push(replacement);
+        if let Some(per) = track.per_mut(id) {
+            per.sent += 1;
+        }
         let latency = self.config.latency.sample(&mut self.rng);
         self.queue.push(self.time + latency, sender, replacement, Payload::Gossip { id, hops });
     }
@@ -1089,6 +1221,65 @@ mod tests {
             (r.delivered, r.sent, r.redundant, r.control, r.max_hops, *sim.stats())
         };
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn burst_reports_every_message() {
+        let mut sim = hyparview_sim(27);
+        let contact = sim.add_node();
+        for _ in 1..40 {
+            let id = sim.add_node();
+            sim.join(id, contact);
+        }
+        sim.run_cycles(3);
+        let burst = sim.broadcast_burst_from(contact, 5);
+        assert_eq!(burst.reports.len(), 5);
+        for (i, report) in burst.reports.iter().enumerate() {
+            assert_eq!(report.id, burst.reports[0].id + i as u64);
+            assert!(report.is_atomic(), "burst message {i}: {report:?}");
+        }
+        assert_eq!(burst.control_frames, 0, "flood sends no control traffic");
+    }
+
+    #[test]
+    fn plumtree_burst_batching_cuts_control_frames() {
+        // The same warmed-up overlay, a burst of 8 concurrent messages:
+        // with per-message IHaves every lazy link pays 8 control frames,
+        // with batching it pays ~1 IHaveBatch. Reliability must not move.
+        let run = |flush: u64| {
+            let config = SimConfig::default()
+                .with_broadcast_mode(BroadcastMode::Plumtree)
+                .with_plumtree(PlumtreeConfig::default().with_lazy_flush_interval(flush));
+            let mut sim = Sim::new(config, 28, |id, seed| {
+                HyParViewMembership::new(id, Config::default(), seed).unwrap()
+            });
+            let contact = sim.add_node();
+            for _ in 1..60 {
+                let id = sim.add_node();
+                sim.join(id, contact);
+            }
+            sim.run_cycles(5);
+            for _ in 0..10 {
+                sim.broadcast_from(contact);
+            }
+            sim.broadcast_burst_from(contact, 8)
+        };
+        let unbatched = run(0);
+        let batched = run(4);
+        for burst in [&unbatched, &batched] {
+            for report in &burst.reports {
+                assert!(report.is_atomic(), "burst must stay atomic: {report:?}");
+            }
+        }
+        assert!(
+            (batched.control_frames as f64) < unbatched.control_frames as f64 * 0.5,
+            "batching should at least halve control frames: {} vs {}",
+            batched.control_frames,
+            unbatched.control_frames
+        );
+        let batches = run(4);
+        let stats = |burst: &BurstReport| burst.control_frames;
+        assert_eq!(stats(&batches), stats(&batched), "burst accounting is deterministic");
     }
 
     #[test]
