@@ -1,0 +1,161 @@
+//! Diffs two bench JSON artifacts (or directories of them) into a markdown
+//! trend table — the CI cross-run perf trajectory.
+//!
+//! ```text
+//! bench_diff <baseline> <current> [--threshold 0.10]
+//! ```
+//!
+//! `baseline` and `current` are either two JSON files or two directories;
+//! directories are paired by file name (`*.json`). The table goes to
+//! stdout (CI appends it to `$GITHUB_STEP_SUMMARY`).
+//!
+//! Exit codes: `0` clean (including the graceful no-op when the baseline
+//! does not exist — e.g. the first run on a fork, before any `main`
+//! artifact was uploaded), `1` if any directed metric regressed beyond the
+//! threshold, `2` on usage or parse errors.
+
+use hyparview_bench::diff::{diff, markdown_table};
+use hyparview_bench::json::parse;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+const DEFAULT_THRESHOLD: f64 = 0.10;
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let value = args.next().unwrap_or_else(|| usage("--threshold needs a value"));
+                threshold = value
+                    .parse()
+                    .unwrap_or_else(|_| usage("--threshold expects a fraction, e.g. 0.10"));
+            }
+            other if other.starts_with("--") => usage(&format!("unknown flag {other}")),
+            other => paths.push(other.to_owned()),
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        usage("expected exactly two paths: <baseline> <current>")
+    };
+    let (baseline, current) = (Path::new(baseline), Path::new(current));
+
+    if !baseline.exists() {
+        // First run on a branch or fork: there is no prior artifact to
+        // compare against. That is not an error — say so and succeed.
+        println!(
+            "_No baseline bench artifact at `{}` — skipping the trend table (first run?)._",
+            baseline.display()
+        );
+        return;
+    }
+    if !current.exists() {
+        eprintln!("current artifact {} does not exist", current.display());
+        exit(2);
+    }
+
+    let (pairs, notices) = pair_artifacts(baseline, current);
+    println!("### Bench trend vs baseline (threshold {:.0}%)\n", threshold * 100.0);
+    for notice in &notices {
+        println!("{notice}\n");
+    }
+    if pairs.is_empty() {
+        println!("_Baseline and current artifacts share no JSON files — nothing to compare._");
+        return;
+    }
+
+    let mut regressions = 0usize;
+    let mut broken = 0usize;
+    for (name, base_path, current_path) in &pairs {
+        match (load(base_path), load(current_path)) {
+            (Some(base), Some(current)) => {
+                let rows = diff(&base, &current);
+                let (table, regressed) = markdown_table(&rows, threshold);
+                regressions += regressed;
+                println!("<details><summary><b>{name}</b>{}</summary>\n", badge(regressed));
+                println!("{table}</details>\n");
+            }
+            _ => {
+                // An artifact that exists but cannot be read is a broken
+                // pipeline, not a clean comparison — it must not turn the
+                // gate green.
+                broken += 1;
+                println!("_`{name}` failed to load on one side — see the step log._\n");
+            }
+        }
+    }
+    if broken > 0 {
+        println!("**{broken} artifact(s) failed to load.**");
+        exit(2);
+    }
+    if regressions > 0 {
+        println!("**{regressions} regression(s) detected.**");
+        exit(1);
+    }
+    println!("No regressions detected.");
+}
+
+fn badge(regressions: usize) -> String {
+    if regressions > 0 {
+        format!(" — ⚠ {regressions} regression(s)")
+    } else {
+        String::new()
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("bench_diff: {message}");
+    eprintln!("usage: bench_diff <baseline> <current> [--threshold 0.10]");
+    exit(2);
+}
+
+fn load(path: &Path) -> Option<hyparview_bench::json::JsonValue> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| eprintln!("read {}: {e}", path.display()))
+        .ok()?;
+    parse(&text).map_err(|e| eprintln!("parse {}: {e}", path.display())).ok()
+}
+
+/// Pairs the artifacts to compare: two files compare directly, two
+/// directories pair by file name. Files present on only one side are not
+/// regressions (new or retired experiments); they come back as markdown
+/// notices for the caller to print under its header.
+fn pair_artifacts(
+    baseline: &Path,
+    current: &Path,
+) -> (Vec<(String, PathBuf, PathBuf)>, Vec<String>) {
+    if baseline.is_file() {
+        let name = baseline.file_name().unwrap_or_default().to_string_lossy().into_owned();
+        return (vec![(name, baseline.to_owned(), current.to_owned())], Vec::new());
+    }
+    let json_files = |dir: &Path| -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .filter(|n| n.ends_with(".json"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        names
+    };
+    let base_names = json_files(baseline);
+    let current_names = json_files(current);
+    let mut notices = Vec::new();
+    for name in current_names.iter().filter(|n| !base_names.contains(n)) {
+        notices.push(format!("_`{name}` is new in this run (no baseline)._"));
+    }
+    for name in base_names.iter().filter(|n| !current_names.contains(n)) {
+        notices.push(format!("_`{name}` exists only in the baseline (experiment removed?)._"));
+    }
+    let pairs = base_names
+        .into_iter()
+        .filter(|n| current_names.contains(n))
+        .map(|n| (n.clone(), baseline.join(&n), current.join(&n)))
+        .collect();
+    (pairs, notices)
+}

@@ -1,0 +1,186 @@
+//! Adaptive Plumtree under variable network latency: sweeps latency models
+//! and compares static vs optimizing trees across failure and healing.
+//!
+//! ```text
+//! cargo run --release -p hyparview-bench --bin plumtree_latency
+//! cargo run --release -p hyparview-bench --bin plumtree_latency -- --smoke --assert
+//! cargo run --release -p hyparview-bench --bin plumtree_latency -- --json out.json
+//! ```
+//!
+//! Expected shape: every combination delivers at 100% reliability in both
+//! phases; under every variable-latency model the optimizing variant heals
+//! into a strictly shallower tree (lower last-delivery-hop) than the
+//! static one; the late-`IHave` optimization path fires only when latency
+//! varies (`late_optimizations` stays 0 at `fixed`). These numbers are the
+//! evidence behind the TCP runtime's adaptive `NetConfig` defaults.
+
+use hyparview_bench::experiments::latency::{pair_by_case, plumtree_latency, LatencyCell};
+use hyparview_bench::json::{array, JsonObject};
+use hyparview_bench::table::{num, pct, render};
+use hyparview_bench::Params;
+
+const DEFAULT_FAILURE: f64 = 0.3;
+const DEFAULT_WARMUP: usize = 30;
+const DEFAULT_HEAL_CYCLES: usize = 5;
+
+fn main() {
+    let (params, rest) = Params::default().apply_args(std::env::args().skip(1));
+    let mut failure = DEFAULT_FAILURE;
+    let mut warmup = DEFAULT_WARMUP;
+    let mut heal_cycles = DEFAULT_HEAL_CYCLES;
+    let mut json_path: Option<String> = None;
+    let mut assert_mode = false;
+    let mut rest_iter = rest.iter();
+    while let Some(arg) = rest_iter.next() {
+        match arg.as_str() {
+            "--failure" => {
+                if let Some(v) = rest_iter.next() {
+                    failure = v.parse().expect("--failure expects a fraction");
+                }
+            }
+            "--warmup" => {
+                if let Some(v) = rest_iter.next() {
+                    warmup = v.parse().expect("--warmup expects an integer");
+                }
+            }
+            "--heal-cycles" => {
+                if let Some(v) = rest_iter.next() {
+                    heal_cycles = v.parse().expect("--heal-cycles expects an integer");
+                }
+            }
+            "--json" => json_path = rest_iter.next().cloned(),
+            "--assert" => assert_mode = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    println!("# Plumtree under variable latency — static vs optimized trees per latency model");
+    println!(
+        "# {} (failure {:.0}%, warmup {warmup}, heal cycles {heal_cycles})",
+        params.describe(),
+        failure * 100.0
+    );
+
+    let cells = plumtree_latency(&params, failure, warmup, heal_cycles);
+
+    let headers = vec![
+        "latency",
+        "variant",
+        "phase",
+        "reliability",
+        "RMR",
+        "last hop",
+        "optimizations",
+        "late opts",
+        "grafts",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for cell in &cells {
+        for (phase, metrics) in [("stable", &cell.stable), ("healed", &cell.healed)] {
+            rows.push(vec![
+                cell.case.label.to_owned(),
+                cell.variant.to_owned(),
+                phase.to_owned(),
+                pct(metrics.mean_reliability),
+                num(metrics.mean_rmr, 3),
+                num(metrics.mean_last_hop, 1),
+                cell.optimizations.to_string(),
+                cell.late_optimizations.to_string(),
+                cell.grafts.to_string(),
+            ]);
+        }
+    }
+    println!("{}", render(&headers, &rows));
+
+    let (uni_static, uni_optimized) = pair_by_case(&cells, "uniform");
+    let (_, fixed_optimized) = pair_by_case(&cells, "fixed");
+    println!(
+        "uniform healed last hop: optimized {} vs static {}; late opts: uniform {} vs fixed {}",
+        num(uni_optimized.healed.mean_last_hop, 1),
+        num(uni_static.healed.mean_last_hop, 1),
+        uni_optimized.late_optimizations,
+        fixed_optimized.late_optimizations,
+    );
+
+    if let Some(path) = json_path {
+        let json = JsonObject::new()
+            .str("experiment", "plumtree_latency")
+            .str("params", &params.describe())
+            .num("failure", failure)
+            .int("warmup", warmup as u64)
+            .int("heal_cycles", heal_cycles as u64)
+            .raw("cells", array(cells.iter().map(cell_json)))
+            .build();
+        std::fs::write(&path, json).expect("write JSON results");
+        println!("(JSON results written to {path})");
+    }
+
+    if assert_mode {
+        let mut failures = Vec::new();
+        for cell in &cells {
+            for (phase, metrics) in [("stable", &cell.stable), ("healed", &cell.healed)] {
+                if metrics.mean_reliability < 0.9999 {
+                    failures.push(format!(
+                        "{}/{} {phase}: reliability {} < 100%",
+                        cell.case.label,
+                        cell.variant,
+                        pct(metrics.mean_reliability)
+                    ));
+                }
+            }
+        }
+        for label in ["uniform", "uniform-link"] {
+            let (static_, optimized) = pair_by_case(&cells, label);
+            if optimized.healed.mean_last_hop >= static_.healed.mean_last_hop {
+                failures.push(format!(
+                    "{label}: optimization did not flatten the healed tree ({} vs static {})",
+                    num(optimized.healed.mean_last_hop, 1),
+                    num(static_.healed.mean_last_hop, 1)
+                ));
+            }
+        }
+        if fixed_optimized.late_optimizations != 0 {
+            failures.push(format!(
+                "fixed latency fired {} late optimizations (arrival order cannot disagree \
+                 with round order at unit latency)",
+                fixed_optimized.late_optimizations
+            ));
+        }
+        if uni_optimized.late_optimizations == 0 {
+            failures.push("uniform latency never exercised the late-IHave path".to_owned());
+        }
+        if !failures.is_empty() {
+            eprintln!("ASSERTION FAILURES:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "(asserts passed: 100% reliability everywhere, shallower healed trees under \
+             variable latency, late-IHave optimizations only when latency varies)"
+        );
+    }
+}
+
+fn cell_json(cell: &LatencyCell) -> String {
+    let phase = |metrics: &hyparview_bench::experiments::adaptive::PhaseMetrics| {
+        JsonObject::new()
+            .num("mean_reliability", metrics.mean_reliability)
+            .num("min_reliability", metrics.min_reliability)
+            .num("mean_rmr", metrics.mean_rmr)
+            .num("mean_last_hop", metrics.mean_last_hop)
+            .num("control_per_broadcast", metrics.control_per_broadcast)
+            .build()
+    };
+    JsonObject::new()
+        .str("latency", cell.case.label)
+        .str("variant", cell.variant)
+        .raw("stable", phase(&cell.stable))
+        .raw("healed", phase(&cell.healed))
+        .int("optimizations", cell.optimizations)
+        .int("late_optimizations", cell.late_optimizations)
+        .int("grafts", cell.grafts)
+        .int("dead_letters", cell.dead_letters)
+        .build()
+}

@@ -1,0 +1,317 @@
+//! Cross-run bench trend: diff two bench JSON artifacts into a markdown
+//! table (ROADMAP "cross-run perf trajectory").
+//!
+//! The CI `bench-smoke` job uploads one JSON artifact per experiment and
+//! run. `bench_diff` downloads the latest `main` artifact, flattens both
+//! documents into dotted metric paths (array elements are labeled by their
+//! string fields, so `cells[uniform.optimized].healed.mean_last_hop` stays
+//! stable across runs), and renders the deltas. Metrics with a known
+//! direction — reliability up, RMR / last-hop / control traffic / dead
+//! letters down — gate the build: a relative worsening beyond the
+//! threshold is a *regression* and yields a nonzero exit code.
+
+use crate::json::JsonValue;
+
+/// Whether a metric has a "better" direction, and which way it points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger is better (reliability, accuracy).
+    HigherIsBetter,
+    /// Smaller is better (RMR, last hop, control traffic, dead letters).
+    LowerIsBetter,
+    /// No direction: reported, never gated (counts, parameters).
+    Info,
+}
+
+/// The gate direction of a metric path, by name heuristics over the
+/// families the experiments emit.
+pub fn direction(path: &str) -> Direction {
+    let lower = path.to_ascii_lowercase();
+    // Match on the metric name (the last path segment), not on the labels:
+    // a variant named "optimized" must not change how its metrics gate.
+    let name = lower.rsplit('.').next().unwrap_or(&lower);
+    if name.contains("reliability") || name.contains("accuracy") {
+        Direction::HigherIsBetter
+    } else if name.contains("rmr")
+        || name.contains("last_hop")
+        || name.contains("control")
+        || name.contains("dead_letter")
+    {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Info
+    }
+}
+
+/// One metric present in either artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Dotted metric path (array elements labeled by their string fields).
+    pub path: String,
+    /// Value in the baseline artifact (`None` if the metric is new).
+    pub base: Option<f64>,
+    /// Value in the current artifact (`None` if the metric disappeared).
+    pub current: Option<f64>,
+}
+
+impl DiffRow {
+    /// `current − base` when both sides exist.
+    pub fn delta(&self) -> Option<f64> {
+        Some(self.current? - self.base?)
+    }
+
+    /// Relative change against the baseline magnitude (clamped away from
+    /// division by zero so a 0 → x move still registers).
+    pub fn relative(&self) -> Option<f64> {
+        Some(self.delta()? / self.base?.abs().max(1e-9))
+    }
+
+    /// Whether this row *worsens* its directed metric beyond `threshold`
+    /// (relative to the baseline). Direction-less metrics never regress.
+    pub fn regressed(&self, threshold: f64) -> bool {
+        let (Some(base), Some(current)) = (self.base, self.current) else {
+            return false;
+        };
+        if (current - base).abs() < 1e-6 {
+            return false;
+        }
+        let scale = base.abs().max(1e-9);
+        match direction(&self.path) {
+            Direction::HigherIsBetter => (base - current) / scale > threshold,
+            Direction::LowerIsBetter => (current - base) / scale > threshold,
+            Direction::Info => false,
+        }
+    }
+}
+
+/// Keys whose string values label an array element, in precedence order.
+/// Concatenating every match keeps paths unique when an experiment is a
+/// grid (e.g. latency model × variant).
+const LABEL_KEYS: [&str; 7] =
+    ["experiment", "protocol", "latency", "variant", "label", "model", "phase"];
+
+fn element_label(value: &JsonValue, index: usize) -> String {
+    let mut parts = Vec::new();
+    for key in LABEL_KEYS {
+        if let Some(text) = value.get(key).and_then(JsonValue::as_str) {
+            parts.push(text.to_owned());
+        }
+    }
+    if parts.is_empty() {
+        index.to_string()
+    } else {
+        parts.join(".")
+    }
+}
+
+/// Flattens every numeric leaf of `value` into `(dotted path, value)`
+/// pairs, in document order.
+pub fn flatten(value: &JsonValue) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(value, String::new(), &mut out);
+    out
+}
+
+fn walk(value: &JsonValue, path: String, out: &mut Vec<(String, f64)>) {
+    match value {
+        JsonValue::Num(n) => out.push((path, *n)),
+        JsonValue::Obj(fields) => {
+            for (key, child) in fields {
+                let child_path =
+                    if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                walk(child, child_path, out);
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (index, child) in items.iter().enumerate() {
+                let label = element_label(child, index);
+                walk(child, format!("{path}[{label}]"), out);
+            }
+        }
+        JsonValue::Null | JsonValue::Bool(_) | JsonValue::Str(_) => {}
+    }
+}
+
+/// Diffs two parsed artifacts into per-metric rows: the union of both
+/// flattenings, baseline order first, current-only metrics appended.
+pub fn diff(base: &JsonValue, current: &JsonValue) -> Vec<DiffRow> {
+    let base_metrics = flatten(base);
+    let current_metrics = flatten(current);
+    let mut rows: Vec<DiffRow> = base_metrics
+        .iter()
+        .map(|(path, value)| DiffRow {
+            path: path.clone(),
+            base: Some(*value),
+            current: current_metrics.iter().find(|(p, _)| p == path).map(|(_, v)| *v),
+        })
+        .collect();
+    for (path, value) in &current_metrics {
+        if !base_metrics.iter().any(|(p, _)| p == path) {
+            rows.push(DiffRow { path: path.clone(), base: None, current: Some(*value) });
+        }
+    }
+    rows
+}
+
+fn fmt(value: Option<f64>) -> String {
+    match value {
+        None => "—".to_owned(),
+        Some(v) if v == v.trunc() && v.abs() < 1e12 => format!("{v}"),
+        Some(v) => format!("{v:.4}"),
+    }
+}
+
+/// Renders the rows as a markdown trend table. Unchanged metrics collapse
+/// into a footer count so the table stays readable in a job summary; every
+/// changed metric is listed, regressions flagged against `threshold`.
+/// Returns `(markdown, regression count)`.
+pub fn markdown_table(rows: &[DiffRow], threshold: f64) -> (String, usize) {
+    let mut table = String::from("| metric | baseline | current | Δ | Δ% | |\n");
+    table.push_str("|---|---:|---:|---:|---:|---|\n");
+    let mut unchanged = 0usize;
+    let mut regressions = 0usize;
+    for row in rows {
+        let changed = match row.delta() {
+            Some(delta) => delta.abs() >= 1e-6,
+            None => true, // appeared or disappeared: always worth a line
+        };
+        if !changed {
+            unchanged += 1;
+            continue;
+        }
+        let regressed = row.regressed(threshold);
+        let improved = !regressed
+            && direction(&row.path) != Direction::Info
+            && DiffRow { path: row.path.clone(), base: row.current, current: row.base }
+                .regressed(threshold);
+        if regressed {
+            regressions += 1;
+        }
+        let flag = if regressed {
+            "**regression**"
+        } else if improved {
+            "improved"
+        } else {
+            ""
+        };
+        let delta = row.delta().map(|d| format!("{d:+.4}")).unwrap_or_else(|| "—".to_owned());
+        let relative =
+            row.relative().map(|r| format!("{:+.1}%", r * 100.0)).unwrap_or_else(|| "—".to_owned());
+        table.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} | {} |\n",
+            row.path,
+            fmt(row.base),
+            fmt(row.current),
+            delta,
+            relative,
+            flag
+        ));
+    }
+    if rows.len() == unchanged {
+        table.push_str("| _all metrics unchanged_ | | | | | |\n");
+    }
+    table.push_str(&format!(
+        "\n{} metrics compared, {} unchanged, {} regression(s) at threshold {:.0}%.\n",
+        rows.len(),
+        unchanged,
+        regressions,
+        threshold * 100.0
+    ));
+    (table, regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn artifact(reliability: f64, last_hop: f64) -> JsonValue {
+        parse(&format!(
+            r#"{{"experiment":"x","cells":[
+                {{"latency":"uniform","variant":"optimized",
+                  "healed":{{"mean_reliability":{reliability},"mean_last_hop":{last_hop}}},
+                  "grafts":3}}
+            ]}}"#
+        ))
+        .expect("test artifact")
+    }
+
+    #[test]
+    fn flatten_labels_array_elements_by_string_fields() {
+        let metrics = flatten(&artifact(1.0, 6.0));
+        let paths: Vec<&str> = metrics.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "cells[uniform.optimized].healed.mean_reliability",
+                "cells[uniform.optimized].healed.mean_last_hop",
+                "cells[uniform.optimized].grafts",
+            ]
+        );
+    }
+
+    #[test]
+    fn unlabeled_elements_fall_back_to_indices() {
+        let metrics = flatten(&parse(r#"{"xs":[{"v":1},{"v":2}]}"#).unwrap());
+        assert_eq!(metrics[0].0, "xs[0].v");
+        assert_eq!(metrics[1].0, "xs[1].v");
+    }
+
+    #[test]
+    fn directions_follow_the_metric_name_not_the_labels() {
+        assert_eq!(direction("cells[x].healed.mean_reliability"), Direction::HigherIsBetter);
+        assert_eq!(direction("rows[y].accuracy"), Direction::HigherIsBetter);
+        assert_eq!(direction("cells[x].stable.mean_rmr"), Direction::LowerIsBetter);
+        assert_eq!(direction("cells[x].healed.mean_last_hop"), Direction::LowerIsBetter);
+        assert_eq!(direction("variants[v].control_per_broadcast"), Direction::LowerIsBetter);
+        assert_eq!(direction("cells[x].dead_letters"), Direction::LowerIsBetter);
+        assert_eq!(direction("cells[low_control_variant].grafts"), Direction::Info);
+        assert_eq!(direction("warmup"), Direction::Info);
+    }
+
+    #[test]
+    fn regressions_are_direction_aware() {
+        let rows = diff(&artifact(1.0, 6.0), &artifact(0.8, 6.0));
+        let (_, regressions) = markdown_table(&rows, 0.10);
+        assert_eq!(regressions, 1, "reliability dropped 20% > 10% threshold");
+        // The same magnitude of change upward is an improvement, not a
+        // regression.
+        let rows = diff(&artifact(0.8, 6.0), &artifact(1.0, 6.0));
+        let (table, regressions) = markdown_table(&rows, 0.10);
+        assert_eq!(regressions, 0);
+        assert!(table.contains("improved"), "{table}");
+        // last_hop is lower-is-better: growing it regresses.
+        let rows = diff(&artifact(1.0, 6.0), &artifact(1.0, 7.0));
+        assert_eq!(markdown_table(&rows, 0.10).1, 1);
+        // Within threshold: no regression.
+        let rows = diff(&artifact(1.0, 6.0), &artifact(1.0, 6.3));
+        assert_eq!(markdown_table(&rows, 0.10).1, 0);
+    }
+
+    #[test]
+    fn info_metrics_never_gate() {
+        let base = parse(r#"{"grafts":1}"#).unwrap();
+        let current = parse(r#"{"grafts":100}"#).unwrap();
+        assert_eq!(markdown_table(&diff(&base, &current), 0.01).1, 0);
+    }
+
+    #[test]
+    fn identical_artifacts_collapse_to_unchanged() {
+        let rows = diff(&artifact(1.0, 6.0), &artifact(1.0, 6.0));
+        let (table, regressions) = markdown_table(&rows, 0.10);
+        assert_eq!(regressions, 0);
+        assert!(table.contains("all metrics unchanged"), "{table}");
+        assert!(table.contains("3 metrics compared, 3 unchanged"), "{table}");
+    }
+
+    #[test]
+    fn appearing_and_disappearing_metrics_are_reported_not_gated() {
+        let base = parse(r#"{"old_reliability":1.0}"#).unwrap();
+        let current = parse(r#"{"new_reliability":0.5}"#).unwrap();
+        let rows = diff(&base, &current);
+        assert_eq!(rows.len(), 2);
+        let (table, regressions) = markdown_table(&rows, 0.10);
+        assert_eq!(regressions, 0, "one-sided metrics cannot regress");
+        assert!(table.contains('—'), "{table}");
+    }
+}

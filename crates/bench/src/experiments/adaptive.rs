@@ -109,7 +109,10 @@ pub struct AdaptiveCell {
 /// never queues more than one announcement per peer).
 pub const BURST: usize = 4;
 
-fn measure(
+/// Disseminates `messages` broadcasts from `origin` in bursts of [`BURST`]
+/// and aggregates them into one [`PhaseMetrics`]. Shared with the
+/// latency-sweep experiment.
+pub(crate) fn measure(
     sim: &mut hyparview_sim::protocols::HyParViewSim,
     origin: SimId,
     messages: usize,

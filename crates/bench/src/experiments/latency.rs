@@ -1,0 +1,211 @@
+//! Adaptive Plumtree under variable network latency.
+//!
+//! The paper's PeerSim experiments run at unit latency: every message takes
+//! one virtual time unit, so delivery order *is* round order and the §3.8
+//! tree-optimization race — an `IHave` arriving after the payload yet
+//! announcing a shorter path — can never happen. Real networks race. This
+//! experiment sweeps latency models ([`hyparview_sim::LatencyModel`]) over
+//! the failure-and-healing scenario of the adaptive experiment and measures
+//! how tree optimization behaves when rounds and arrival order disagree:
+//!
+//! * `fixed` — the paper's unit-latency baseline: the late-`IHave` path
+//!   must stay silent (`late_optimizations == 0`);
+//! * `uniform` — per-message jitter in `[1, 4]`: announcements race
+//!   payloads, the late path fires;
+//! * `uniform-link` — the same distribution assigned *per directed link*
+//!   (a stable, asymmetric latency geometry seeded by the scenario):
+//!   latency draws consume no simulator randomness, so the static and
+//!   optimized variants crash identical node sets and stay comparable;
+//! * `lognormal-link` — a heavy-tailed geometry (median 2, σ = 0.6):
+//!   the wide-area case where a few links are much slower than the rest.
+//!
+//! The headline: under every variable-latency model, the optimizing
+//! variant ends with a strictly shallower healed tree (lower
+//! last-delivery-hop) than the static one, at 100% reliability — the
+//! in-simulation evidence behind the TCP runtime's adaptive defaults.
+
+use crate::experiments::adaptive::{measure, PhaseMetrics};
+use crate::params::Params;
+use hyparview_core::SimId;
+use hyparview_plumtree::{BroadcastMode, PlumtreeConfig};
+use hyparview_sim::protocols::build_hyparview;
+use hyparview_sim::Latency;
+
+/// One latency model of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyCase {
+    /// Display label.
+    pub label: &'static str,
+    /// The latency model messages are scheduled under.
+    pub latency: Latency,
+}
+
+/// The swept latency models, in display order.
+pub const LATENCY_CASES: [LatencyCase; 4] = [
+    LatencyCase { label: "fixed", latency: Latency::fixed(1) },
+    LatencyCase { label: "uniform", latency: Latency::uniform(1, 4) },
+    LatencyCase { label: "uniform-link", latency: Latency::uniform(1, 4).per_link() },
+    LatencyCase { label: "lognormal-link", latency: Latency::log_normal(2, 600).per_link() },
+];
+
+/// Result of one `(latency model, variant)` combination.
+#[derive(Debug, Clone)]
+pub struct LatencyCell {
+    /// Latency model measured.
+    pub case: LatencyCase,
+    /// `"static"` or `"optimized"`.
+    pub variant: &'static str,
+    /// Metrics on the stable network (before the failure).
+    pub stable: PhaseMetrics,
+    /// Metrics after the failure healed.
+    pub healed: PhaseMetrics,
+    /// Total tree optimizations across the run (both trigger paths).
+    pub optimizations: u64,
+    /// Optimizations triggered by an `IHave` that lost the race against
+    /// its payload — impossible at unit latency.
+    pub late_optimizations: u64,
+    /// `Graft` repairs across the run.
+    pub grafts: u64,
+    /// Missing messages abandoned after exhausting graft retries.
+    pub dead_letters: u64,
+}
+
+/// The two tree policies compared under each latency model. Lazy batching
+/// stays *off* in both: a flush interval delays every announcement, which
+/// would make `IHave`s lose the payload race even at unit latency and
+/// muddy the model comparison — this sweep isolates
+/// `optimization_threshold`.
+pub const LATENCY_VARIANTS: [(&str, Option<u32>); 2] = [("static", None), ("optimized", Some(2))];
+
+/// Measures one combination: build + stabilize under the latency model,
+/// carve the tree, measure the stable phase, crash `failure` of the nodes,
+/// heal, re-carve (the adaptation window), measure the healed phase.
+pub fn latency_cell(
+    params: &Params,
+    case: LatencyCase,
+    threshold: Option<u32>,
+    failure: f64,
+    warmup: usize,
+    heal_cycles: usize,
+) -> LatencyCell {
+    let plumtree = PlumtreeConfig::default()
+        .with_optimization_threshold(threshold)
+        .with_timeouts_for_max_latency(case.latency.max_hop());
+    let scenario = params
+        .scenario(0)
+        .with_latency(case.latency)
+        .with_broadcast_mode(BroadcastMode::Plumtree)
+        .with_plumtree(plumtree);
+    let mut sim = build_hyparview(&scenario, params.configs.hyparview.clone());
+    sim.run_cycles(params.stabilization_cycles);
+
+    let origin = SimId::new(0);
+    for _ in 0..warmup {
+        sim.broadcast_from(origin);
+    }
+    let stable = measure(&mut sim, origin, params.messages);
+
+    sim.fail_fraction(failure);
+    sim.run_cycles(heal_cycles);
+
+    let origin = if sim.is_alive(origin) { origin } else { sim.alive_ids()[0] };
+    for _ in 0..warmup {
+        sim.broadcast_from(origin);
+    }
+    let healed = measure(&mut sim, origin, params.messages);
+
+    let stats = sim.plumtree_stats_total().expect("Plumtree mode");
+    LatencyCell {
+        case,
+        variant: if threshold.is_some() { "optimized" } else { "static" },
+        stable,
+        healed,
+        optimizations: stats.optimizations,
+        late_optimizations: stats.late_optimizations,
+        grafts: stats.grafts_sent,
+        dead_letters: stats.graft_dead_letters,
+    }
+}
+
+/// The full sweep: every latency model × {static, optimized}.
+pub fn plumtree_latency(
+    params: &Params,
+    failure: f64,
+    warmup: usize,
+    heal_cycles: usize,
+) -> Vec<LatencyCell> {
+    let mut cells = Vec::with_capacity(LATENCY_CASES.len() * LATENCY_VARIANTS.len());
+    for case in LATENCY_CASES {
+        for (_, threshold) in LATENCY_VARIANTS {
+            cells.push(latency_cell(params, case, threshold, failure, warmup, heal_cycles));
+        }
+    }
+    cells
+}
+
+/// The `(static, optimized)` pair of cells measured under `label`.
+pub fn pair_by_case<'c>(
+    cells: &'c [LatencyCell],
+    label: &str,
+) -> (&'c LatencyCell, &'c LatencyCell) {
+    let find = |variant: &str| {
+        cells
+            .iter()
+            .find(|c| c.case.label == label && c.variant == variant)
+            .expect("case and variant present")
+    };
+    (find("static"), find("optimized"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells() -> Vec<LatencyCell> {
+        plumtree_latency(&Params::smoke().with_messages(24), 0.3, 20, 3)
+    }
+
+    #[test]
+    fn every_combination_stays_fully_reliable() {
+        for cell in cells() {
+            for (phase, metrics) in [("stable", &cell.stable), ("healed", &cell.healed)] {
+                assert!(
+                    metrics.mean_reliability > 0.9999,
+                    "{}/{} {phase}: reliability {}",
+                    cell.case.label,
+                    cell.variant,
+                    metrics.mean_reliability
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimization_flattens_the_healed_tree_under_uniform_latency() {
+        let cells = cells();
+        for label in ["uniform", "uniform-link"] {
+            let (static_, optimized) = pair_by_case(&cells, label);
+            assert!(optimized.optimizations > 0, "{label}: the optimizer must fire");
+            assert!(
+                optimized.healed.mean_last_hop < static_.healed.mean_last_hop,
+                "{label}: optimized {} vs static {}",
+                optimized.healed.mean_last_hop,
+                static_.healed.mean_last_hop
+            );
+        }
+    }
+
+    #[test]
+    fn late_optimizations_require_variable_latency() {
+        let cells = cells();
+        let (_, fixed) = pair_by_case(&cells, "fixed");
+        assert_eq!(fixed.late_optimizations, 0, "unit latency cannot lose the IHave race");
+        let (_, uniform) = pair_by_case(&cells, "uniform");
+        assert!(
+            uniform.late_optimizations > 0,
+            "variable latency must exercise the late-IHave path: {uniform:?}"
+        );
+        let static_cells: Vec<_> = cells.iter().filter(|c| c.variant == "static").collect();
+        assert!(static_cells.iter().all(|c| c.optimizations == 0));
+    }
+}

@@ -12,6 +12,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod latency;
 pub mod overhead;
 pub mod plumtree;
 pub mod table1;
@@ -28,6 +29,10 @@ pub use fig2::{reliability_after_failures, Fig2Cell, Fig2Row};
 pub use fig3::{recovery_series, RecoverySeries};
 pub use fig4::{healing_time, HealingResult};
 pub use fig5::{in_degree_distribution, Fig5Row};
+pub use latency::{
+    latency_cell, pair_by_case, plumtree_latency, LatencyCase, LatencyCell, LATENCY_CASES,
+    LATENCY_VARIANTS,
+};
 pub use overhead::{message_overhead, OverheadPoint};
 pub use plumtree::{
     broadcast_cost_cell, flood_vs_plumtree, BroadcastCostCell, BroadcastCostRow, BROADCAST_MODES,

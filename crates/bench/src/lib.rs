@@ -14,7 +14,12 @@
 //!   broadcast trees (reliability, RMR, last-delivery-hop).
 //! * `plumtree_adaptive` — adaptive Plumtree (tree optimization + lazy
 //!   batching) on vs. off across the failure-and-healing scenario.
+//! * `plumtree_latency` — the same trees under variable latency models
+//!   (uniform jitter, per-link geometry, heavy-tailed), where arrival
+//!   order and round order disagree.
 //! * `all_experiments` — everything above, in `EXPERIMENTS.md` format.
+//! * `bench_diff` — not an experiment: diffs two bench JSON artifacts into
+//!   a markdown trend table (the CI cross-run perf trajectory).
 //!
 //! Every binary accepts `--n`, `--messages`, `--seed`, `--runs`,
 //! `--fanout`, `--stabilization` and the `--paper` / `--quick` / `--smoke`
@@ -23,6 +28,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod diff;
 pub mod experiments;
 pub mod json;
 pub mod params;

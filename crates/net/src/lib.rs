@@ -24,6 +24,9 @@ pub mod transport;
 pub mod wire;
 
 pub use hyparview_plumtree::{BroadcastMode, PlumtreeConfig};
-pub use node::{Delivery, NetConfig, Node, NodeStats};
+pub use node::{
+    Delivery, NetConfig, Node, NodeStats, DEFAULT_LAZY_FLUSH_INTERVAL,
+    DEFAULT_OPTIMIZATION_THRESHOLD,
+};
 pub use transport::{Transport, TransportConfig, TransportEvent};
 pub use wire::{Frame, FrameReader, WireError};

@@ -247,16 +247,34 @@ fn plumtree_eager_links_stay_within_active_view() {
 }
 
 #[test]
-fn adaptive_plumtree_broadcast_reaches_every_node() {
-    // Tree optimization + lazy batching on: broadcasts must still deliver
-    // everywhere, now with IHaveBatch frames on the lazy links.
-    let nodes = spawn_cluster_with(6, || {
-        config().with_broadcast_mode(BroadcastMode::Plumtree).with_plumtree(
-            hyparview_net::PlumtreeConfig::default()
-                .with_optimization_threshold(Some(2))
-                .with_lazy_flush_interval(2),
-        )
-    });
+fn default_netconfig_enables_adaptive_plumtree() {
+    // The runtime's defaults carry the §3.8 adaptive behavior (tree
+    // optimization + lazy batching); the simulator's PlumtreeConfig stays
+    // static for paper fidelity.
+    let defaults = NetConfig::default();
+    assert_eq!(
+        defaults.plumtree.optimization_threshold,
+        Some(hyparview_net::DEFAULT_OPTIMIZATION_THRESHOLD),
+        "tree optimization must be on by default in the TCP runtime"
+    );
+    assert_eq!(
+        defaults.plumtree.lazy_flush_interval,
+        hyparview_net::DEFAULT_LAZY_FLUSH_INTERVAL,
+        "lazy batching must be on by default in the TCP runtime"
+    );
+    assert_eq!(
+        hyparview_net::PlumtreeConfig::default().optimization_threshold,
+        None,
+        "the restore-paper-fidelity escape hatch must stay static"
+    );
+}
+
+#[test]
+fn adaptive_default_plumtree_broadcast_reaches_every_node() {
+    // The stock NetConfig now ships tree optimization + lazy batching on:
+    // broadcasts must still deliver everywhere, with IHaveBatch frames on
+    // the lazy links.
+    let nodes = spawn_cluster_with(6, || config().with_broadcast_mode(BroadcastMode::Plumtree));
     wait_for_overlay(&nodes);
     for round in 0..4 {
         let payload = format!("adaptive-{round}").into_bytes();
@@ -266,6 +284,30 @@ fn adaptive_plumtree_broadcast_reaches_every_node() {
                 .deliveries()
                 .recv_timeout(Duration::from_secs(5))
                 .unwrap_or_else(|_| panic!("node {i} missed adaptive broadcast {round}"));
+            assert_eq!(delivery.id, id);
+            assert_eq!(delivery.payload.as_ref(), payload.as_slice());
+        }
+    }
+}
+
+#[test]
+fn static_plumtree_config_restores_paper_fidelity() {
+    // Opting back out of the adaptive defaults (the paper's static trees)
+    // must keep working: `.with_plumtree(PlumtreeConfig::default())`.
+    let nodes = spawn_cluster_with(5, || {
+        config()
+            .with_broadcast_mode(BroadcastMode::Plumtree)
+            .with_plumtree(hyparview_net::PlumtreeConfig::default())
+    });
+    wait_for_overlay(&nodes);
+    for round in 0..3 {
+        let payload = format!("static-{round}").into_bytes();
+        let id = nodes[round % nodes.len()].broadcast(payload.clone());
+        for (i, node) in nodes.iter().enumerate() {
+            let delivery = node
+                .deliveries()
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap_or_else(|_| panic!("node {i} missed static broadcast {round}"));
             assert_eq!(delivery.id, id);
             assert_eq!(delivery.payload.as_ref(), payload.as_slice());
         }

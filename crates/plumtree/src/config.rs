@@ -27,8 +27,13 @@ impl std::fmt::Display for BroadcastMode {
 /// Tuning knobs of one Plumtree instance.
 ///
 /// Timeouts are expressed in abstract *timer units*: the simulator treats
-/// them as virtual-time delays (one unit ≈ one network latency), the TCP
-/// runtime multiplies them by its configured unit duration.
+/// them as virtual-time delays (one unit ≈ one network latency under the
+/// paper's unit-latency model), the TCP runtime multiplies them by its
+/// configured unit duration. Under a *variable* latency model the defaults
+/// are calibrated for a worst-case hop of ~2 units; when single hops can
+/// take longer (heavy-tailed or wide uniform models), scale the timeouts
+/// with [`PlumtreeConfig::with_timeouts_for_max_latency`] so a slow eager
+/// payload is not mistaken for a missing one.
 #[derive(Debug, Clone)]
 pub struct PlumtreeConfig {
     /// Delay before the missing-message timer fires after the first `IHave`
@@ -112,6 +117,18 @@ impl PlumtreeConfig {
         self.graft_retry_limit = limit;
         self
     }
+
+    /// Rescales both timeouts for a latency model whose slowest single hop
+    /// takes `max_latency` timer units: the missing-message timer must
+    /// outwait a worst-case eager path that is several hops deeper than
+    /// the lazy shortcut that announced the id, or healthy-but-slow trees
+    /// drown in spurious `Graft`s. Keeps the defaults (16/8) as the floor,
+    /// so the unit-latency behavior is unchanged.
+    pub fn with_timeouts_for_max_latency(mut self, max_latency: u64) -> Self {
+        self.ihave_timeout = self.ihave_timeout.max(max_latency.saturating_mul(8));
+        self.graft_timeout = self.graft_timeout.max(max_latency.saturating_mul(4));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +158,17 @@ mod tests {
         assert_eq!(c.optimization_threshold, Some(2));
         assert_eq!(c.lazy_flush_interval, 5);
         assert_eq!(c.graft_retry_limit, 4);
+    }
+
+    #[test]
+    fn timeout_rescaling_floors_at_the_defaults() {
+        let unit = PlumtreeConfig::default().with_timeouts_for_max_latency(1);
+        assert_eq!(unit.ihave_timeout, 16, "unit latency keeps the default");
+        assert_eq!(unit.graft_timeout, 8);
+        let wide = PlumtreeConfig::default().with_timeouts_for_max_latency(20);
+        assert_eq!(wide.ihave_timeout, 160);
+        assert_eq!(wide.graft_timeout, 80);
+        assert!(wide.ihave_timeout > wide.graft_timeout);
     }
 
     #[test]

@@ -95,6 +95,13 @@ pub struct PlumtreeStats {
     /// Tree optimizations performed (§3.8): a shorter lazy path was
     /// swapped into the tree (one payload-free `Graft` + one `Prune`).
     pub optimizations: u64,
+    /// The subset of [`PlumtreeStats::optimizations`] triggered by an
+    /// `IHave` that arrived *after* its payload had been delivered — the
+    /// paper's original race. Arrival order can only disagree with round
+    /// order like that when link latencies vary, so this stays 0 under a
+    /// unit-latency runtime (there the swap is evaluated against the
+    /// pending announcers at delivery time instead).
+    pub late_optimizations: u64,
     /// Missing messages abandoned after
     /// [`PlumtreeConfig::graft_retry_limit`] failed `Graft` attempts.
     pub graft_dead_letters: u64,
@@ -112,6 +119,7 @@ impl std::ops::AddAssign for PlumtreeStats {
         self.grafts_sent += rhs.grafts_sent;
         self.prunes_sent += rhs.prunes_sent;
         self.optimizations += rhs.optimizations;
+        self.late_optimizations += rhs.late_optimizations;
         self.graft_dead_letters += rhs.graft_dead_letters;
         self.delivered += rhs.delivered;
         self.redundant += rhs.redundant;
@@ -425,7 +433,13 @@ impl<I: Identity, P: Clone> PlumtreeState<I, P> {
 
     fn on_ihave(&mut self, from: I, id: MsgId, round: u32, out: &mut PlumtreeOut<I, P>) {
         if self.has_seen(id) {
+            let swaps_before = self.stats.optimizations;
             self.maybe_optimize(from, id, round, out);
+            if self.stats.optimizations > swaps_before {
+                // The announcement lost the race against its payload yet
+                // still revealed a shorter path: the variable-latency case.
+                self.stats.late_optimizations += 1;
+            }
             return;
         }
         self.missing.entry(id).or_default().announcers.push((from, round));
@@ -929,6 +943,7 @@ mod tests {
         assert!(s.eager_peers().contains(&2), "shorter path promoted");
         assert!(s.lazy_peers().contains(&1), "old parent demoted");
         assert_eq!(s.stats().optimizations, 1);
+        assert_eq!(s.stats().late_optimizations, 1, "the IHave arrived after the payload");
         assert!(out.timers.is_empty(), "no missing timer for a delivered message");
     }
 
@@ -954,6 +969,7 @@ mod tests {
         assert!(msgs.contains(&(1, PlumtreeMessage::Prune)), "prune the deep parent: {msgs:?}");
         assert!(s.eager_peers().contains(&2) && s.lazy_peers().contains(&1));
         assert_eq!(s.stats().optimizations, 1);
+        assert_eq!(s.stats().late_optimizations, 0, "the announcement preceded the payload");
     }
 
     #[test]
@@ -1135,6 +1151,7 @@ mod tests {
             grafts_sent: 4,
             prunes_sent: 5,
             optimizations: 6,
+            late_optimizations: 10,
             graft_dead_letters: 7,
             delivered: 8,
             redundant: 9,
@@ -1149,6 +1166,7 @@ mod tests {
                 grafts_sent: 8,
                 prunes_sent: 10,
                 optimizations: 12,
+                late_optimizations: 20,
                 graft_dead_letters: 14,
                 delivered: 16,
                 redundant: 18,

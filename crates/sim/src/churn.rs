@@ -328,6 +328,36 @@ mod tests {
     }
 
     #[test]
+    fn churn_absorbs_variable_latency() {
+        use crate::sim::Latency;
+        use hyparview_plumtree::{BroadcastMode, PlumtreeConfig};
+        // The full stack under a heavy-tailed latency geometry: Plumtree
+        // probes through steady churn must stay reliable even though
+        // crashes, TCP resets, grafts and payloads all race each other.
+        let latency = Latency::log_normal(2, 600).per_link();
+        let scenario = Scenario::new(100, 46)
+            .with_broadcast_mode(BroadcastMode::Plumtree)
+            .with_plumtree(
+                PlumtreeConfig::default().with_timeouts_for_max_latency(latency.max_hop()),
+            )
+            .with_latency(latency);
+        let mut sim = build_hyparview(&scenario, Config::default());
+        sim.run_cycles(5);
+        for _ in 0..5 {
+            sim.broadcast_random();
+        }
+        let reports = run_churn(&mut sim, &ChurnPlan::steady(3, 0.05, 2), 12);
+        for r in &reports {
+            assert!(
+                r.probe_reliability > 0.95,
+                "epoch {}: reliability {} under variable latency",
+                r.epoch,
+                r.probe_reliability
+            );
+        }
+    }
+
+    #[test]
     fn churn_is_deterministic() {
         let run = || {
             let scenario = Scenario::new(80, 44);

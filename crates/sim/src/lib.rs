@@ -27,4 +27,4 @@ pub use any::{AnySim, ProtocolConfigs};
 pub use churn::{run_churn, ChurnEpoch, ChurnPlan, ChurnReport};
 pub use hyparview_plumtree::{BroadcastMode, PlumtreeConfig, PlumtreeStats, PlumtreeTimer};
 pub use scenario::{protocols, ContactPolicy, Scenario};
-pub use sim::{BurstReport, Latency, Sim, SimConfig, SimStats};
+pub use sim::{BurstReport, Latency, LatencyAssignment, LatencyModel, Sim, SimConfig, SimStats};

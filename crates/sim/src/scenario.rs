@@ -69,6 +69,13 @@ impl Scenario {
         self
     }
 
+    /// Sets the latency model (distribution + per-message/per-link
+    /// assignment) messages are scheduled under.
+    pub fn with_latency(mut self, latency: crate::sim::Latency) -> Self {
+        self.sim_config.latency = latency;
+        self
+    }
+
     /// Selects the broadcast dissemination mode (flood or Plumtree).
     pub fn with_broadcast_mode(mut self, mode: hyparview_plumtree::BroadcastMode) -> Self {
         self.sim_config.broadcast_mode = mode;
@@ -271,11 +278,14 @@ mod tests {
 
     #[test]
     fn scenario_builders_chain() {
+        use crate::sim::Latency;
         let s = Scenario::new(10, 1)
             .with_fanout(5)
+            .with_latency(Latency::uniform(1, 4).per_link())
             .with_contact(ContactPolicy::RandomExisting)
             .with_stabilization_cycles(7);
         assert_eq!(s.sim_config.fanout, 5);
+        assert_eq!(s.sim_config.latency, Latency::uniform(1, 4).per_link());
         assert_eq!(s.contact, ContactPolicy::RandomExisting);
         assert_eq!(s.stabilization_cycles, 7);
     }

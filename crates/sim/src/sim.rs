@@ -24,26 +24,156 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
-/// Network latency model for scheduled deliveries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Latency {
-    /// Every message takes exactly this many virtual time units.
+/// Distribution one latency draw comes from.
+///
+/// Every model is bounded and strictly positive: a draw of 0 would let a
+/// message arrive in the same virtual instant it was sent, which breaks the
+/// causal ordering the drain loop relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatencyModel {
+    /// Every draw is exactly this many virtual time units.
     Fixed(u64),
-    /// Uniformly random latency in `[min, max]`.
+    /// Uniformly random latency in `[min, max]`. The bounds are reordered
+    /// if `min > max` — sampling never panics mid-drain.
     Uniform {
         /// Minimum latency (inclusive).
         min: u64,
         /// Maximum latency (inclusive).
         max: u64,
     },
+    /// Heavy-tailed latency: a discrete log-normal approximation. The
+    /// underlying normal is an Irwin–Hall sum (12 uniforms), so draws stay
+    /// cheap and deterministic; `exp(sigma · z)` scales `median`, rounded
+    /// to whole time units and clamped into `[1, cap]`. The long tail is
+    /// what makes wide-area deployments reorder messages: most draws land
+    /// near `median`, a few take many times longer.
+    LogNormal {
+        /// Median latency (the `exp(mu)` of the distribution).
+        median: u64,
+        /// Shape parameter σ in thousandths (700 ⇒ σ = 0.7). Larger means
+        /// heavier tail.
+        sigma_milli: u32,
+        /// Hard upper clamp on a draw — keeps the tail finite so drains
+        /// terminate in bounded virtual time.
+        cap: u64,
+    },
+}
+
+impl LatencyModel {
+    /// Draws one latency from the model. Never panics: degenerate bounds
+    /// are reordered and every draw is clamped into [`LatencyModel::bounds`].
+    pub fn sample(self, rng: &mut StdRng) -> u64 {
+        match self {
+            LatencyModel::Fixed(l) => l.max(1),
+            LatencyModel::Uniform { min, max } => {
+                let (lo, hi) = (min.min(max).max(1), min.max(max).max(1));
+                rng.gen_range(lo..=hi)
+            }
+            LatencyModel::LogNormal { median, sigma_milli, cap: _ } => {
+                // Irwin–Hall: the sum of 12 unit uniforms minus 6 is a good
+                // standard-normal approximation with support [-6, 6].
+                let mut z = -6.0f64;
+                for _ in 0..12 {
+                    z += rng.gen_range(0.0f64..1.0);
+                }
+                let sigma = f64::from(sigma_milli) / 1000.0;
+                let draw = (median.max(1) as f64) * (sigma * z).exp();
+                let (lo, hi) = self.bounds();
+                (draw.round() as u64).clamp(lo, hi)
+            }
+        }
+    }
+
+    /// Inclusive `(min, max)` bounds every draw of this model respects.
+    pub fn bounds(self) -> (u64, u64) {
+        match self {
+            LatencyModel::Fixed(l) => (l.max(1), l.max(1)),
+            LatencyModel::Uniform { min, max } => (min.min(max).max(1), min.max(max).max(1)),
+            LatencyModel::LogNormal { median, cap, .. } => (1, cap.max(median.max(1))),
+        }
+    }
+}
+
+/// How latency draws are assigned to messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LatencyAssignment {
+    /// A fresh draw per message: pure jitter, no stable geometry.
+    #[default]
+    PerMessage,
+    /// One draw per *directed link*, fixed for the whole run: the network
+    /// has a stable (and asymmetric — `a→b` and `b→a` draw independently)
+    /// latency geometry, seeded from the scenario seed so the same scenario
+    /// always produces the same geometry. Per-link draws consume no
+    /// simulator randomness, so runs differing only in broadcast behavior
+    /// (e.g. Plumtree variants) still crash identical node sets.
+    PerLink,
+}
+
+/// Network latency model for scheduled deliveries: a [`LatencyModel`]
+/// distribution plus a [`LatencyAssignment`] policy.
+///
+/// ```
+/// use hyparview_sim::Latency;
+///
+/// let unit = Latency::fixed(1); // the paper's PeerSim model
+/// let jitter = Latency::uniform(1, 20); // per-message jitter
+/// let geometry = Latency::uniform(1, 20).per_link(); // stable asymmetric links
+/// let wan = Latency::log_normal(3, 700); // heavy-tailed
+/// assert_ne!(unit, jitter);
+/// assert_ne!(jitter, geometry);
+/// assert_eq!(wan.model.bounds().0, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Latency {
+    /// The per-draw distribution.
+    pub model: LatencyModel,
+    /// How draws map onto messages.
+    pub assignment: LatencyAssignment,
+}
+
+impl Default for Latency {
+    fn default() -> Self {
+        Latency::fixed(1)
+    }
 }
 
 impl Latency {
-    fn sample(self, rng: &mut StdRng) -> u64 {
-        match self {
-            Latency::Fixed(l) => l,
-            Latency::Uniform { min, max } => rng.gen_range(min..=max),
+    /// Every message takes exactly `units` virtual time units (the paper's
+    /// PeerSim model at `units == 1`).
+    pub const fn fixed(units: u64) -> Latency {
+        Latency { model: LatencyModel::Fixed(units), assignment: LatencyAssignment::PerMessage }
+    }
+
+    /// Uniform latency in `[min, max]`. The pair is reordered if given
+    /// backwards, so sampling can never panic mid-drain.
+    pub const fn uniform(min: u64, max: u64) -> Latency {
+        Latency {
+            model: LatencyModel::Uniform { min, max },
+            assignment: LatencyAssignment::PerMessage,
         }
+    }
+
+    /// Heavy-tailed latency with the given median and shape (σ in
+    /// thousandths). The tail is clamped at `32 × median`.
+    pub const fn log_normal(median: u64, sigma_milli: u32) -> Latency {
+        let cap = median.saturating_mul(32);
+        Latency {
+            model: LatencyModel::LogNormal { median, sigma_milli, cap },
+            assignment: LatencyAssignment::PerMessage,
+        }
+    }
+
+    /// Switches to per-link assignment: each directed link keeps one draw
+    /// for the whole run ([`LatencyAssignment::PerLink`]).
+    pub const fn per_link(mut self) -> Latency {
+        self.assignment = LatencyAssignment::PerLink;
+        self
+    }
+
+    /// The maximum virtual-time units a single hop can take under this
+    /// latency — what Plumtree timeouts must comfortably exceed.
+    pub fn max_hop(&self) -> u64 {
+        self.model.bounds().1
     }
 }
 
@@ -67,7 +197,10 @@ pub struct SimConfig {
     pub broadcast_mode: BroadcastMode,
     /// Plumtree parameters (used only in [`BroadcastMode::Plumtree`]).
     /// Timer units are virtual time units; the defaults comfortably exceed
-    /// the fixed per-hop latency of 1.
+    /// a per-hop latency of 1. Under a wider latency model, scale the
+    /// timeouts with [`Latency::max_hop`] (e.g. via
+    /// [`PlumtreeConfig::with_timeouts_for_max_latency`]) or healthy deep
+    /// trees trigger spurious `Graft`s.
     pub plumtree: PlumtreeConfig,
 }
 
@@ -75,7 +208,7 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             fanout: 4,
-            latency: Latency::Fixed(1),
+            latency: Latency::fixed(1),
             max_drain_events: 200_000_000,
             retry_failed_gossip: false,
             broadcast_mode: BroadcastMode::Flood,
@@ -294,6 +427,11 @@ pub struct Sim<M: Membership<SimId>> {
     next_broadcast: u64,
     factory: Box<dyn FnMut(SimId, u64) -> M>,
     factory_seed: u64,
+    /// Seed of the per-link latency geometry ([`LatencyAssignment::PerLink`]).
+    link_seed: u64,
+    /// Memoized per-link draws — fixed for the run by definition, so each
+    /// directed edge pays the seed-and-sample cost once.
+    link_latency: HashMap<(SimId, SimId), u64>,
 }
 
 impl<M: Membership<SimId>> Sim<M> {
@@ -315,6 +453,26 @@ impl<M: Membership<SimId>> Sim<M> {
             next_broadcast: 0,
             factory: Box::new(factory),
             factory_seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+            link_seed: seed ^ 0x7A7E_11C7_1A7E_11C7,
+            link_latency: HashMap::new(),
+        }
+    }
+
+    /// The latency of one transmission from `from` to `to`, in virtual time
+    /// units. Per-message assignment draws from the simulation RNG;
+    /// per-link assignment derives a stable draw from the link's own seed
+    /// (asymmetric: `a→b` and `b→a` are independent draws).
+    fn latency_of(&mut self, from: SimId, to: SimId) -> u64 {
+        match self.config.latency.assignment {
+            LatencyAssignment::PerMessage => self.config.latency.model.sample(&mut self.rng),
+            LatencyAssignment::PerLink => {
+                let model = self.config.latency.model;
+                let link_seed = self.link_seed;
+                *self.link_latency.entry((from, to)).or_insert_with(|| {
+                    let mut link_rng = StdRng::seed_from_u64(mix_link(link_seed, from, to));
+                    model.sample(&mut link_rng)
+                })
+            }
         }
     }
 
@@ -347,6 +505,21 @@ impl<M: Membership<SimId>> Sim<M> {
     /// Current virtual time.
     pub fn time(&self) -> u64 {
         self.time
+    }
+
+    /// Number of events still waiting in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the simulation is *quiescent*: the event queue is empty.
+    ///
+    /// Under variable latency "round complete" is meaningless — events of
+    /// one logical round interleave arbitrarily with the next — so
+    /// quiescence is defined purely on the queue, and every drain runs
+    /// until this holds.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
     }
 
     /// Cumulative simulator statistics.
@@ -481,7 +654,7 @@ impl<M: Membership<SimId>> Sim<M> {
             let connected = self.nodes[v].memb.connected_peers();
             for peer in connected {
                 if !self.nodes[peer.index()].alive {
-                    let latency = self.config.latency.sample(&mut self.rng);
+                    let latency = self.latency_of(peer, SimId::new(v));
                     self.queue.push(
                         self.time + latency,
                         peer,
@@ -581,7 +754,7 @@ impl<M: Membership<SimId>> Sim<M> {
                     }
                     track.sent_by.insert((origin.index(), id), targets.clone());
                     for t in targets {
-                        let latency = self.config.latency.sample(&mut self.rng);
+                        let latency = self.latency_of(origin, t);
                         self.queue.push(
                             self.time + latency,
                             origin,
@@ -662,12 +835,15 @@ impl<M: Membership<SimId>> Sim<M> {
 
     fn dispatch(&mut self, from: SimId, out: &mut Outbox<SimId, M::Message>) {
         for (to, message) in out.drain() {
-            let latency = self.config.latency.sample(&mut self.rng);
+            let latency = self.latency_of(from, to);
             self.queue.push(self.time + latency, from, to, Payload::Membership(message));
         }
     }
 
-    /// Drains all pending events (no broadcast in flight).
+    /// Drains all pending events (no broadcast in flight) until the
+    /// simulation [is quiescent](Sim::is_quiescent) — the event *queue* is
+    /// empty, which under variable latency is strictly stronger than any
+    /// notion of a completed round.
     pub fn drain(&mut self) {
         let mut no_track = Track::none();
         self.drain_with_track(&mut no_track);
@@ -819,7 +995,7 @@ impl<M: Membership<SimId>> Sim<M> {
                     }
                 }
             }
-            let latency = self.config.latency.sample(&mut self.rng);
+            let latency = self.latency_of(node, to);
             self.queue.push(self.time + latency, node, to, Payload::Plumtree(message));
         }
         for delivery in out.deliveries.drain(..) {
@@ -883,7 +1059,7 @@ impl<M: Membership<SimId>> Sim<M> {
             track.sent_by.entry((to.index(), id)).or_default().extend(targets.iter().copied());
         }
         for t in targets {
-            let latency = self.config.latency.sample(&mut self.rng);
+            let latency = self.latency_of(to, t);
             self.queue.push(self.time + latency, to, t, Payload::Gossip { id, hops: hops + 1 });
         }
     }
@@ -926,9 +1102,24 @@ impl<M: Membership<SimId>> Sim<M> {
         if let Some(per) = track.per_mut(id) {
             per.sent += 1;
         }
-        let latency = self.config.latency.sample(&mut self.rng);
+        let latency = self.latency_of(sender, replacement);
         self.queue.push(self.time + latency, sender, replacement, Payload::Gossip { id, hops });
     }
+}
+
+/// Hashes one directed link into a latency seed. `from` and `to` mix with
+/// different multipliers, so the two directions of a link draw
+/// independently — per-link latency geometry is asymmetric by design.
+fn mix_link(link_seed: u64, from: SimId, to: SimId) -> u64 {
+    let mut x = link_seed
+        ^ (from.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (to.index() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    // SplitMix64 finalizer.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl<M: Membership<SimId>> std::fmt::Debug for Sim<M> {
@@ -1280,6 +1471,123 @@ mod tests {
         let batches = run(4);
         let stats = |burst: &BurstReport| burst.control_frames;
         assert_eq!(stats(&batches), stats(&batched), "burst accounting is deterministic");
+    }
+
+    // ------------------------------------------------------------------
+    // Latency models
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn uniform_constructor_reorders_degenerate_bounds() {
+        let swapped = Latency::uniform(9, 2);
+        assert_eq!(swapped.model.bounds(), (2, 9));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let draw = swapped.model.sample(&mut rng);
+            assert!((2..=9).contains(&draw), "draw {draw} outside [2, 9]");
+        }
+    }
+
+    #[test]
+    fn log_normal_draws_stay_within_bounds_and_tail() {
+        let latency = Latency::log_normal(4, 800);
+        let (lo, hi) = latency.model.bounds();
+        assert_eq!((lo, hi), (1, 4 * 32));
+        let mut rng = StdRng::seed_from_u64(2);
+        let draws: Vec<u64> = (0..2000).map(|_| latency.model.sample(&mut rng)).collect();
+        assert!(draws.iter().all(|d| (lo..=hi).contains(d)));
+        // Heavy tail: some draws land well past the median, none past cap.
+        assert!(draws.iter().any(|&d| d >= 12), "no tail draws at σ = 0.8");
+        let median_zone = draws.iter().filter(|&&d| (2..=8).contains(&d)).count();
+        assert!(median_zone > draws.len() / 2, "mass should concentrate near the median");
+    }
+
+    #[test]
+    fn per_link_geometry_is_asymmetric_and_stable() {
+        let (a, b) = (SimId::new(3), SimId::new(9));
+        assert_ne!(mix_link(7, a, b), mix_link(7, b, a), "directed links draw independently");
+        assert_eq!(mix_link(7, a, b), mix_link(7, a, b));
+        assert_ne!(mix_link(7, a, b), mix_link(8, a, b), "geometry follows the seed");
+    }
+
+    #[test]
+    fn variable_latency_broadcasts_stay_atomic_and_deterministic() {
+        let run = |latency: Latency| {
+            let config = SimConfig::default().with_latency(latency);
+            let mut sim = Sim::new(config, 31, |id, seed| {
+                HyParViewMembership::new(id, Config::default(), seed).unwrap()
+            });
+            let contact = sim.add_node();
+            for _ in 1..50 {
+                let id = sim.add_node();
+                sim.join(id, contact);
+            }
+            sim.run_cycles(3);
+            let report = sim.broadcast_from(contact);
+            assert!(sim.is_quiescent(), "drain must empty the event queue");
+            assert!(
+                report.is_atomic(),
+                "{latency:?}: {} of {} delivered",
+                report.delivered,
+                report.alive
+            );
+            report
+        };
+        for latency in [
+            Latency::fixed(3),
+            Latency::uniform(1, 9),
+            Latency::uniform(1, 9).per_link(),
+            Latency::log_normal(3, 700),
+            Latency::log_normal(3, 700).per_link(),
+        ] {
+            assert_eq!(run(latency), run(latency), "same seed must reproduce {latency:?}");
+        }
+    }
+
+    /// Tree optimization's *late-IHave* path requires arrival order to
+    /// disagree with round order. Under `fixed(1)` on a stable overlay
+    /// deliveries are breadth-first — an announcement can never lose the
+    /// race against a payload of a deeper round — so the late path must
+    /// stay silent; under `uniform` latency the race is real and the path
+    /// must fire (and each swap sends its `Prune`).
+    #[test]
+    fn late_optimization_fires_under_uniform_latency_never_under_fixed() {
+        let run = |latency: Latency| {
+            let plumtree = PlumtreeConfig::default()
+                .with_optimization_threshold(Some(1))
+                .with_timeouts_for_max_latency(latency.max_hop());
+            let config = SimConfig::default()
+                .with_latency(latency)
+                .with_broadcast_mode(BroadcastMode::Plumtree)
+                .with_plumtree(plumtree);
+            let mut sim = Sim::new(config, 33, |id, seed| {
+                HyParViewMembership::new(id, Config::default(), seed).unwrap()
+            });
+            let contact = sim.add_node();
+            for _ in 1..80 {
+                let id = sim.add_node();
+                sim.join(id, contact);
+            }
+            sim.run_cycles(5);
+            let origin = SimId::new(0);
+            for _ in 0..20 {
+                let report = sim.broadcast_from(origin);
+                assert!(report.is_atomic(), "{latency:?} broadcast lost deliveries");
+            }
+            sim.plumtree_stats_total().expect("Plumtree mode")
+        };
+        let fixed = run(Latency::fixed(1));
+        assert_eq!(
+            fixed.late_optimizations, 0,
+            "unit latency delivers in round order: no IHave can arrive late with a better round"
+        );
+        let uniform = run(Latency::uniform(1, 8));
+        assert!(
+            uniform.late_optimizations > 0,
+            "variable latency must exercise the late-IHave optimization: {uniform:?}"
+        );
+        assert!(uniform.optimizations >= uniform.late_optimizations);
+        assert!(uniform.prunes_sent > 0, "every optimization prunes the old parent");
     }
 
     #[test]

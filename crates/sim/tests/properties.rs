@@ -4,8 +4,23 @@
 use hyparview_core::Config;
 use hyparview_gossip::HyParViewMembership;
 use hyparview_sim::protocols::{build_hyparview, ProtocolKind};
-use hyparview_sim::{AnySim, ProtocolConfigs, Scenario, Sim, SimConfig};
+use hyparview_sim::{AnySim, Latency, LatencyModel, ProtocolConfigs, Scenario, Sim};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every latency shape the simulator supports, spanning both assignments.
+fn all_latencies(a: u64, b: u64, sigma_milli: u32) -> [Latency; 6] {
+    [
+        Latency::fixed(a.max(1)),
+        Latency::uniform(a, b),
+        Latency::uniform(a, b).per_link(),
+        Latency::log_normal(a.max(1), sigma_milli),
+        Latency::log_normal(a.max(1), sigma_milli).per_link(),
+        // Degenerate, deliberately backwards bounds: must never panic.
+        Latency::uniform(b.max(a), a.min(b)),
+    ]
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -95,10 +110,8 @@ proptest! {
     /// a connected overlay.
     #[test]
     fn random_latencies_still_connect(seed in any::<u64>()) {
-        let config = SimConfig::default()
-            .with_latency(hyparview_sim::Latency::Uniform { min: 1, max: 20 });
-        let mut scenario = Scenario::new(50, seed);
-        scenario.sim_config = config;
+        let scenario =
+            Scenario::new(50, seed).with_latency(hyparview_sim::Latency::uniform(1, 20));
         let sim: Sim<HyParViewMembership<hyparview_core::SimId>> =
             scenario.build_with(|id, seed| {
                 HyParViewMembership::new(id, Config::default(), seed).unwrap()
@@ -110,5 +123,52 @@ proptest! {
             .collect();
         let overlay = hyparview_graph::Overlay::new(views);
         prop_assert!(hyparview_graph::connectivity(&overlay).is_connected());
+    }
+
+    /// Any latency model is a pure function of the scenario seed: same
+    /// seed ⇒ the identical `BroadcastReport`, field for field.
+    #[test]
+    fn every_latency_model_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        a in 1u64..6,
+        b in 1u64..30,
+        sigma_milli in 100u32..1200,
+    ) {
+        for latency in all_latencies(a, b, sigma_milli) {
+            let run = || {
+                let scenario = Scenario::new(40, seed).with_latency(latency);
+                let mut sim = build_hyparview(&scenario, Config::default());
+                sim.run_cycles(2);
+                sim.broadcast_from(hyparview_core::SimId::new(0))
+            };
+            prop_assert_eq!(run(), run(), "{:?} diverged at seed {}", latency, seed);
+        }
+    }
+
+    /// Draws of every model respect the model's declared bounds — including
+    /// models built from degenerate (reversed) parameters.
+    #[test]
+    fn latency_samples_respect_declared_bounds(
+        seed in any::<u64>(),
+        a in 0u64..50,
+        b in 0u64..50,
+        sigma_milli in 0u32..2000,
+    ) {
+        let models = [
+            LatencyModel::Fixed(a),
+            LatencyModel::Uniform { min: a, max: b },
+            LatencyModel::Uniform { min: b, max: a },
+            LatencyModel::LogNormal { median: a.max(1), sigma_milli, cap: b.max(1) },
+        ];
+        let mut rng = StdRng::seed_from_u64(seed);
+        for model in models {
+            let (lo, hi) = model.bounds();
+            prop_assert!(lo >= 1, "{:?}: a zero-latency draw breaks causality", model);
+            prop_assert!(lo <= hi);
+            for _ in 0..64 {
+                let draw = model.sample(&mut rng);
+                prop_assert!((lo..=hi).contains(&draw), "{:?} drew {}", model, draw);
+            }
+        }
     }
 }
