@@ -1,0 +1,181 @@
+//! Result-artifact serialization shared between the experiment binaries
+//! and the tests.
+//!
+//! Each builder renders one experiment's *results* artifact — a pure
+//! function of the experiment data, so two sweeps that computed the same
+//! results (e.g. `--jobs 1` vs `--jobs 4`) serialize to byte-identical
+//! documents. That property is asserted by the `jobs_identical` test
+//! suite, which is why these builders live here instead of inline in the
+//! bins. Wall-clock numbers never belong in these documents — they go in
+//! the perf sidecar ([`crate::measure::perf_artifact`]).
+
+use crate::experiments::adaptive::{AdaptiveCell, PhaseMetrics};
+use crate::experiments::fig2::Fig2Row;
+use crate::experiments::latency::LatencyCell;
+use crate::experiments::plumtree::BroadcastCostRow;
+use crate::json::{array, JsonObject};
+use crate::params::Params;
+
+/// The `fig2_reliability` results artifact.
+pub fn fig2_artifact(params: &Params, rows: &[Fig2Row]) -> String {
+    JsonObject::new()
+        .str("experiment", "fig2_reliability")
+        .str("params", &params.describe())
+        .raw(
+            "rows",
+            array(rows.iter().map(|row| {
+                JsonObject::new()
+                    .num("failure", row.failure)
+                    .raw(
+                        "cells",
+                        array(row.cells.iter().map(|c| {
+                            JsonObject::new()
+                                .str("protocol", c.kind.label())
+                                .num("mean_reliability", c.mean_reliability)
+                                .num("min_reliability", c.min_reliability)
+                                .num("accuracy_after", c.accuracy_after)
+                                .int("events", c.events)
+                                .build()
+                        })),
+                    )
+                    .build()
+            })),
+        )
+        .build()
+}
+
+/// The `plumtree_vs_flood` results artifact.
+pub fn plumtree_vs_flood_artifact(
+    params: &Params,
+    warmup: usize,
+    rows: &[BroadcastCostRow],
+) -> String {
+    JsonObject::new()
+        .str("experiment", "plumtree_vs_flood")
+        .str("params", &params.describe())
+        .int("warmup", warmup as u64)
+        .raw(
+            "rows",
+            array(rows.iter().map(|row| {
+                JsonObject::new()
+                    .num("failure", row.failure)
+                    .raw(
+                        "cells",
+                        array(row.cells.iter().map(|c| {
+                            JsonObject::new()
+                                .str("mode", &c.mode.to_string())
+                                .num("mean_reliability", c.mean_reliability)
+                                .num("min_reliability", c.min_reliability)
+                                .num("mean_rmr", c.mean_rmr)
+                                .num("mean_last_hop", c.mean_last_hop)
+                                .num("payload_per_broadcast", c.payload_per_broadcast)
+                                .num("control_per_broadcast", c.control_per_broadcast)
+                                .int("events", c.events)
+                                .build()
+                        })),
+                    )
+                    .build()
+            })),
+        )
+        .build()
+}
+
+fn phase_json(metrics: &PhaseMetrics) -> String {
+    JsonObject::new()
+        .num("mean_reliability", metrics.mean_reliability)
+        .num("min_reliability", metrics.min_reliability)
+        .num("mean_rmr", metrics.mean_rmr)
+        .num("mean_last_hop", metrics.mean_last_hop)
+        .num("control_per_broadcast", metrics.control_per_broadcast)
+        .build()
+}
+
+/// The `plumtree_adaptive` results artifact.
+pub fn plumtree_adaptive_artifact(
+    params: &Params,
+    failure: f64,
+    warmup: usize,
+    heal_cycles: usize,
+    cells: &[AdaptiveCell],
+) -> String {
+    JsonObject::new()
+        .str("experiment", "plumtree_adaptive")
+        .str("params", &params.describe())
+        .num("failure", failure)
+        .int("warmup", warmup as u64)
+        .int("heal_cycles", heal_cycles as u64)
+        .raw(
+            "variants",
+            array(cells.iter().map(|cell| {
+                JsonObject::new()
+                    .str("variant", cell.variant.label)
+                    .raw("stable", phase_json(&cell.stable))
+                    .raw("healed", phase_json(&cell.healed))
+                    .int("optimizations", cell.optimizations)
+                    .int("batches", cell.batches)
+                    .int("grafts", cell.grafts)
+                    .int("dead_letters", cell.dead_letters)
+                    .int("events", cell.events)
+                    .build()
+            })),
+        )
+        .build()
+}
+
+/// The `plumtree_latency` results artifact.
+pub fn plumtree_latency_artifact(
+    params: &Params,
+    failure: f64,
+    warmup: usize,
+    heal_cycles: usize,
+    cells: &[LatencyCell],
+) -> String {
+    JsonObject::new()
+        .str("experiment", "plumtree_latency")
+        .str("params", &params.describe())
+        .num("failure", failure)
+        .int("warmup", warmup as u64)
+        .int("heal_cycles", heal_cycles as u64)
+        .raw(
+            "cells",
+            array(cells.iter().map(|cell| {
+                JsonObject::new()
+                    .str("latency", cell.case.label)
+                    .str("variant", cell.variant)
+                    .raw("stable", phase_json(&cell.stable))
+                    .raw("healed", phase_json(&cell.healed))
+                    .int("optimizations", cell.optimizations)
+                    .int("late_optimizations", cell.late_optimizations)
+                    .int("grafts", cell.grafts)
+                    .int("dead_letters", cell.dead_letters)
+                    .int("events", cell.events)
+                    .build()
+            })),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use hyparview_sim::protocols::ProtocolKind;
+
+    #[test]
+    fn fig2_artifact_is_valid_json_with_labeled_cells() {
+        let params = Params::smoke().with_messages(4);
+        let rows = crate::experiments::reliability_after_failures(
+            &params,
+            &[ProtocolKind::Cyclon],
+            &[0.2],
+        );
+        let doc = fig2_artifact(&params, &rows);
+        let parsed = parse(&doc).expect("valid JSON");
+        let flat = crate::diff::flatten(&parsed);
+        assert!(
+            flat.iter().any(|(path, _)| path == "rows[0].cells[Cyclon].mean_reliability"),
+            "{flat:?}"
+        );
+        assert!(flat.iter().any(|(path, _)| path.ends_with(".events")));
+    }
+}

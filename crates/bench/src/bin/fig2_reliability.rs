@@ -3,15 +3,20 @@
 //!
 //! ```text
 //! cargo run --release -p hyparview-bench --bin fig2_reliability -- --quick
+//! cargo run --release -p hyparview-bench --bin fig2_reliability -- --quick --jobs 4
 //! cargo run --release -p hyparview-bench --bin fig2_reliability -- --smoke --assert --json fig2.json
 //! ```
 //!
-//! `--json PATH` writes the table as a JSON artifact; `--assert` exits
-//! nonzero unless HyParView reproduces the paper's headline: 100% mean
-//! reliability through 50% failures and ≥ 90% through 90% failures.
+//! `--json PATH` writes the table as a JSON artifact (plus a
+//! `PATH.perf.json` sidecar with `wall_ms`/`events_per_sec`); `--jobs N`
+//! fans the seed sweep over N threads without changing a byte of the
+//! results; `--assert` exits nonzero unless HyParView reproduces the
+//! paper's headline: 100% mean reliability through 50% failures and
+//! ≥ 90% through 90% failures.
 
+use hyparview_bench::artifacts::fig2_artifact;
 use hyparview_bench::experiments::reliability_after_failures;
-use hyparview_bench::json::{array, JsonObject};
+use hyparview_bench::measure::{perf_artifact, perf_path, timed, Throughput};
 use hyparview_bench::table::{pct, render};
 use hyparview_bench::{Params, ALL_PROTOCOLS, FIG2_FAILURES};
 use hyparview_sim::protocols::ProtocolKind;
@@ -32,7 +37,10 @@ fn main() {
     println!("# Figure 2 — reliability for {} messages after massive failures", params.messages);
     println!("# {}", params.describe());
 
-    let rows_data = reliability_after_failures(&params, &ALL_PROTOCOLS, &FIG2_FAILURES);
+    let sweep = timed(|| reliability_after_failures(&params, &ALL_PROTOCOLS, &FIG2_FAILURES));
+    let rows_data = sweep.value;
+    let events: u64 = rows_data.iter().flat_map(|r| r.cells.iter().map(|c| c.events)).sum();
+    let throughput = Throughput::new(sweep.wall_ms, events);
 
     let mut headers = vec!["failure %"];
     for kind in ALL_PROTOCOLS {
@@ -49,33 +57,14 @@ fn main() {
     println!("{}", render(&headers, &rows));
     println!("(paper: HyParView ~100% up to 90%, ~90% at 95%; CyclonAcked competitive to 70%;");
     println!(" Cyclon and Scamp below 50% reliability for failure rates above 50%)");
+    println!("throughput: {} (jobs = {})", throughput.describe(), params.jobs);
 
     if let Some(path) = json_path {
-        let json = JsonObject::new()
-            .str("experiment", "fig2_reliability")
-            .str("params", &params.describe())
-            .raw(
-                "rows",
-                array(rows_data.iter().map(|row| {
-                    JsonObject::new()
-                        .num("failure", row.failure)
-                        .raw(
-                            "cells",
-                            array(row.cells.iter().map(|c| {
-                                JsonObject::new()
-                                    .str("protocol", c.kind.label())
-                                    .num("mean_reliability", c.mean_reliability)
-                                    .num("min_reliability", c.min_reliability)
-                                    .num("accuracy_after", c.accuracy_after)
-                                    .build()
-                            })),
-                        )
-                        .build()
-                })),
-            )
-            .build();
-        std::fs::write(&path, json).expect("write JSON results");
-        println!("(JSON results written to {path})");
+        std::fs::write(&path, fig2_artifact(&params, &rows_data)).expect("write JSON results");
+        let sidecar = perf_path(&path);
+        std::fs::write(&sidecar, perf_artifact("fig2_reliability", params.jobs, &throughput))
+            .expect("write perf sidecar");
+        println!("(JSON results written to {path}, perf sidecar to {sidecar})");
     }
 
     if assert_mode {

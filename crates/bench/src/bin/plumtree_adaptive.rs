@@ -14,8 +14,9 @@
 //! control frames per broadcast (announcement queues flush as one
 //! `IHaveBatch` per lazy link instead of one `IHave` per message).
 
+use hyparview_bench::artifacts::plumtree_adaptive_artifact;
 use hyparview_bench::experiments::adaptive::{plumtree_adaptive, AdaptiveCell, BURST};
-use hyparview_bench::json::{array, JsonObject};
+use hyparview_bench::measure::{perf_artifact, perf_path, timed, Throughput};
 use hyparview_bench::table::{num, pct, render};
 use hyparview_bench::Params;
 
@@ -61,7 +62,9 @@ fn main() {
         failure * 100.0
     );
 
-    let cells = plumtree_adaptive(&params, failure, warmup, heal_cycles);
+    let sweep = timed(|| plumtree_adaptive(&params, failure, warmup, heal_cycles));
+    let cells = sweep.value;
+    let throughput = Throughput::new(sweep.wall_ms, cells.iter().map(|c| c.events).sum());
 
     let headers = vec![
         "variant",
@@ -103,17 +106,15 @@ fn main() {
         num(static_.stable.control_per_broadcast, 1),
     );
 
+    println!("throughput: {} (jobs = {})", throughput.describe(), params.jobs);
+
     if let Some(path) = json_path {
-        let json = JsonObject::new()
-            .str("experiment", "plumtree_adaptive")
-            .str("params", &params.describe())
-            .num("failure", failure)
-            .int("warmup", warmup as u64)
-            .int("heal_cycles", heal_cycles as u64)
-            .raw("variants", array(cells.iter().map(cell_json)))
-            .build();
+        let json = plumtree_adaptive_artifact(&params, failure, warmup, heal_cycles, &cells);
         std::fs::write(&path, json).expect("write JSON results");
-        println!("(JSON results written to {path})");
+        let sidecar = perf_path(&path);
+        std::fs::write(&sidecar, perf_artifact("plumtree_adaptive", params.jobs, &throughput))
+            .expect("write perf sidecar");
+        println!("(JSON results written to {path}, perf sidecar to {sidecar})");
     }
 
     if assert_mode {
@@ -152,25 +153,4 @@ fn main() {
             "(asserts passed: 100% stable reliability, shallower healed trees, cheaper lazy links)"
         );
     }
-}
-
-fn cell_json(cell: &AdaptiveCell) -> String {
-    let phase = |metrics: &hyparview_bench::experiments::adaptive::PhaseMetrics| {
-        JsonObject::new()
-            .num("mean_reliability", metrics.mean_reliability)
-            .num("min_reliability", metrics.min_reliability)
-            .num("mean_rmr", metrics.mean_rmr)
-            .num("mean_last_hop", metrics.mean_last_hop)
-            .num("control_per_broadcast", metrics.control_per_broadcast)
-            .build()
-    };
-    JsonObject::new()
-        .str("variant", cell.variant.label)
-        .raw("stable", phase(&cell.stable))
-        .raw("healed", phase(&cell.healed))
-        .int("optimizations", cell.optimizations)
-        .int("batches", cell.batches)
-        .int("grafts", cell.grafts)
-        .int("dead_letters", cell.dead_letters)
-        .build()
 }

@@ -14,8 +14,9 @@
 //! varies (`late_optimizations` stays 0 at `fixed`). These numbers are the
 //! evidence behind the TCP runtime's adaptive `NetConfig` defaults.
 
-use hyparview_bench::experiments::latency::{pair_by_case, plumtree_latency, LatencyCell};
-use hyparview_bench::json::{array, JsonObject};
+use hyparview_bench::artifacts::plumtree_latency_artifact;
+use hyparview_bench::experiments::latency::{pair_by_case, plumtree_latency};
+use hyparview_bench::measure::{perf_artifact, perf_path, timed, Throughput};
 use hyparview_bench::table::{num, pct, render};
 use hyparview_bench::Params;
 
@@ -61,7 +62,9 @@ fn main() {
         failure * 100.0
     );
 
-    let cells = plumtree_latency(&params, failure, warmup, heal_cycles);
+    let sweep = timed(|| plumtree_latency(&params, failure, warmup, heal_cycles));
+    let cells = sweep.value;
+    let throughput = Throughput::new(sweep.wall_ms, cells.iter().map(|c| c.events).sum());
 
     let headers = vec![
         "latency",
@@ -102,17 +105,15 @@ fn main() {
         fixed_optimized.late_optimizations,
     );
 
+    println!("throughput: {} (jobs = {})", throughput.describe(), params.jobs);
+
     if let Some(path) = json_path {
-        let json = JsonObject::new()
-            .str("experiment", "plumtree_latency")
-            .str("params", &params.describe())
-            .num("failure", failure)
-            .int("warmup", warmup as u64)
-            .int("heal_cycles", heal_cycles as u64)
-            .raw("cells", array(cells.iter().map(cell_json)))
-            .build();
+        let json = plumtree_latency_artifact(&params, failure, warmup, heal_cycles, &cells);
         std::fs::write(&path, json).expect("write JSON results");
-        println!("(JSON results written to {path})");
+        let sidecar = perf_path(&path);
+        std::fs::write(&sidecar, perf_artifact("plumtree_latency", params.jobs, &throughput))
+            .expect("write perf sidecar");
+        println!("(JSON results written to {path}, perf sidecar to {sidecar})");
     }
 
     if assert_mode {
@@ -161,26 +162,4 @@ fn main() {
              variable latency, late-IHave optimizations only when latency varies)"
         );
     }
-}
-
-fn cell_json(cell: &LatencyCell) -> String {
-    let phase = |metrics: &hyparview_bench::experiments::adaptive::PhaseMetrics| {
-        JsonObject::new()
-            .num("mean_reliability", metrics.mean_reliability)
-            .num("min_reliability", metrics.min_reliability)
-            .num("mean_rmr", metrics.mean_rmr)
-            .num("mean_last_hop", metrics.mean_last_hop)
-            .num("control_per_broadcast", metrics.control_per_broadcast)
-            .build()
-    };
-    JsonObject::new()
-        .str("latency", cell.case.label)
-        .str("variant", cell.variant)
-        .raw("stable", phase(&cell.stable))
-        .raw("healed", phase(&cell.healed))
-        .int("optimizations", cell.optimizations)
-        .int("late_optimizations", cell.late_optimizations)
-        .int("grafts", cell.grafts)
-        .int("dead_letters", cell.dead_letters)
-        .build()
 }

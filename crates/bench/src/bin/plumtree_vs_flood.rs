@@ -18,8 +18,9 @@
 //! under failures Plumtree trades a slightly deeper last-delivery-hop
 //! (graft round-trips) for the same reliability.
 
+use hyparview_bench::artifacts::plumtree_vs_flood_artifact;
 use hyparview_bench::experiments::plumtree::flood_vs_plumtree;
-use hyparview_bench::json::{array, JsonObject};
+use hyparview_bench::measure::{perf_artifact, perf_path, timed, Throughput};
 use hyparview_bench::table::{num, pct, render};
 use hyparview_bench::Params;
 
@@ -48,7 +49,10 @@ fn main() {
     println!("# Flood vs Plumtree — broadcast cost over the same HyParView overlay");
     println!("# {} (tree warm-up: {warmup} broadcasts)", params.describe());
 
-    let rows_data = flood_vs_plumtree(&params, &FAILURES, warmup);
+    let sweep = timed(|| flood_vs_plumtree(&params, &FAILURES, warmup));
+    let rows_data = sweep.value;
+    let events: u64 = rows_data.iter().flat_map(|r| r.cells.iter().map(|c| c.events)).sum();
+    let throughput = Throughput::new(sweep.wall_ms, events);
 
     let headers = vec![
         "failure %",
@@ -92,36 +96,15 @@ fn main() {
         " flood RMR ~ fanout - 1; Plumtree pays a deeper last hop when grafts repair the tree)"
     );
 
+    println!("throughput: {} (jobs = {})", throughput.describe(), params.jobs);
+
     if let Some(path) = json_path {
-        let json = JsonObject::new()
-            .str("experiment", "plumtree_vs_flood")
-            .str("params", &params.describe())
-            .int("warmup", warmup as u64)
-            .raw(
-                "rows",
-                array(rows_data.iter().map(|row| {
-                    JsonObject::new()
-                        .num("failure", row.failure)
-                        .raw(
-                            "cells",
-                            array(row.cells.iter().map(|c| {
-                                JsonObject::new()
-                                    .str("mode", &c.mode.to_string())
-                                    .num("mean_reliability", c.mean_reliability)
-                                    .num("min_reliability", c.min_reliability)
-                                    .num("mean_rmr", c.mean_rmr)
-                                    .num("mean_last_hop", c.mean_last_hop)
-                                    .num("payload_per_broadcast", c.payload_per_broadcast)
-                                    .num("control_per_broadcast", c.control_per_broadcast)
-                                    .build()
-                            })),
-                        )
-                        .build()
-                })),
-            )
-            .build();
-        std::fs::write(&path, json).expect("write JSON results");
-        println!("(JSON results written to {path})");
+        std::fs::write(&path, plumtree_vs_flood_artifact(&params, warmup, &rows_data))
+            .expect("write JSON results");
+        let sidecar = perf_path(&path);
+        std::fs::write(&sidecar, perf_artifact("plumtree_vs_flood", params.jobs, &throughput))
+            .expect("write perf sidecar");
+        println!("(JSON results written to {path}, perf sidecar to {sidecar})");
     }
 
     if assert_mode {

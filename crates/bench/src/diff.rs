@@ -23,24 +23,41 @@ pub enum Direction {
     Info,
 }
 
+/// The metric *name* of a dotted path: its last segment, lowercased.
+/// Heuristics match on this, not on the labels along the path — a variant
+/// named "optimized" must not change how its metrics classify.
+fn metric_name(path: &str) -> String {
+    let lower = path.to_ascii_lowercase();
+    lower.rsplit('.').next().unwrap_or(&lower).to_owned()
+}
+
 /// The gate direction of a metric path, by name heuristics over the
 /// families the experiments emit.
 pub fn direction(path: &str) -> Direction {
-    let lower = path.to_ascii_lowercase();
-    // Match on the metric name (the last path segment), not on the labels:
-    // a variant named "optimized" must not change how its metrics gate.
-    let name = lower.rsplit('.').next().unwrap_or(&lower);
-    if name.contains("reliability") || name.contains("accuracy") {
+    let name = metric_name(path);
+    if name.contains("reliability") || name.contains("accuracy") || name.contains("events_per_sec")
+    {
         Direction::HigherIsBetter
     } else if name.contains("rmr")
         || name.contains("last_hop")
         || name.contains("control")
         || name.contains("dead_letter")
+        || name.contains("wall_ms")
     {
         Direction::LowerIsBetter
     } else {
         Direction::Info
     }
+}
+
+/// Whether a worsening of this metric fails the build. Simulation-quality
+/// metrics gate; *throughput* metrics (`wall_ms` down, `events_per_sec`
+/// up — the perf sidecars) have a direction so the trend table can flag
+/// them, but stay warn-only: their values carry CI-runner noise, and a
+/// slow runner must not turn the gate red.
+pub fn gates(path: &str) -> bool {
+    let name = metric_name(path);
+    !(name.contains("wall_ms") || name.contains("events_per_sec"))
 }
 
 /// One metric present in either artifact.
@@ -164,7 +181,9 @@ fn fmt(value: Option<f64>) -> String {
 /// Renders the rows as a markdown trend table. Unchanged metrics collapse
 /// into a footer count so the table stays readable in a job summary; every
 /// changed metric is listed, regressions flagged against `threshold`.
-/// Returns `(markdown, regression count)`.
+/// Worsened metrics whose path does not [`gates`] (throughput: `wall_ms`,
+/// `events_per_sec`) are flagged as warnings but never counted. Returns
+/// `(markdown, gating regression count)`.
 pub fn markdown_table(rows: &[DiffRow], threshold: f64) -> (String, usize) {
     let mut table = String::from("| metric | baseline | current | Δ | Δ% | |\n");
     table.push_str("|---|---:|---:|---:|---:|---|\n");
@@ -179,8 +198,9 @@ pub fn markdown_table(rows: &[DiffRow], threshold: f64) -> (String, usize) {
             unchanged += 1;
             continue;
         }
-        let regressed = row.regressed(threshold);
-        let improved = !regressed
+        let worsened = row.regressed(threshold);
+        let regressed = worsened && gates(&row.path);
+        let improved = !worsened
             && direction(&row.path) != Direction::Info
             && DiffRow { path: row.path.clone(), base: row.current, current: row.base }
                 .regressed(threshold);
@@ -189,6 +209,8 @@ pub fn markdown_table(rows: &[DiffRow], threshold: f64) -> (String, usize) {
         }
         let flag = if regressed {
             "**regression**"
+        } else if worsened {
+            "⚠ slower (warn-only)"
         } else if improved {
             "improved"
         } else {
@@ -286,6 +308,26 @@ mod tests {
         // Within threshold: no regression.
         let rows = diff(&artifact(1.0, 6.0), &artifact(1.0, 6.3));
         assert_eq!(markdown_table(&rows, 0.10).1, 0);
+    }
+
+    #[test]
+    fn throughput_metrics_have_directions_but_never_gate() {
+        assert_eq!(direction("wall_ms"), Direction::LowerIsBetter);
+        assert_eq!(direction("events_per_sec"), Direction::HigherIsBetter);
+        assert!(!gates("wall_ms"));
+        assert!(!gates("events_per_sec"));
+        assert!(gates("cells[x].healed.mean_reliability"));
+        assert!(gates("cells[x].stable.mean_rmr"));
+        // A 3x wall-clock blowup renders as a warning, not a red build.
+        let base = parse(r#"{"wall_ms":1000,"events_per_sec":500000}"#).unwrap();
+        let current = parse(r#"{"wall_ms":3000,"events_per_sec":170000}"#).unwrap();
+        let (table, regressions) = markdown_table(&diff(&base, &current), 0.10);
+        assert_eq!(regressions, 0, "{table}");
+        assert!(table.contains("warn-only"), "{table}");
+        // Improvements still render as improvements.
+        let (table, regressions) = markdown_table(&diff(&current, &base), 0.10);
+        assert_eq!(regressions, 0);
+        assert!(table.contains("improved"), "{table}");
     }
 
     #[test]

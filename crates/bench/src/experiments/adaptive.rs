@@ -18,6 +18,7 @@
 //! HyParView overlay, before a massive failure (stable phase) and after
 //! the overlay heals from it (healed phase, the Figure 4 methodology).
 
+use crate::parallel;
 use crate::params::Params;
 use hyparview_core::SimId;
 use hyparview_plumtree::{BroadcastMode, PlumtreeConfig};
@@ -102,6 +103,8 @@ pub struct AdaptiveCell {
     pub grafts: u64,
     /// Missing messages abandoned after exhausting graft retries.
     pub dead_letters: u64,
+    /// Simulator events processed across the variant's run.
+    pub events: u64,
 }
 
 /// Messages per concurrent burst — the workload where batching can fold
@@ -194,20 +197,22 @@ pub fn adaptive_cell(
         batches: stats.ihave_batches_sent,
         grafts: stats.grafts_sent,
         dead_letters: stats.graft_dead_letters,
+        events: sim.stats().events_processed,
     }
 }
 
 /// The full experiment: every feature combination over the same scenario.
+/// The four variants are independent simulations, so they fan out over
+/// [`parallel::sweep`] and come back in display order.
 pub fn plumtree_adaptive(
     params: &Params,
     failure: f64,
     warmup: usize,
     heal_cycles: usize,
 ) -> Vec<AdaptiveCell> {
-    ADAPTIVE_VARIANTS
-        .iter()
-        .map(|&variant| adaptive_cell(params, variant, failure, warmup, heal_cycles))
-        .collect()
+    parallel::sweep(ADAPTIVE_VARIANTS.len(), params.jobs, |i| {
+        adaptive_cell(params, ADAPTIVE_VARIANTS[i], failure, warmup, heal_cycles)
+    })
 }
 
 #[cfg(test)]

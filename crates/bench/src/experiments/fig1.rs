@@ -5,6 +5,7 @@
 //! Cyclon needs fanout ≥ 5 and Scamp needs fanout ≥ 6, while HyParView
 //! reaches 100% with its deterministic flood at fanout 4.
 
+use crate::parallel;
 use crate::params::Params;
 use hyparview_core::Config;
 use hyparview_gossip::ReliabilitySummary;
@@ -24,37 +25,54 @@ pub struct Fig1Point {
     pub atomic_fraction: f64,
     /// Minimum per-broadcast reliability.
     pub min_reliability: f64,
+    /// Simulator events processed across the point's runs.
+    pub events: u64,
 }
 
 /// Runs the fanout sweep for `kinds` over `fanouts` on a stable overlay
-/// (no failures).
+/// (no failures). The `(protocol, fanout, run)` grid executes over
+/// [`parallel::sweep`] and merges in grid order.
 ///
 /// For HyParView the fanout parameter resizes the active view to
 /// `fanout + 1` — that is the knob the paper's §4.1 ties to fanout.
 pub fn fanout_sweep(params: &Params, kinds: &[ProtocolKind], fanouts: &[usize]) -> Vec<Fig1Point> {
-    let mut points = Vec::new();
+    let mut grid = Vec::with_capacity(kinds.len() * fanouts.len());
     for &kind in kinds {
         for &fanout in fanouts {
+            grid.push((kind, fanout));
+        }
+    }
+    let per_point = parallel::sweep_grid(grid, params.runs, params.jobs, |&(kind, fanout), run| {
+        let scenario = params.scenario(run).with_fanout(fanout);
+        let configs = fig1_configs(&params.configs, kind, fanout);
+        let mut sim = AnySim::build(kind, &scenario, &configs);
+        sim.run_cycles(params.stabilization_cycles);
+        let mut summary = ReliabilitySummary::new();
+        for _ in 0..params.messages {
+            summary.add(&sim.broadcast_random());
+        }
+        (summary, sim.stats().events_processed)
+    });
+
+    per_point
+        .into_iter()
+        .map(|((kind, fanout), runs)| {
             let mut summary = ReliabilitySummary::new();
-            for run in 0..params.runs {
-                let scenario = params.scenario(run).with_fanout(fanout);
-                let configs = fig1_configs(&params.configs, kind, fanout);
-                let mut sim = AnySim::build(kind, &scenario, &configs);
-                sim.run_cycles(params.stabilization_cycles);
-                for _ in 0..params.messages {
-                    summary.add(&sim.broadcast_random());
-                }
+            let mut events = 0u64;
+            for (partial, run_events) in runs {
+                summary.merge(partial);
+                events += run_events;
             }
-            points.push(Fig1Point {
+            Fig1Point {
                 kind,
                 fanout,
                 mean_reliability: summary.mean_reliability(),
                 atomic_fraction: summary.atomic_fraction(),
                 min_reliability: summary.min_reliability(),
-            });
-        }
-    }
-    points
+                events,
+            }
+        })
+        .collect()
 }
 
 fn fig1_configs(base: &ProtocolConfigs, kind: ProtocolKind, fanout: usize) -> ProtocolConfigs {

@@ -4,7 +4,13 @@
 //! Paper finding: HyParView keeps ≈100% reliability up to 90% failures and
 //! ≈90% at 95%; CyclonAcked stays competitive to ~70%; Cyclon and Scamp
 //! drop below 50% reliability once more than half the system fails.
+//!
+//! Execution: every `(protocol, failure, run)` combination is an
+//! independent seeded simulation, so the whole grid fans out over
+//! [`parallel::sweep`] (`Params::jobs`); partials fold back in grid order,
+//! keeping the results byte-identical to a sequential sweep.
 
+use crate::parallel;
 use crate::params::Params;
 use hyparview_gossip::ReliabilitySummary;
 use hyparview_sim::protocols::ProtocolKind;
@@ -21,6 +27,9 @@ pub struct Fig2Cell {
     pub min_reliability: f64,
     /// Mean view accuracy (§2.3) right after the failures.
     pub accuracy_after: f64,
+    /// Simulator events processed across the cell's runs (deterministic
+    /// per seed — the throughput denominator).
+    pub events: u64,
 }
 
 /// One failure level with all protocol cells.
@@ -32,6 +41,47 @@ pub struct Fig2Row {
     pub cells: Vec<Fig2Cell>,
 }
 
+/// The per-run partial of one cell: everything a single seeded simulation
+/// contributes, merged in run order by [`merge_cell`].
+struct CellRun {
+    summary: ReliabilitySummary,
+    accuracy: f64,
+    events: u64,
+}
+
+/// Executes one `(protocol, failure, run)` simulation.
+fn cell_run(params: &Params, kind: ProtocolKind, failure: f64, run: usize) -> CellRun {
+    let scenario = params.scenario(run);
+    let mut sim = AnySim::build(kind, &scenario, &params.configs);
+    sim.run_cycles(params.stabilization_cycles);
+    sim.fail_fraction(failure);
+    let accuracy = sim.accuracy();
+    let mut summary = ReliabilitySummary::new();
+    for _ in 0..params.messages {
+        summary.add(&sim.broadcast_random());
+    }
+    CellRun { summary, accuracy, events: sim.stats().events_processed }
+}
+
+/// Folds per-run partials (in run order) into one cell.
+fn merge_cell(params: &Params, kind: ProtocolKind, runs: Vec<CellRun>) -> Fig2Cell {
+    let mut summary = ReliabilitySummary::new();
+    let mut accuracy_total = 0.0;
+    let mut events = 0u64;
+    for run in runs {
+        summary.merge(run.summary);
+        accuracy_total += run.accuracy;
+        events += run.events;
+    }
+    Fig2Cell {
+        kind,
+        mean_reliability: summary.mean_reliability(),
+        min_reliability: summary.min_reliability(),
+        accuracy_after: accuracy_total / params.runs as f64,
+        events,
+    }
+}
+
 /// Measures mean reliability of `params.messages` broadcasts sent right
 /// after crashing `failure` of the nodes (no membership cycle runs in
 /// between; reactive steps still execute — the paper's §5.2 methodology).
@@ -40,10 +90,32 @@ pub fn reliability_after_failures(
     kinds: &[ProtocolKind],
     failures: &[f64],
 ) -> Vec<Fig2Row> {
+    // Flatten the whole (failure × protocol × run) grid into one work
+    // list: with runs = 1 (the default) parallelism still covers the grid.
+    let mut grid = Vec::with_capacity(failures.len() * kinds.len());
+    for &failure in failures {
+        for &kind in kinds {
+            grid.push((failure, kind));
+        }
+    }
+    let mut cells =
+        parallel::sweep_grid(grid, params.runs, params.jobs, |&(failure, kind), run| {
+            cell_run(params, kind, failure, run)
+        })
+        .into_iter();
+
     failures
         .iter()
         .map(|&failure| {
-            let cells = kinds.iter().map(|&kind| single_cell(params, kind, failure)).collect();
+            let cells = kinds
+                .iter()
+                .map(|&kind| {
+                    let ((key_failure, key_kind), runs) =
+                        cells.next().expect("grid covers every cell");
+                    assert_eq!((key_failure, key_kind), (failure, kind), "merge out of step");
+                    merge_cell(params, kind, runs)
+                })
+                .collect();
             Fig2Row { failure, cells }
         })
         .collect()
@@ -51,24 +123,9 @@ pub fn reliability_after_failures(
 
 /// One cell of Figure 2 (exposed for the Figure 3 series and tests).
 pub fn single_cell(params: &Params, kind: ProtocolKind, failure: f64) -> Fig2Cell {
-    let mut summary = ReliabilitySummary::new();
-    let mut accuracy_total = 0.0;
-    for run in 0..params.runs {
-        let scenario = params.scenario(run);
-        let mut sim = AnySim::build(kind, &scenario, &params.configs);
-        sim.run_cycles(params.stabilization_cycles);
-        sim.fail_fraction(failure);
-        accuracy_total += sim.accuracy();
-        for _ in 0..params.messages {
-            summary.add(&sim.broadcast_random());
-        }
-    }
-    Fig2Cell {
-        kind,
-        mean_reliability: summary.mean_reliability(),
-        min_reliability: summary.min_reliability(),
-        accuracy_after: accuracy_total / params.runs as f64,
-    }
+    let runs =
+        parallel::sweep(params.runs, params.jobs, |run| cell_run(params, kind, failure, run));
+    merge_cell(params, kind, runs)
 }
 
 #[cfg(test)]
@@ -84,6 +141,7 @@ mod tests {
             "HyParView at 40% failures: {}",
             cell.mean_reliability
         );
+        assert!(cell.events > 0, "runs must report their event count");
     }
 
     #[test]
@@ -106,5 +164,22 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].cells.len(), 1);
         assert!(rows[0].failure < rows[1].failure);
+    }
+
+    #[test]
+    fn parallel_grid_matches_sequential_exactly() {
+        let sequential = Params::smoke().with_messages(8).with_runs(2);
+        let parallel = sequential.clone().with_jobs(4);
+        let kinds = [ProtocolKind::HyParView, ProtocolKind::Cyclon];
+        let a = reliability_after_failures(&sequential, &kinds, &[0.2, 0.6]);
+        let b = reliability_after_failures(&parallel, &kinds, &[0.2, 0.6]);
+        for (ra, rb) in a.iter().zip(&b) {
+            for (ca, cb) in ra.cells.iter().zip(&rb.cells) {
+                assert_eq!(ca.mean_reliability.to_bits(), cb.mean_reliability.to_bits());
+                assert_eq!(ca.min_reliability.to_bits(), cb.min_reliability.to_bits());
+                assert_eq!(ca.accuracy_after.to_bits(), cb.accuracy_after.to_bits());
+                assert_eq!(ca.events, cb.events);
+            }
+        }
     }
 }

@@ -6,6 +6,7 @@
 //! immediately (every broadcast implicitly tests the whole active view);
 //! CyclonAcked recovers after ~25 messages; Cyclon and Scamp stay flat.
 
+use crate::parallel;
 use crate::params::Params;
 use hyparview_sim::protocols::ProtocolKind;
 use hyparview_sim::AnySim;
@@ -25,6 +26,8 @@ pub struct RecoverySeries {
     pub accuracy_before: f64,
     /// Accuracy after the measured broadcasts.
     pub accuracy_after: f64,
+    /// Simulator events processed across the series' runs.
+    pub events: u64,
 }
 
 impl RecoverySeries {
@@ -46,22 +49,32 @@ impl RecoverySeries {
     }
 }
 
-/// Produces the recovery series for one `(protocol, failure)` panel.
+/// Produces the recovery series for one `(protocol, failure)` panel. Runs
+/// execute over [`parallel::sweep`]; per-run series sum element-wise in
+/// run order, reproducing the sequential accumulation exactly.
 pub fn recovery_series(params: &Params, kind: ProtocolKind, failure: f64) -> RecoverySeries {
-    let mut acc = vec![0.0f64; params.messages];
-    let mut accuracy_before = 0.0;
-    let mut accuracy_after = 0.0;
-    for run in 0..params.runs {
+    let run_outputs = parallel::sweep(params.runs, params.jobs, |run| {
         let scenario = params.scenario(run);
         let mut sim = AnySim::build(kind, &scenario, &params.configs);
         sim.run_cycles(params.stabilization_cycles);
         sim.fail_fraction(failure);
-        accuracy_before += sim.accuracy();
-        for slot in acc.iter_mut() {
-            let report = sim.broadcast_random();
-            *slot += report.reliability();
+        let accuracy_before = sim.accuracy();
+        let series: Vec<f64> =
+            (0..params.messages).map(|_| sim.broadcast_random().reliability()).collect();
+        (series, accuracy_before, sim.accuracy(), sim.stats().events_processed)
+    });
+
+    let mut acc = vec![0.0f64; params.messages];
+    let mut accuracy_before = 0.0;
+    let mut accuracy_after = 0.0;
+    let mut events = 0u64;
+    for (series, before, after, run_events) in run_outputs {
+        for (slot, reliability) in acc.iter_mut().zip(series) {
+            *slot += reliability;
         }
-        accuracy_after += sim.accuracy();
+        accuracy_before += before;
+        accuracy_after += after;
+        events += run_events;
     }
     let runs = params.runs as f64;
     RecoverySeries {
@@ -70,6 +83,7 @@ pub fn recovery_series(params: &Params, kind: ProtocolKind, failure: f64) -> Rec
         reliability: acc.into_iter().map(|r| r / runs).collect(),
         accuracy_before: accuracy_before / runs,
         accuracy_after: accuracy_after / runs,
+        events,
     }
 }
 
@@ -127,6 +141,7 @@ mod tests {
             reliability: vec![0.2, 0.5, 0.9, 0.95],
             accuracy_before: 0.5,
             accuracy_after: 0.5,
+            events: 0,
         };
         assert_eq!(series.messages_to_reach(0.9), Some(2));
         assert_eq!(series.messages_to_reach(0.99), None);

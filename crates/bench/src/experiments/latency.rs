@@ -25,6 +25,7 @@
 //! in-simulation evidence behind the TCP runtime's adaptive defaults.
 
 use crate::experiments::adaptive::{measure, PhaseMetrics};
+use crate::parallel;
 use crate::params::Params;
 use hyparview_core::SimId;
 use hyparview_plumtree::{BroadcastMode, PlumtreeConfig};
@@ -68,6 +69,8 @@ pub struct LatencyCell {
     pub grafts: u64,
     /// Missing messages abandoned after exhausting graft retries.
     pub dead_letters: u64,
+    /// Simulator events processed across the cell's run.
+    pub events: u64,
 }
 
 /// The two tree policies compared under each latency model. Lazy batching
@@ -124,23 +127,29 @@ pub fn latency_cell(
         late_optimizations: stats.late_optimizations,
         grafts: stats.grafts_sent,
         dead_letters: stats.graft_dead_letters,
+        events: sim.stats().events_processed,
     }
 }
 
-/// The full sweep: every latency model × {static, optimized}.
+/// The full sweep: every latency model × {static, optimized}. The eight
+/// combinations are independent simulations, executed over
+/// [`parallel::sweep`] and returned in display order.
 pub fn plumtree_latency(
     params: &Params,
     failure: f64,
     warmup: usize,
     heal_cycles: usize,
 ) -> Vec<LatencyCell> {
-    let mut cells = Vec::with_capacity(LATENCY_CASES.len() * LATENCY_VARIANTS.len());
+    let mut combos = Vec::with_capacity(LATENCY_CASES.len() * LATENCY_VARIANTS.len());
     for case in LATENCY_CASES {
         for (_, threshold) in LATENCY_VARIANTS {
-            cells.push(latency_cell(params, case, threshold, failure, warmup, heal_cycles));
+            combos.push((case, threshold));
         }
     }
-    cells
+    parallel::sweep(combos.len(), params.jobs, |i| {
+        let (case, threshold) = combos[i];
+        latency_cell(params, case, threshold, failure, warmup, heal_cycles)
+    })
 }
 
 /// The `(static, optimized)` pair of cells measured under `label`.

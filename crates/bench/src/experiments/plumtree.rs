@@ -15,6 +15,7 @@
 //! the paper's Figure 2/3 failure scenarios: reliability, RMR, and
 //! last-delivery-hop (how much deeper the tree is than the flood).
 
+use crate::parallel;
 use crate::params::Params;
 use hyparview_core::SimId;
 use hyparview_gossip::ReliabilitySummary;
@@ -42,6 +43,8 @@ pub struct BroadcastCostCell {
     pub payload_per_broadcast: f64,
     /// Mean control messages (`IHave`/`Graft`/`Prune`) per broadcast.
     pub control_per_broadcast: f64,
+    /// Simulator events processed across the cell's runs.
+    pub events: u64,
 }
 
 /// One failure level with a cell per broadcast mode.
@@ -63,20 +66,42 @@ pub fn broadcast_cost_cell(
     failure: f64,
     warmup: usize,
 ) -> BroadcastCostCell {
+    let runs = parallel::sweep(params.runs, params.jobs, |run| {
+        cost_run(params, mode, failure, warmup, run)
+    });
+    merge_cost_cell(mode, runs)
+}
+
+/// One `(mode, failure, run)` simulation — the parallel work unit.
+fn cost_run(
+    params: &Params,
+    mode: BroadcastMode,
+    failure: f64,
+    warmup: usize,
+    run: usize,
+) -> (ReliabilitySummary, u64) {
+    let scenario = params.scenario(run).with_broadcast_mode(mode);
+    let mut sim = build_hyparview(&scenario, params.configs.hyparview.clone());
+    sim.run_cycles(params.stabilization_cycles);
+    for _ in 0..warmup {
+        sim.broadcast_from(SimId::new(0));
+    }
+    if failure > 0.0 {
+        sim.fail_fraction(failure);
+    }
     let mut summary = ReliabilitySummary::new();
-    for run in 0..params.runs {
-        let scenario = params.scenario(run).with_broadcast_mode(mode);
-        let mut sim = build_hyparview(&scenario, params.configs.hyparview.clone());
-        sim.run_cycles(params.stabilization_cycles);
-        for _ in 0..warmup {
-            sim.broadcast_from(SimId::new(0));
-        }
-        if failure > 0.0 {
-            sim.fail_fraction(failure);
-        }
-        for _ in 0..params.messages {
-            summary.add(&sim.broadcast_random());
-        }
+    for _ in 0..params.messages {
+        summary.add(&sim.broadcast_random());
+    }
+    (summary, sim.stats().events_processed)
+}
+
+fn merge_cost_cell(mode: BroadcastMode, runs: Vec<(ReliabilitySummary, u64)>) -> BroadcastCostCell {
+    let mut summary = ReliabilitySummary::new();
+    let mut events = 0u64;
+    for (partial, run_events) in runs {
+        summary.merge(partial);
+        events += run_events;
     }
     let count = summary.count().max(1) as f64;
     BroadcastCostCell {
@@ -87,22 +112,41 @@ pub fn broadcast_cost_cell(
         mean_last_hop: summary.mean_max_hops(),
         payload_per_broadcast: summary.total_sent() as f64 / count,
         control_per_broadcast: summary.total_control() as f64 / count,
+        events,
     }
 }
 
-/// The full experiment: every failure level × both modes.
+/// The full experiment: every failure level × both modes, fanned out over
+/// the whole `(failure, mode, run)` grid.
 pub fn flood_vs_plumtree(
     params: &Params,
     failures: &[f64],
     warmup: usize,
 ) -> Vec<BroadcastCostRow> {
+    let mut grid = Vec::with_capacity(failures.len() * BROADCAST_MODES.len());
+    for &failure in failures {
+        for &mode in &BROADCAST_MODES {
+            grid.push((failure, mode));
+        }
+    }
+    let mut cells =
+        parallel::sweep_grid(grid, params.runs, params.jobs, |&(failure, mode), run| {
+            cost_run(params, mode, failure, warmup, run)
+        })
+        .into_iter();
+
     failures
         .iter()
         .map(|&failure| BroadcastCostRow {
             failure,
             cells: BROADCAST_MODES
                 .iter()
-                .map(|&mode| broadcast_cost_cell(params, mode, failure, warmup))
+                .map(|&mode| {
+                    let ((key_failure, key_mode), runs) =
+                        cells.next().expect("grid covers every cell");
+                    assert_eq!((key_failure, key_mode), (failure, mode), "merge out of step");
+                    merge_cost_cell(mode, runs)
+                })
                 .collect(),
         })
         .collect()

@@ -22,15 +22,23 @@
 //!   a markdown trend table (the CI cross-run perf trajectory).
 //!
 //! Every binary accepts `--n`, `--messages`, `--seed`, `--runs`,
-//! `--fanout`, `--stabilization` and the `--paper` / `--quick` / `--smoke`
-//! presets.
+//! `--jobs`, `--fanout`, `--stabilization` and the `--paper` / `--quick`
+//! / `--smoke` presets. `--jobs N` fans independent seeded runs out over
+//! `N` worker threads ([`parallel::sweep`]); partials merge in seed
+//! order, so the results (and their JSON artifacts) are byte-identical at
+//! any job count. Each binary also times its sweep and writes a
+//! `*.perf.json` sidecar with `wall_ms` / `events_per_sec`
+//! ([`measure`]) — the CI-tracked simulator-throughput trajectory.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod artifacts;
 pub mod diff;
 pub mod experiments;
 pub mod json;
+pub mod measure;
+pub mod parallel;
 pub mod params;
 pub mod table;
 

@@ -1,0 +1,123 @@
+//! Wall-clock and throughput measurement for the experiment bins.
+//!
+//! Simulator throughput is a first-class, CI-tracked metric: every
+//! experiment binary times its sweep ([`timed`]), pairs the wall time with
+//! the deterministic event count the simulators report
+//! (`SimStats::events_processed`), and writes the resulting
+//! [`Throughput`] into a *perf sidecar* artifact next to the results
+//! artifact ([`perf_path`]).
+//!
+//! The split matters: the results artifact is a pure function of the seed
+//! — byte-identical across `--jobs` settings and machines — while
+//! `wall_ms`/`events_per_sec` are as noisy as the hardware they ran on.
+//! Keeping the noisy numbers in their own file preserves the
+//! parallel-equals-sequential property of the results while still letting
+//! `bench_diff` track simulator speed across runs (warn-only, never
+//! gating).
+
+use crate::json::JsonObject;
+use std::time::Instant;
+
+/// A value plus the wall-clock milliseconds it took to produce.
+#[derive(Debug, Clone)]
+pub struct Timed<T> {
+    /// The computed value.
+    pub value: T,
+    /// Wall-clock duration of the computation, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Runs `f` and measures its wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> Timed<T> {
+    let start = Instant::now();
+    let value = f();
+    Timed { value, wall_ms: start.elapsed().as_secs_f64() * 1_000.0 }
+}
+
+/// Simulator throughput of one experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Wall-clock duration of the whole sweep, in milliseconds.
+    pub wall_ms: f64,
+    /// Simulator events processed across every `Sim` of the sweep
+    /// (deterministic per seed).
+    pub events: u64,
+    /// `events / wall seconds`.
+    pub events_per_sec: f64,
+}
+
+impl Throughput {
+    /// Pairs a wall time with the deterministic event count.
+    pub fn new(wall_ms: f64, events: u64) -> Throughput {
+        let events_per_sec = if wall_ms > 0.0 { events as f64 / (wall_ms / 1_000.0) } else { 0.0 };
+        Throughput { wall_ms, events, events_per_sec }
+    }
+
+    /// One-line human rendering for the experiment logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "{:.0} ms wall, {} events, {:.0} events/sec",
+            self.wall_ms, self.events, self.events_per_sec
+        )
+    }
+}
+
+/// Renders the perf sidecar artifact for `experiment`, run with `jobs`
+/// worker threads.
+pub fn perf_artifact(experiment: &str, jobs: usize, throughput: &Throughput) -> String {
+    JsonObject::new()
+        .str("experiment", experiment)
+        .int("jobs", jobs as u64)
+        .num("wall_ms", throughput.wall_ms)
+        .int("events", throughput.events)
+        .num("events_per_sec", throughput.events_per_sec)
+        .build()
+}
+
+/// The perf sidecar path for a results artifact: `x.json` →
+/// `x.perf.json` (non-`.json` paths just get `.perf.json` appended), so
+/// directory-diffing tools pair sidecars by name like any other artifact.
+pub fn perf_path(json_path: &str) -> String {
+    match json_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.perf.json"),
+        None => format!("{json_path}.perf.json"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, JsonValue};
+
+    #[test]
+    fn timed_measures_something() {
+        let timed = timed(|| (0..10_000u64).sum::<u64>());
+        assert_eq!(timed.value, 49_995_000);
+        assert!(timed.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let t = Throughput::new(2_000.0, 1_000_000);
+        assert!((t.events_per_sec - 500_000.0).abs() < 1e-6);
+        assert!(t.describe().contains("events/sec"));
+        // Zero wall time must not divide by zero.
+        assert_eq!(Throughput::new(0.0, 10).events_per_sec, 0.0);
+    }
+
+    #[test]
+    fn perf_artifact_parses_and_carries_the_metrics() {
+        let doc = perf_artifact("fig2_reliability", 4, &Throughput::new(1_500.0, 3_000));
+        let parsed = parse(&doc).expect("valid JSON");
+        assert_eq!(parsed.get("experiment").and_then(JsonValue::as_str), Some("fig2_reliability"));
+        assert_eq!(parsed.get("jobs").and_then(JsonValue::as_f64), Some(4.0));
+        assert_eq!(parsed.get("wall_ms").and_then(JsonValue::as_f64), Some(1500.0));
+        assert_eq!(parsed.get("events_per_sec").and_then(JsonValue::as_f64), Some(2000.0));
+    }
+
+    #[test]
+    fn perf_path_replaces_the_extension() {
+        assert_eq!(perf_path("bench-results/fig2.json"), "bench-results/fig2.perf.json");
+        assert_eq!(perf_path("weird-name"), "weird-name.perf.json");
+    }
+}

@@ -6,7 +6,7 @@
 //! scaled-down preset whose *shape* matches the paper; the scale is always
 //! printed with the results.
 
-use hyparview_sim::{protocols::ProtocolKind, ProtocolConfigs, Scenario};
+use hyparview_sim::{protocols::ProtocolKind, ProtocolConfigs, QueueBackend, Scenario};
 
 /// Shared knobs for all experiments.
 #[derive(Debug, Clone)]
@@ -23,6 +23,17 @@ pub struct Params {
     pub messages: usize,
     /// Independent runs aggregated per data point.
     pub runs: usize,
+    /// Worker threads for the parallel seed sweep (`--jobs`, default 1).
+    /// Runs are pure functions of their seed and partials merge in seed
+    /// order, so results are byte-identical at any job count — this knob
+    /// only buys wall-clock time. Deliberately *not* part of
+    /// [`Params::describe`]: the description is embedded in the JSON
+    /// artifacts, which must not vary with execution parallelism.
+    pub jobs: usize,
+    /// Event-queue backend the simulations run on. Not a CLI flag — the
+    /// bucket default is strictly faster and pops the identical event
+    /// order; the heap stays reachable for differential tests.
+    pub queue: QueueBackend,
     /// Protocol configurations.
     pub configs: ProtocolConfigs,
 }
@@ -37,6 +48,8 @@ impl Params {
             stabilization_cycles: 50,
             messages: 1_000,
             runs: 1,
+            jobs: 1,
+            queue: QueueBackend::default(),
             configs: ProtocolConfigs::paper(),
         }
     }
@@ -82,6 +95,19 @@ impl Params {
         self
     }
 
+    /// Sets the parallel-sweep worker count (results are identical at any
+    /// value; see [`Params::jobs`]).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Selects the event-queue backend (differential testing).
+    pub fn with_queue(mut self, queue: QueueBackend) -> Self {
+        self.queue = queue;
+        self
+    }
+
     /// Sets the stabilization cycle count.
     pub fn with_stabilization(mut self, cycles: usize) -> Self {
         self.stabilization_cycles = cycles;
@@ -94,11 +120,17 @@ impl Params {
         Scenario::new(self.n, self.seed.wrapping_add(run as u64 * 0x9E37_79B9))
             .with_fanout(self.fanout)
             .with_stabilization_cycles(self.stabilization_cycles)
+            .with_queue_backend(self.queue)
+    }
+
+    /// Applies a scale preset while keeping configs and execution knobs.
+    fn preset(self, scale: Params) -> Params {
+        Params { configs: self.configs, jobs: self.jobs, queue: self.queue, ..scale }
     }
 
     /// Parses CLI arguments of the form `--n 2000 --messages 100 --seed 7
-    /// --runs 3 --fanout 4 --stabilization 50 --paper --quick`, applied on
-    /// top of `self`.
+    /// --runs 3 --jobs 4 --fanout 4 --stabilization 50 --paper --quick`,
+    /// applied on top of `self`.
     ///
     /// Unknown arguments are returned for the caller to interpret.
     pub fn apply_args<It: Iterator<Item = String>>(mut self, args: It) -> (Self, Vec<String>) {
@@ -107,9 +139,12 @@ impl Params {
         while let Some(arg) = args.next() {
             let take_value = |args: &mut std::iter::Peekable<It>| -> Option<String> { args.next() };
             match arg.as_str() {
-                "--paper" => self = Params { configs: self.configs.clone(), ..Params::paper() },
-                "--quick" => self = Params { configs: self.configs.clone(), ..Params::quick() },
-                "--smoke" => self = Params { configs: self.configs.clone(), ..Params::smoke() },
+                // Presets reset the scale knobs but keep configs and the
+                // execution knobs (jobs, queue): `--jobs 4 --smoke` and
+                // `--smoke --jobs 4` must agree.
+                "--paper" => self = self.preset(Params::paper()),
+                "--quick" => self = self.preset(Params::quick()),
+                "--smoke" => self = self.preset(Params::smoke()),
                 "--n" => {
                     if let Some(v) = take_value(&mut args) {
                         self.n = v.parse().expect("--n expects an integer");
@@ -128,6 +163,11 @@ impl Params {
                 "--runs" => {
                     if let Some(v) = take_value(&mut args) {
                         self.runs = v.parse().expect("--runs expects an integer");
+                    }
+                }
+                "--jobs" => {
+                    if let Some(v) = take_value(&mut args) {
+                        self.jobs = v.parse::<usize>().expect("--jobs expects an integer").max(1);
                     }
                 }
                 "--fanout" => {
@@ -206,6 +246,26 @@ mod tests {
         assert_eq!(p.n, 10_000);
         let (p, _) = p.apply_args(["--smoke".to_string()].into_iter());
         assert_eq!(p.n, 200);
+    }
+
+    #[test]
+    fn jobs_survive_presets_in_either_order() {
+        let flags = |args: &[&str]| {
+            let (p, _) = Params::quick().apply_args(args.iter().map(|s| s.to_string()));
+            (p.n, p.jobs)
+        };
+        assert_eq!(flags(&["--jobs", "4", "--smoke"]), (200, 4));
+        assert_eq!(flags(&["--smoke", "--jobs", "4"]), (200, 4));
+        assert_eq!(flags(&["--jobs", "0"]).1, 1, "--jobs 0 clamps to 1");
+    }
+
+    #[test]
+    fn describe_omits_jobs() {
+        // The description is embedded in artifacts, which must stay
+        // byte-identical across --jobs settings.
+        let d = Params::smoke().with_jobs(8).describe();
+        assert!(!d.contains("jobs"), "{d}");
+        assert_eq!(d, Params::smoke().describe());
     }
 
     #[test]

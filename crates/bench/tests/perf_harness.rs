@@ -1,0 +1,60 @@
+//! Integration tests of the performance harness guarantees:
+//!
+//! * **Queue differential** — a full Figure-2-methodology run (build,
+//!   stabilize, crash, broadcast to quiescence) produces the identical
+//!   results artifact under the bucket calendar queue and the original
+//!   `BinaryHeap`, because both pop the same `(time, seq)` total order.
+//! * **Jobs invariance** — `--jobs 4` parallel seed sweeps serialize to
+//!   artifacts *byte-identical* to `--jobs 1`, for the fig2 and
+//!   `plumtree_latency` smoke shapes: runs are pure functions of their
+//!   seed and partials merge in seed order.
+
+use hyparview_bench::artifacts::{fig2_artifact, plumtree_latency_artifact};
+use hyparview_bench::experiments::latency::plumtree_latency;
+use hyparview_bench::experiments::reliability_after_failures;
+use hyparview_bench::Params;
+use hyparview_sim::protocols::ProtocolKind;
+use hyparview_sim::QueueBackend;
+
+/// Scaled-down fig2 smoke: the full methodology, a grid small enough for
+/// a unit-test budget.
+fn fig2_params() -> Params {
+    Params::smoke().with_messages(12).with_runs(2)
+}
+
+const FIG2_KINDS: [ProtocolKind; 2] = [ProtocolKind::HyParView, ProtocolKind::CyclonAcked];
+const FIG2_FAILURES: [f64; 2] = [0.2, 0.6];
+
+fn fig2_doc(params: &Params) -> String {
+    let rows = reliability_after_failures(params, &FIG2_KINDS, &FIG2_FAILURES);
+    fig2_artifact(params, &rows)
+}
+
+#[test]
+fn fig2_report_is_identical_under_both_queue_backends() {
+    let bucket = fig2_doc(&fig2_params().with_queue(QueueBackend::Bucket));
+    let heap = fig2_doc(&fig2_params().with_queue(QueueBackend::Heap));
+    assert_eq!(bucket, heap, "bucket and heap queues must produce identical broadcast reports");
+}
+
+#[test]
+fn fig2_artifact_is_byte_identical_across_jobs() {
+    let sequential = fig2_doc(&fig2_params().with_jobs(1));
+    let parallel = fig2_doc(&fig2_params().with_jobs(4));
+    assert_eq!(sequential, parallel, "--jobs 4 must not change a byte of the fig2 artifact");
+}
+
+#[test]
+fn plumtree_latency_artifact_is_byte_identical_across_jobs() {
+    let doc = |jobs: usize| {
+        let params = Params::smoke().with_messages(12).with_jobs(jobs);
+        let cells = plumtree_latency(&params, 0.3, 12, 2);
+        plumtree_latency_artifact(&params, 0.3, 12, 2, &cells)
+    };
+    let sequential = doc(1);
+    let parallel = doc(4);
+    assert_eq!(
+        sequential, parallel,
+        "--jobs 4 must not change a byte of the plumtree_latency artifact"
+    );
+}

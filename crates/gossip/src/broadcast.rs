@@ -190,6 +190,20 @@ impl ReliabilitySummary {
         self.control += report.control as u64;
     }
 
+    /// Appends every broadcast of `other` to this summary, preserving
+    /// `other`'s internal order. Folding per-run summaries into one in a
+    /// fixed run order produces exactly the same aggregate as feeding all
+    /// reports into a single summary sequentially — what lets a parallel
+    /// seed sweep merge deterministically.
+    pub fn merge(&mut self, other: ReliabilitySummary) {
+        self.reliabilities.extend(other.reliabilities);
+        self.max_hops.extend(other.max_hops);
+        self.rmrs.extend(other.rmrs);
+        self.sent += other.sent;
+        self.redundant += other.redundant;
+        self.control += other.control;
+    }
+
     /// Number of broadcasts summarised.
     pub fn count(&self) -> usize {
         self.reliabilities.len()
@@ -371,6 +385,28 @@ mod tests {
         assert_eq!(s.total_redundant(), 4);
         assert_eq!(s.total_control(), 6);
         assert_eq!(s.series().len(), 2);
+    }
+
+    #[test]
+    fn merged_summaries_equal_sequential_feeding() {
+        let reports = [report(100, 100), report(50, 100), report(75, 100), report(100, 100)];
+        let mut sequential = ReliabilitySummary::new();
+        for r in &reports {
+            sequential.add(r);
+        }
+        let mut merged = ReliabilitySummary::new();
+        for chunk in reports.chunks(2) {
+            let mut partial = ReliabilitySummary::new();
+            for r in chunk {
+                partial.add(r);
+            }
+            merged.merge(partial);
+        }
+        assert_eq!(merged.count(), sequential.count());
+        assert_eq!(merged.series(), sequential.series());
+        assert_eq!(merged.mean_reliability().to_bits(), sequential.mean_reliability().to_bits());
+        assert_eq!(merged.total_sent(), sequential.total_sent());
+        assert_eq!(merged.total_control(), sequential.total_control());
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Micro-benchmarks of the event-queue backends: the bucket calendar queue
+//! vs the original `BinaryHeap`, across the latency distributions the
+//! simulator actually schedules under.
+//!
+//! * `unit` — every event lands exactly one tick ahead (the paper's
+//!   PeerSim model and the simulator's hot path): bucket pops are O(1)
+//!   `VecDeque` operations, heap pops pay the full sift.
+//! * `uniform` — per-message jitter in `[1, 16]`.
+//! * `lognormal_tail` — heavy-tailed draws (median 3, σ = 0.7, cap 96):
+//!   a fraction of events overflow the bucket ring's window and must fold
+//!   back in as the cursor advances.
+//!
+//! Each distribution is measured two ways: `pop` (drain a pre-filled
+//! queue; setup untimed) and `cycle` (steady-state pop-one/push-one at a
+//! fixed queue size — the shape of a broadcast drain).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use hyparview_core::SimId;
+use hyparview_sim::{EventQueue, LatencyModel, QueueBackend};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const QUEUE_SIZE: usize = 4_096;
+const CYCLE_OPS: usize = 4_096;
+
+/// The swept distributions, as `(label, model)`.
+fn distributions() -> Vec<(&'static str, LatencyModel)> {
+    vec![
+        ("unit", LatencyModel::Fixed(1)),
+        ("uniform", LatencyModel::Uniform { min: 1, max: 16 }),
+        ("lognormal_tail", LatencyModel::LogNormal { median: 3, sigma_milli: 700, cap: 96 }),
+    ]
+}
+
+/// Builds a queue holding one broadcast wave: `QUEUE_SIZE` events all
+/// scheduled `latency` past the same instant — under unit latency they
+/// crowd into a single tick, exactly the shape a drain sees.
+fn filled(backend: QueueBackend, model: LatencyModel) -> EventQueue<u64> {
+    let mut queue = EventQueue::with_backend(backend);
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..QUEUE_SIZE as u64 {
+        queue.push(model.sample(&mut rng), SimId::new(0), SimId::new(1), i);
+    }
+    queue
+}
+
+fn bench_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_pop");
+    group.sample_size(30);
+    for (label, model) in distributions() {
+        for backend in [QueueBackend::Bucket, QueueBackend::Heap] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}/{backend:?}"), QUEUE_SIZE),
+                &model,
+                |b, &model| {
+                    b.iter_batched(
+                        || filled(backend, model),
+                        |mut queue| {
+                            let mut sum = 0u64;
+                            while let Some(event) = queue.pop() {
+                                sum = sum.wrapping_add(event.time);
+                            }
+                            sum
+                        },
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_cycle");
+    group.sample_size(30);
+    for (label, model) in distributions() {
+        for backend in [QueueBackend::Bucket, QueueBackend::Heap] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}/{backend:?}"), CYCLE_OPS),
+                &model,
+                |b, &model| {
+                    b.iter_batched(
+                        || (filled(backend, model), StdRng::seed_from_u64(11)),
+                        |(mut queue, mut rng)| {
+                            // Steady state: every pop schedules a successor,
+                            // exactly like a broadcast wave.
+                            let mut sum = 0u64;
+                            for _ in 0..CYCLE_OPS {
+                                let event = queue.pop().expect("steady state");
+                                sum = sum.wrapping_add(event.time);
+                                queue.push(
+                                    event.time + model.sample(&mut rng),
+                                    event.from,
+                                    event.to,
+                                    event.payload,
+                                );
+                            }
+                            black_box(sum)
+                        },
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pop, bench_cycle);
+criterion_main!(benches);

@@ -4,10 +4,26 @@
 //! by insertion order, which makes the whole simulation a pure function of
 //! the scenario seed — a property the experiments rely on and the property
 //! tests verify.
+//!
+//! Two interchangeable backends implement that total order:
+//!
+//! * [`QueueBackend::Bucket`] (the default) — a hierarchical calendar
+//!   queue: a ring of per-tick FIFO buckets covers the near future, a
+//!   sorted overflow heap holds the latency tail. The simulator's hot path
+//!   is unit latency (every event lands one tick ahead), where a push is an
+//!   O(1) `VecDeque::push_back` and a pop an O(1) `pop_front` — FIFO order
+//!   within a tick holds *by construction* instead of by comparison.
+//! * [`QueueBackend::Heap`] — the original `BinaryHeap`, kept for
+//!   differential testing and as an escape hatch (`heap-queue` feature
+//!   flips the default). Every operation pays `O(log n)` plus the heap
+//!   shuffle, even when all events live in the very next tick.
+//!
+//! Both backends pop the exact same `(time, seq)` order; the property tests
+//! drive them with identical random workloads and compare pop-by-pop.
 
 use hyparview_core::SimId;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// An event scheduled for delivery at a virtual time.
 #[derive(Debug, Clone)]
@@ -46,50 +62,212 @@ impl<P> Ord for Scheduled<P> {
     }
 }
 
-/// A min-heap of [`Scheduled`] events with FIFO tie-breaking.
+/// Which data structure backs an [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueBackend {
+    /// Ring of per-tick FIFO buckets + sorted overflow for the tail.
+    Bucket,
+    /// The original binary min-heap.
+    Heap,
+}
+
+impl Default for QueueBackend {
+    /// [`QueueBackend::Bucket`] unless the `heap-queue` feature is enabled
+    /// — the cfg escape hatch that runs the *entire* test suite over the
+    /// old heap for differential coverage.
+    fn default() -> Self {
+        if cfg!(feature = "heap-queue") {
+            QueueBackend::Heap
+        } else {
+            QueueBackend::Bucket
+        }
+    }
+}
+
+/// Number of per-tick buckets in the calendar ring. Covers every draw of
+/// the built-in latency models at their defaults (`log_normal` caps at
+/// `32 × median`); draws beyond the window overflow into a heap and are
+/// folded back in as the cursor advances, so the window size only affects
+/// constants, never correctness.
+const RING: usize = 256;
+
+/// Calendar-queue backend: bucket `time % RING` holds the events of tick
+/// `time` while `cursor ≤ time < cursor + RING`.
+///
+/// Invariants:
+/// * `overflow` holds exactly the events with `time ≥ cursor + RING`
+///   (restored by [`BucketRing::refill`] on every cursor advance);
+/// * `overdue` holds events pushed with `time < cursor` — impossible in
+///   the simulator (latency ≥ 1 and the cursor trails the last pop) but
+///   kept exact for the public API;
+/// * within one bucket events sit in `seq` order: direct pushes append in
+///   insertion order, and refills from the sorted overflow happen before
+///   any later (higher-`seq`) push can target the same tick.
+#[derive(Debug, Clone)]
+struct BucketRing<P> {
+    buckets: Vec<VecDeque<Scheduled<P>>>,
+    /// Virtual time of the tick at the ring head. Only advances.
+    cursor: u64,
+    /// Events currently in the ring (not counting overdue/overflow).
+    ring_len: usize,
+    overdue: BinaryHeap<Scheduled<P>>,
+    overflow: BinaryHeap<Scheduled<P>>,
+}
+
+impl<P> BucketRing<P> {
+    fn new() -> Self {
+        BucketRing {
+            buckets: (0..RING).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            ring_len: 0,
+            overdue: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ring_len + self.overdue.len() + self.overflow.len()
+    }
+
+    fn push(&mut self, event: Scheduled<P>) {
+        if event.time < self.cursor {
+            self.overdue.push(event);
+        } else if event.time - self.cursor >= RING as u64 {
+            self.overflow.push(event);
+        } else {
+            self.buckets[(event.time % RING as u64) as usize].push_back(event);
+            self.ring_len += 1;
+        }
+    }
+
+    /// Moves every overflow event that entered the ring window into its
+    /// bucket. The overflow heap pops in `(time, seq)` order, so per-bucket
+    /// appends preserve `seq` order.
+    fn refill(&mut self) {
+        while self.overflow.peek().is_some_and(|e| e.time - self.cursor < RING as u64) {
+            let event = self.overflow.pop().expect("peeked");
+            self.buckets[(event.time % RING as u64) as usize].push_back(event);
+            self.ring_len += 1;
+        }
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<P>> {
+        // Overdue events have time < cursor — strictly before anything in
+        // the ring or the overflow, and totally ordered by the heap.
+        if let Some(event) = self.overdue.pop() {
+            return Some(event);
+        }
+        if self.ring_len == 0 {
+            // The whole window is empty: jump straight to the next
+            // populated tick instead of sweeping empty buckets.
+            let next_time = self.overflow.peek()?.time;
+            self.cursor = next_time;
+            self.refill();
+        }
+        loop {
+            let bucket = (self.cursor % RING as u64) as usize;
+            if let Some(event) = self.buckets[bucket].pop_front() {
+                self.ring_len -= 1;
+                return Some(event);
+            }
+            // Ring is non-empty, so a populated bucket lies within RING
+            // steps; each advance may pull newly-visible overflow events.
+            self.cursor += 1;
+            self.refill();
+        }
+    }
+
+    fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.ring_len = 0;
+        self.overdue.clear();
+        self.overflow.clear();
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Backend<P> {
+    Bucket(BucketRing<P>),
+    Heap(BinaryHeap<Scheduled<P>>),
+}
+
+/// A queue of [`Scheduled`] events popped in `(time, seq)` order, with
+/// FIFO tie-breaking at equal times.
 #[derive(Debug, Clone)]
 pub struct EventQueue<P> {
-    heap: BinaryHeap<Scheduled<P>>,
+    backend: Backend<P>,
     next_seq: u64,
 }
 
 impl<P> Default for EventQueue<P> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue::with_backend(QueueBackend::default())
     }
 }
 
 impl<P> EventQueue<P> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default backend.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty queue on the given backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        let backend = match backend {
+            QueueBackend::Bucket => Backend::Bucket(BucketRing::new()),
+            QueueBackend::Heap => Backend::Heap(BinaryHeap::new()),
+        };
+        EventQueue { backend, next_seq: 0 }
+    }
+
+    /// The backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.backend {
+            Backend::Bucket(_) => QueueBackend::Bucket,
+            Backend::Heap(_) => QueueBackend::Heap,
+        }
     }
 
     /// Schedules `payload` from `from` to `to` at absolute `time`.
     pub fn push(&mut self, time: u64, from: SimId, to: SimId, payload: P) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, to, from, payload });
+        let event = Scheduled { time, seq, to, from, payload };
+        match &mut self.backend {
+            Backend::Bucket(ring) => ring.push(event),
+            Backend::Heap(heap) => heap.push(event),
+        }
     }
 
     /// Pops the earliest event.
     pub fn pop(&mut self) -> Option<Scheduled<P>> {
-        self.heap.pop()
+        match &mut self.backend {
+            Backend::Bucket(ring) => ring.pop(),
+            Backend::Heap(heap) => heap.pop(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Bucket(ring) => ring.len(),
+            Backend::Heap(heap) => heap.len(),
+        }
     }
 
     /// Returns `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Discards all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Bucket(ring) => ring.clear(),
+            Backend::Heap(heap) => heap.clear(),
+        }
     }
 }
 
@@ -97,58 +275,139 @@ impl<P> EventQueue<P> {
 mod tests {
     use super::*;
 
+    /// Both backends, so every case below runs against each.
+    const BACKENDS: [QueueBackend; 2] = [QueueBackend::Bucket, QueueBackend::Heap];
+
     fn id(i: usize) -> SimId {
         SimId::new(i)
     }
 
     #[test]
     fn pops_in_time_order() {
-        let mut q: EventQueue<&'static str> = EventQueue::new();
-        q.push(5, id(0), id(1), "late");
-        q.push(1, id(0), id(1), "early");
-        q.push(3, id(0), id(1), "middle");
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
-        assert_eq!(order, vec!["early", "middle", "late"]);
+        for backend in BACKENDS {
+            let mut q: EventQueue<&'static str> = EventQueue::with_backend(backend);
+            q.push(5, id(0), id(1), "late");
+            q.push(1, id(0), id(1), "early");
+            q.push(3, id(0), id(1), "middle");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+            assert_eq!(order, vec!["early", "middle", "late"], "{backend:?}");
+        }
     }
 
     #[test]
     fn equal_times_pop_fifo() {
-        let mut q: EventQueue<u32> = EventQueue::new();
-        for i in 0..100 {
-            q.push(7, id(0), id(1), i);
+        for backend in BACKENDS {
+            let mut q: EventQueue<u32> = EventQueue::with_backend(backend);
+            for i in 0..100 {
+                q.push(7, id(0), id(1), i);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{backend:?}");
         }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn mixed_times_and_sequences() {
-        let mut q: EventQueue<(u64, u32)> = EventQueue::new();
-        q.push(2, id(0), id(1), (2, 0));
-        q.push(1, id(0), id(1), (1, 0));
-        q.push(2, id(0), id(1), (2, 1));
-        q.push(1, id(0), id(1), (1, 1));
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
-        assert_eq!(order, vec![(1, 0), (1, 1), (2, 0), (2, 1)]);
+        for backend in BACKENDS {
+            let mut q: EventQueue<(u64, u32)> = EventQueue::with_backend(backend);
+            q.push(2, id(0), id(1), (2, 0));
+            q.push(1, id(0), id(1), (1, 0));
+            q.push(2, id(0), id(1), (2, 1));
+            q.push(1, id(0), id(1), (1, 1));
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+            assert_eq!(order, vec![(1, 0), (1, 1), (2, 0), (2, 1)], "{backend:?}");
+        }
     }
 
     #[test]
     fn len_and_clear() {
-        let mut q: EventQueue<u8> = EventQueue::new();
-        assert!(q.is_empty());
-        q.push(0, id(0), id(1), 1);
-        q.push(0, id(0), id(1), 2);
-        assert_eq!(q.len(), 2);
-        q.clear();
-        assert!(q.is_empty());
+        for backend in BACKENDS {
+            let mut q: EventQueue<u8> = EventQueue::with_backend(backend);
+            assert!(q.is_empty());
+            q.push(0, id(0), id(1), 1);
+            q.push(0, id(0), id(1), 2);
+            q.push(RING as u64 * 3, id(0), id(1), 3); // overflow territory
+            assert_eq!(q.len(), 3, "{backend:?}");
+            q.clear();
+            assert!(q.is_empty(), "{backend:?}");
+        }
     }
 
     #[test]
     fn carries_sender_and_receiver() {
-        let mut q: EventQueue<u8> = EventQueue::new();
-        q.push(0, id(3), id(9), 1);
-        let e = q.pop().unwrap();
-        assert_eq!(e.from, id(3));
-        assert_eq!(e.to, id(9));
+        for backend in BACKENDS {
+            let mut q: EventQueue<u8> = EventQueue::with_backend(backend);
+            q.push(0, id(3), id(9), 1);
+            let e = q.pop().unwrap();
+            assert_eq!(e.from, id(3));
+            assert_eq!(e.to, id(9));
+        }
+    }
+
+    #[test]
+    fn overflow_events_fold_back_into_the_ring() {
+        // Times far beyond the ring window: the bucket queue must park
+        // them in the overflow and recover the exact global order.
+        let mut bucket: EventQueue<usize> = EventQueue::with_backend(QueueBackend::Bucket);
+        let mut heap: EventQueue<usize> = EventQueue::with_backend(QueueBackend::Heap);
+        let times = [0u64, 1, RING as u64, RING as u64 * 5 + 3, 2, RING as u64, 1, 40_000];
+        for (i, &t) in times.iter().enumerate() {
+            bucket.push(t, id(0), id(1), i);
+            heap.push(t, id(0), id(1), i);
+        }
+        loop {
+            let (b, h) = (bucket.pop(), heap.pop());
+            match (&b, &h) {
+                (Some(b), Some(h)) => {
+                    assert_eq!((b.time, b.seq, b.payload), (h.time, h.seq, h.payload));
+                }
+                (None, None) => break,
+                _ => panic!("backends disagree on length"),
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_advances_the_window() {
+        // Unit-latency pattern: every pop schedules a successor one tick
+        // later, sliding the cursor far past the initial window.
+        for backend in BACKENDS {
+            let mut q: EventQueue<u64> = EventQueue::with_backend(backend);
+            q.push(1, id(0), id(1), 0);
+            let mut last_time = 0;
+            for _ in 0..(RING * 4) {
+                let e = q.pop().expect("event pending");
+                assert!(e.time >= last_time, "{backend:?}");
+                last_time = e.time;
+                q.push(e.time + 1, id(0), id(1), e.payload + 1);
+            }
+            assert_eq!(q.len(), 1);
+            assert!(last_time >= RING as u64 * 3, "cursor must slide: {last_time}");
+        }
+    }
+
+    #[test]
+    fn past_pushes_still_pop_in_global_order() {
+        // Push an event *earlier* than an already-popped time. The
+        // simulator never does this (latency ≥ 1), but the structure must
+        // stay exact: past events pop before everything pending.
+        for backend in BACKENDS {
+            let mut q: EventQueue<&'static str> = EventQueue::with_backend(backend);
+            q.push(10, id(0), id(1), "ten");
+            q.push(11, id(0), id(1), "eleven");
+            assert_eq!(q.pop().unwrap().payload, "ten");
+            q.push(3, id(0), id(1), "three");
+            q.push(2, id(0), id(1), "two");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+            assert_eq!(order, vec!["two", "three", "eleven"], "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn default_backend_honors_the_feature_flag() {
+        let q: EventQueue<u8> = EventQueue::new();
+        let expected =
+            if cfg!(feature = "heap-queue") { QueueBackend::Heap } else { QueueBackend::Bucket };
+        assert_eq!(q.backend(), expected);
     }
 }

@@ -89,6 +89,13 @@ impl Scenario {
         self
     }
 
+    /// Selects the event-queue backend (bucket calendar queue by default;
+    /// the heap backend exists for differential testing).
+    pub fn with_queue_backend(mut self, queue: crate::event::QueueBackend) -> Self {
+        self.sim_config.queue = queue;
+        self
+    }
+
     /// Sets the contact policy.
     pub fn with_contact(mut self, contact: ContactPolicy) -> Self {
         self.contact = contact;

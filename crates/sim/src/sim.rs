@@ -13,7 +13,7 @@
 //!   is the simulator's model of TCP as a failure detector;
 //! * everything is deterministic given the scenario seed.
 
-use crate::event::EventQueue;
+use crate::event::{EventQueue, QueueBackend};
 use hyparview_core::SimId;
 use hyparview_gossip::{BroadcastReport, GossipState, Membership, Outbox};
 use hyparview_plumtree::{
@@ -202,6 +202,11 @@ pub struct SimConfig {
     /// [`PlumtreeConfig::with_timeouts_for_max_latency`]) or healthy deep
     /// trees trigger spurious `Graft`s.
     pub plumtree: PlumtreeConfig,
+    /// Event-queue backend. Both backends pop the identical `(time, seq)`
+    /// order; [`QueueBackend::Bucket`] makes the unit-latency hot path
+    /// O(1), [`QueueBackend::Heap`] is the original heap kept for
+    /// differential testing.
+    pub queue: QueueBackend,
 }
 
 impl Default for SimConfig {
@@ -213,6 +218,7 @@ impl Default for SimConfig {
             retry_failed_gossip: false,
             broadcast_mode: BroadcastMode::Flood,
             plumtree: PlumtreeConfig::default(),
+            queue: QueueBackend::default(),
         }
     }
 }
@@ -247,6 +253,12 @@ impl SimConfig {
         self.plumtree = config;
         self
     }
+
+    /// Selects the event-queue backend.
+    pub fn with_queue_backend(mut self, queue: QueueBackend) -> Self {
+        self.queue = queue;
+        self
+    }
 }
 
 /// Cumulative simulator counters.
@@ -264,6 +276,10 @@ pub struct SimStats {
     pub failure_notifications: u64,
     /// Broadcasts performed.
     pub broadcasts: u64,
+    /// Total events popped off the queue and processed — the denominator
+    /// of the simulator's events/sec throughput metric. Deterministic per
+    /// seed, like every other counter here.
+    pub events_processed: u64,
 }
 
 /// Event payload: either a membership message or one gossip transmission.
@@ -327,8 +343,49 @@ struct Track {
     /// announce several tracked messages at once.
     shared_control: usize,
     /// Gossip targets already used per `(sender, id)`, so that retry
-    /// selection (CyclonAcked) does not repeat a target.
-    sent_by: HashMap<(usize, u64), Vec<SimId>>,
+    /// selection (CyclonAcked) does not repeat a target. Populated only
+    /// when the retry ablation is on: the default hot path spends nothing
+    /// here, and first-send target lists are *interned* (moved into the
+    /// log) rather than cloned per tracked message.
+    sent_by: SentLog,
+}
+
+/// Per-`(sender, message)` log of gossip targets, for retry exclusion.
+#[derive(Debug, Default)]
+struct SentLog {
+    /// Whether sends are recorded at all ([`SimConfig::retry_failed_gossip`]).
+    enabled: bool,
+    sent: HashMap<(usize, u64), Vec<SimId>>,
+}
+
+impl SentLog {
+    /// Interns the first-send target list by move — no per-message clone.
+    fn record(&mut self, sender: usize, id: u64, targets: Vec<SimId>) {
+        if self.enabled {
+            use std::collections::hash_map::Entry;
+            match self.sent.entry((sender, id)) {
+                Entry::Vacant(slot) => {
+                    slot.insert(targets);
+                }
+                Entry::Occupied(mut slot) => slot.get_mut().extend(targets),
+            }
+        }
+    }
+
+    /// Appends one retry target.
+    fn record_one(&mut self, sender: usize, id: u64, target: SimId) {
+        if self.enabled {
+            self.sent.entry((sender, id)).or_default().push(target);
+        }
+    }
+
+    /// The targets already used for `(sender, id)`, plus `dead` — the
+    /// exclusion list handed to [`Membership::retry_target`].
+    fn exclusions(&self, sender: usize, id: u64, dead: SimId) -> Vec<SimId> {
+        let mut exclude = self.sent.get(&(sender, id)).cloned().unwrap_or_default();
+        exclude.push(dead);
+        exclude
+    }
 }
 
 impl Track {
@@ -336,13 +393,20 @@ impl Track {
         Track::default()
     }
 
-    fn tracking(base: u64, count: u64, origin: usize, alive_at_start: usize) -> Track {
+    fn tracking(
+        base: u64,
+        count: u64,
+        origin: usize,
+        alive_at_start: usize,
+        log_sends: bool,
+    ) -> Track {
         Track {
             base,
             count,
             origin,
             alive_at_start,
             per: vec![PerMsg::default(); count as usize],
+            sent_by: SentLog { enabled: log_sends, sent: HashMap::new() },
             ..Track::default()
         }
     }
@@ -443,10 +507,11 @@ impl<M: Membership<SimId>> Sim<M> {
     where
         F: FnMut(SimId, u64) -> M + 'static,
     {
+        let queue = EventQueue::with_backend(config.queue);
         Sim {
             config,
             nodes: Vec::new(),
-            queue: EventQueue::new(),
+            queue,
             time: 0,
             rng: StdRng::seed_from_u64(seed),
             stats: SimStats::default(),
@@ -732,7 +797,13 @@ impl<M: Membership<SimId>> Sim<M> {
         self.next_broadcast += count as u64;
         self.stats.broadcasts += count as u64;
 
-        let mut track = Track::tracking(base, count as u64, origin.index(), self.alive_count());
+        let mut track = Track::tracking(
+            base,
+            count as u64,
+            origin.index(),
+            self.alive_count(),
+            self.config.retry_failed_gossip,
+        );
 
         if self.config.broadcast_mode == BroadcastMode::Plumtree {
             // Make sure the origin's tree links reflect its view before the
@@ -752,8 +823,7 @@ impl<M: Membership<SimId>> Sim<M> {
                         per.delivered += 1;
                         per.sent += targets.len();
                     }
-                    track.sent_by.insert((origin.index(), id), targets.clone());
-                    for t in targets {
+                    for &t in &targets {
                         let latency = self.latency_of(origin, t);
                         self.queue.push(
                             self.time + latency,
@@ -762,6 +832,7 @@ impl<M: Membership<SimId>> Sim<M> {
                             Payload::Gossip { id, hops: 1 },
                         );
                     }
+                    track.sent_by.record(origin.index(), id, targets);
                 }
                 BroadcastMode::Plumtree => {
                     let mut out = PlumtreeOut::new();
@@ -888,6 +959,7 @@ impl<M: Membership<SimId>> Sim<M> {
                 }
             }
         }
+        self.stats.events_processed += processed;
     }
 
     fn deliver_membership(&mut self, from: SimId, to: SimId, message: M::Message) {
@@ -1055,12 +1127,12 @@ impl<M: Membership<SimId>> Sim<M> {
             per.max_hops = per.max_hops.max(hops);
             per.sent += targets.len();
         }
-        if track.matches(id as MsgId) {
-            track.sent_by.entry((to.index(), id)).or_default().extend(targets.iter().copied());
-        }
-        for t in targets {
+        for &t in &targets {
             let latency = self.latency_of(to, t);
             self.queue.push(self.time + latency, to, t, Payload::Gossip { id, hops: hops + 1 });
+        }
+        if track.matches(id as MsgId) {
+            track.sent_by.record(to.index(), id, targets);
         }
     }
 
@@ -1093,12 +1165,11 @@ impl<M: Membership<SimId>> Sim<M> {
         if !self.nodes[sender.index()].memb.detects_send_failures() {
             return;
         }
-        let mut exclude = track.sent_by.get(&(sender.index(), id)).cloned().unwrap_or_default();
-        exclude.push(dead);
+        let exclude = track.sent_by.exclusions(sender.index(), id, dead);
         let Some(replacement) = self.nodes[sender.index()].memb.retry_target(&exclude) else {
             return;
         };
-        track.sent_by.entry((sender.index(), id)).or_default().push(replacement);
+        track.sent_by.record_one(sender.index(), id, replacement);
         if let Some(per) = track.per_mut(id) {
             per.sent += 1;
         }

@@ -171,4 +171,84 @@ proptest! {
             }
         }
     }
+
+    /// The bucket calendar queue pops the exact `(time, seq)` total order
+    /// of the heap baseline under random interleaved workloads: bursts of
+    /// pushes at randomly spread times (near-future, tied, and far beyond
+    /// the bucket ring's window) alternating with partial drains.
+    #[test]
+    fn bucket_queue_pops_identically_to_heap(
+        seed in any::<u64>(),
+        rounds in 1usize..12,
+    ) {
+        use hyparview_core::SimId;
+        use hyparview_sim::{EventQueue, QueueBackend};
+        use rand::Rng;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bucket: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Bucket);
+        let mut heap: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Heap);
+        prop_assert_ne!(bucket.backend(), heap.backend());
+        let mut now = 0u64;
+        let mut payload = 0u64;
+        for _ in 0..rounds {
+            for _ in 0..rng.gen_range(0..80) {
+                // Mix unit-latency, jitter, ties, and far-tail times.
+                let offset = match rng.gen_range(0u32..10) {
+                    0..=5 => 1,
+                    6..=7 => rng.gen_range(1..32),
+                    8 => rng.gen_range(1..300),
+                    _ => rng.gen_range(1..5_000),
+                };
+                let (from, to) = (SimId::new(0), SimId::new(1));
+                bucket.push(now + offset, from, to, payload);
+                heap.push(now + offset, from, to, payload);
+                payload += 1;
+            }
+            prop_assert_eq!(bucket.len(), heap.len());
+            for _ in 0..rng.gen_range(0..120) {
+                let (b, h) = (bucket.pop(), heap.pop());
+                match (&b, &h) {
+                    (Some(b), Some(h)) => {
+                        prop_assert_eq!(
+                            (b.time, b.seq, b.payload),
+                            (h.time, h.seq, h.payload),
+                            "backends diverged at seed {}", seed
+                        );
+                        now = b.time;
+                    }
+                    (None, None) => break,
+                    _ => return Err(TestCaseError::fail("one backend ran dry early")),
+                }
+            }
+        }
+        // Full drain: the remaining orders must agree event for event.
+        while let (Some(b), Some(h)) = (bucket.pop(), heap.pop()) {
+            prop_assert_eq!((b.time, b.seq, b.payload), (h.time, h.seq, h.payload));
+        }
+        prop_assert!(bucket.is_empty() && heap.is_empty());
+    }
+
+    /// A full simulation (overlay build, cycles, crash, broadcast) is
+    /// backend-invariant: both queues produce the identical report and
+    /// simulator statistics.
+    #[test]
+    fn simulation_is_queue_backend_invariant(
+        seed in any::<u64>(),
+        n in 20usize..70,
+        failure in 0.0f64..0.6,
+    ) {
+        use hyparview_sim::QueueBackend;
+        let run = |backend| {
+            let scenario = Scenario::new(n, seed)
+                .with_latency(Latency::uniform(1, 9))
+                .with_queue_backend(backend);
+            let mut sim = build_hyparview(&scenario, Config::default());
+            sim.run_cycles(2);
+            sim.fail_fraction(failure);
+            let report = sim.broadcast_from(sim.alive_ids()[0]);
+            (report, *sim.stats())
+        };
+        prop_assert_eq!(run(QueueBackend::Bucket), run(QueueBackend::Heap));
+    }
 }

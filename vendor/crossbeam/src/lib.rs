@@ -1,12 +1,15 @@
 //! Minimal stand-in for the parts of `crossbeam` this workspace uses:
 //! [`channel`] with multi-producer/multi-consumer bounded and unbounded
-//! channels, [`channel::tick`], and a [`select!`] macro.
+//! channels, [`channel::tick`], a [`select!`] macro, and [`thread`] with
+//! scoped spawning.
 //!
 //! Channels are a `Mutex<VecDeque>` + condvars — correct and fair enough for
 //! the thread-per-connection runtime here, though slower than the real
 //! lock-free crossbeam. `select!` polls its arms with a short parked sleep
 //! instead of registering wakers; receive latency is bounded by the poll
-//! interval (500µs) rather than being wakeup-exact.
+//! interval (500µs) rather than being wakeup-exact. [`thread::scope`]
+//! delegates to `std::thread::scope` (stable since Rust 1.63) behind
+//! crossbeam's `Result`-returning signature.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -329,6 +332,78 @@ pub mod channel {
     }
 }
 
+/// Scoped threads: spawn workers that may borrow from the caller's stack,
+/// joined before [`thread::scope`] returns.
+pub mod thread {
+    use std::any::Any;
+
+    /// The payload of a panicked scoped thread.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle to a scope accepted by [`Scope::spawn`]. `Copy`, so the
+    /// spawned closure receives its own handle and can spawn siblings —
+    /// the real crossbeam's nested-spawn surface.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl std::fmt::Debug for Scope<'_, '_> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Scope { .. }")
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives a scope handle for
+        /// nested spawns (crossbeam's signature — pass `|_|` to ignore it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Owned permission to join one scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> std::fmt::Debug for ScopedJoinHandle<'_, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("ScopedJoinHandle { .. }")
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` holds the
+        /// panic payload if it panicked).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]; every spawned thread is joined before
+    /// this returns. `Err` carries the panic payload when the closure (or
+    /// an unjoined spawned thread, which `std::thread::scope` re-raises in
+    /// the closure's stack) panicked. Real crossbeam returns `Err` only
+    /// for unjoined *child* panics and lets the closure's own panic
+    /// unwind; this shim folds both into `Err` — callers that care should
+    /// `resume_unwind` the payload (as `bench::parallel::sweep` does),
+    /// which makes the two behaviors equivalent.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
 /// Waits on several receivers, running the first ready arm.
 ///
 /// Supports the `recv(receiver) -> result => body` arm form of
@@ -435,5 +510,35 @@ mod tests {
             recv(rx) -> msg => msg.is_err(),
         };
         assert!(disconnected);
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 100);
+        drop(data); // still owned here: the scope only borrowed it
+    }
+
+    #[test]
+    fn scoped_nested_spawn() {
+        let got = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().expect("inner")).join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn scope_reports_panics_as_err() {
+        let result = crate::thread::scope(|s| {
+            // The unjoined panicking thread re-raises at scope exit.
+            s.spawn::<_, ()>(|_| panic!("worker died"));
+        });
+        assert!(result.is_err());
     }
 }
