@@ -9,12 +9,18 @@
 //! directories are paired by file name (`*.json`). The table goes to
 //! stdout (CI appends it to `$GITHUB_STEP_SUMMARY`).
 //!
+//! The baseline directory may also be a **rolling window** of prior runs:
+//! `run-<id>/` subdirectories, one artifact set each (CI downloads the
+//! last few successful `main` runs this way). The newest run gates the
+//! build; the older runs feed a *window* column per metric, so a slow
+//! drift that never trips the single-run threshold is still visible.
+//!
 //! Exit codes: `0` clean (including the graceful no-op when the baseline
 //! does not exist — e.g. the first run on a fork, before any `main`
 //! artifact was uploaded), `1` if any directed metric regressed beyond the
 //! threshold, `2` on usage or parse errors.
 
-use hyparview_bench::diff::{diff, markdown_table};
+use hyparview_bench::diff::{diff, flatten, markdown_table_with_trend, Trend};
 use hyparview_bench::json::parse;
 use std::path::{Path, PathBuf};
 use std::process::exit;
@@ -56,8 +62,18 @@ fn main() {
         exit(2);
     }
 
-    let (pairs, notices) = pair_artifacts(baseline, current);
+    // A baseline of run-<id>/ subdirectories is a rolling window: gate
+    // against the newest run, feed the older ones into the trend column.
+    let (gate, window) = resolve_window(baseline);
+    let (pairs, notices) = pair_artifacts(&gate, current);
     println!("### Bench trend vs baseline (threshold {:.0}%)\n", threshold * 100.0);
+    if !window.is_empty() {
+        println!(
+            "_Rolling window: {} prior run(s), gating against `{}`._\n",
+            window.len() + 1,
+            gate.file_name().unwrap_or_default().to_string_lossy()
+        );
+    }
     for notice in &notices {
         println!("{notice}\n");
     }
@@ -72,7 +88,8 @@ fn main() {
         match (load(base_path), load(current_path)) {
             (Some(base), Some(current)) => {
                 let rows = diff(&base, &current);
-                let (table, regressed) = markdown_table(&rows, threshold);
+                let trend = window_trend(&window, name);
+                let (table, regressed) = markdown_table_with_trend(&rows, threshold, &trend);
                 regressions += regressed;
                 println!("<details><summary><b>{name}</b>{}</summary>\n", badge(regressed));
                 println!("{table}</details>\n");
@@ -109,6 +126,48 @@ fn usage(message: &str) -> ! {
     eprintln!("bench_diff: {message}");
     eprintln!("usage: bench_diff <baseline> <current> [--threshold 0.10]");
     exit(2);
+}
+
+/// Splits a baseline into `(gate, older runs oldest → newest)`. A
+/// directory whose entries are `run-*` subdirectories is a rolling window:
+/// the numerically newest run gates (GitHub run IDs grow monotonically),
+/// the rest feed the trend column. Anything else gates as-is, windowless.
+fn resolve_window(baseline: &Path) -> (PathBuf, Vec<PathBuf>) {
+    let mut runs: Vec<(u64, PathBuf)> = std::fs::read_dir(baseline)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().is_dir())
+                .filter_map(|e| {
+                    let name = e.file_name().to_string_lossy().into_owned();
+                    let id = name.strip_prefix("run-")?.parse().ok()?;
+                    Some((id, e.path()))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    runs.sort();
+    match runs.pop() {
+        Some((_, newest)) => (newest, runs.into_iter().map(|(_, path)| path).collect()),
+        None => (baseline.to_owned(), Vec::new()),
+    }
+}
+
+/// Collects `name`'s metric values across the window runs (oldest →
+/// newest): `path -> [value per run]`, `None` where a run lacks the
+/// artifact or the metric.
+fn window_trend(window: &[PathBuf], name: &str) -> Trend {
+    let mut trend = Trend::new();
+    let flattened: Vec<Option<Vec<(String, f64)>>> =
+        window.iter().map(|run| load(&run.join(name)).map(|v| flatten(&v))).collect();
+    for (index, metrics) in flattened.iter().enumerate() {
+        let Some(metrics) = metrics else { continue };
+        for (path, value) in metrics {
+            let values = trend.entry(path.clone()).or_insert_with(|| vec![None; window.len()]);
+            values[index] = Some(*value);
+        }
+    }
+    trend
 }
 
 fn load(path: &Path) -> Option<hyparview_bench::json::JsonValue> {

@@ -178,6 +178,10 @@ fn fmt(value: Option<f64>) -> String {
     }
 }
 
+/// Values of each metric across a rolling window of *prior* runs, oldest
+/// first (`None` where a run lacks the metric). Keyed by dotted path.
+pub type Trend = std::collections::HashMap<String, Vec<Option<f64>>>;
+
 /// Renders the rows as a markdown trend table. Unchanged metrics collapse
 /// into a footer count so the table stays readable in a job summary; every
 /// changed metric is listed, regressions flagged against `threshold`.
@@ -185,8 +189,28 @@ fn fmt(value: Option<f64>) -> String {
 /// `events_per_sec`) are flagged as warnings but never counted. Returns
 /// `(markdown, gating regression count)`.
 pub fn markdown_table(rows: &[DiffRow], threshold: f64) -> (String, usize) {
-    let mut table = String::from("| metric | baseline | current | Δ | Δ% | |\n");
-    table.push_str("|---|---:|---:|---:|---:|---|\n");
+    markdown_table_with_trend(rows, threshold, &Trend::new())
+}
+
+/// [`markdown_table`] plus a *window* column: each changed metric's values
+/// across the rolling window of prior runs (oldest → newest), so a slow
+/// drift that never trips the single-run threshold is still visible. The
+/// column only appears when `trend` is non-empty.
+pub fn markdown_table_with_trend(
+    rows: &[DiffRow],
+    threshold: f64,
+    trend: &Trend,
+) -> (String, usize) {
+    let windowed = !trend.is_empty();
+    let mut table = if windowed {
+        let mut t = String::from("| metric | window | baseline | current | Δ | Δ% | |\n");
+        t.push_str("|---|---:|---:|---:|---:|---:|---|\n");
+        t
+    } else {
+        let mut t = String::from("| metric | baseline | current | Δ | Δ% | |\n");
+        t.push_str("|---|---:|---:|---:|---:|---|\n");
+        t
+    };
     let mut unchanged = 0usize;
     let mut regressions = 0usize;
     for row in rows {
@@ -219,18 +243,39 @@ pub fn markdown_table(rows: &[DiffRow], threshold: f64) -> (String, usize) {
         let delta = row.delta().map(|d| format!("{d:+.4}")).unwrap_or_else(|| "—".to_owned());
         let relative =
             row.relative().map(|r| format!("{:+.1}%", r * 100.0)).unwrap_or_else(|| "—".to_owned());
-        table.push_str(&format!(
-            "| `{}` | {} | {} | {} | {} | {} |\n",
-            row.path,
-            fmt(row.base),
-            fmt(row.current),
-            delta,
-            relative,
-            flag
-        ));
+        if windowed {
+            let window = trend
+                .get(&row.path)
+                .map(|values| values.iter().map(|v| fmt(*v)).collect::<Vec<_>>().join(" → "))
+                .unwrap_or_else(|| "—".to_owned());
+            table.push_str(&format!(
+                "| `{}` | {} | {} | {} | {} | {} | {} |\n",
+                row.path,
+                window,
+                fmt(row.base),
+                fmt(row.current),
+                delta,
+                relative,
+                flag
+            ));
+        } else {
+            table.push_str(&format!(
+                "| `{}` | {} | {} | {} | {} | {} |\n",
+                row.path,
+                fmt(row.base),
+                fmt(row.current),
+                delta,
+                relative,
+                flag
+            ));
+        }
     }
     if rows.len() == unchanged {
-        table.push_str("| _all metrics unchanged_ | | | | | |\n");
+        if windowed {
+            table.push_str("| _all metrics unchanged_ | | | | | | |\n");
+        } else {
+            table.push_str("| _all metrics unchanged_ | | | | | |\n");
+        }
     }
     table.push_str(&format!(
         "\n{} metrics compared, {} unchanged, {} regression(s) at threshold {:.0}%.\n",
@@ -344,6 +389,28 @@ mod tests {
         assert_eq!(regressions, 0);
         assert!(table.contains("all metrics unchanged"), "{table}");
         assert!(table.contains("3 metrics compared, 3 unchanged"), "{table}");
+    }
+
+    #[test]
+    fn trend_column_shows_the_rolling_window() {
+        let rows = diff(&artifact(1.0, 6.0), &artifact(0.8, 6.0));
+        let mut trend = Trend::new();
+        trend.insert(
+            "cells[uniform.optimized].healed.mean_reliability".to_owned(),
+            vec![Some(1.0), None, Some(0.98)],
+        );
+        let (table, regressions) = markdown_table_with_trend(&rows, 0.10, &trend);
+        assert_eq!(regressions, 1);
+        assert!(table.contains("| window |"), "{table}");
+        assert!(table.contains("1 → — → 0.9800"), "{table}");
+        // A changed metric with no history renders an empty window cell,
+        // not a broken row.
+        let rows = diff(&artifact(1.0, 6.0), &artifact(1.0, 7.0));
+        let (table, _) = markdown_table_with_trend(&rows, 0.10, &trend);
+        assert!(table.contains("| — |"), "{table}");
+        // Without a window the column disappears entirely.
+        let (table, _) = markdown_table(&rows, 0.10);
+        assert!(!table.contains("window"), "{table}");
     }
 
     #[test]

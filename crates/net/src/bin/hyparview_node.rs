@@ -9,7 +9,7 @@
 //!     --bind 127.0.0.1:9001 --join 127.0.0.1:9000
 //! ```
 
-use hyparview_net::{BroadcastMode, NetConfig, Node};
+use hyparview_net::{BroadcastMode, NetConfig, Node, TransportBackend};
 use std::io::BufRead;
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -21,6 +21,7 @@ struct Args {
     active: usize,
     passive: usize,
     plumtree: bool,
+    backend: TransportBackend,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         active: 5,
         passive: 30,
         plumtree: false,
+        backend: TransportBackend::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -51,10 +53,20 @@ fn parse_args() -> Result<Args, String> {
                 args.passive = value("--passive")?.parse().map_err(|e| format!("--passive: {e}"))?
             }
             "--plumtree" => args.plumtree = true,
+            "--backend" => {
+                args.backend = match value("--backend")?.as_str() {
+                    "reactor" => TransportBackend::Reactor,
+                    "threaded" => TransportBackend::Threaded,
+                    other => {
+                        return Err(format!("--backend: expected reactor|threaded, got {other}"))
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: hyparview_node [--bind ADDR] [--join ADDR] \
-                     [--shuffle-ms N] [--active N] [--passive N] [--plumtree]"
+                     [--shuffle-ms N] [--active N] [--passive N] [--plumtree] \
+                     [--backend reactor|threaded]"
                 );
                 std::process::exit(0);
             }
@@ -79,11 +91,13 @@ fn main() -> std::io::Result<()> {
             .with_passive_capacity(args.passive),
         shuffle_interval: Duration::from_millis(args.shuffle_ms),
         broadcast_mode: if args.plumtree { BroadcastMode::Plumtree } else { BroadcastMode::Flood },
+        backend: args.backend,
         ..NetConfig::default()
     };
     let mode = config.broadcast_mode;
+    let backend = config.backend;
     let node = Node::spawn(args.bind, config)?;
-    println!("listening on {} ({mode} broadcast)", node.addr());
+    println!("listening on {} ({mode} broadcast, {backend} backend)", node.addr());
     if let Some(contact) = args.join {
         println!("joining through {contact}");
         node.join(contact);

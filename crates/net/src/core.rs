@@ -1,0 +1,417 @@
+//! The backend-independent node core: HyParView protocol + broadcast
+//! engine + stats, speaking to the outside world only through the
+//! [`NodeCtx`] effect sink.
+//!
+//! Both runtimes drive the same [`NodeCore`]:
+//!
+//! * the thread-per-connection backend (`node.rs` event loop over
+//!   [`crate::transport::Transport`]) — one core per thread;
+//! * the reactor backend (`reactor.rs`) — many cores multiplexed onto one
+//!   epoll loop.
+//!
+//! Keeping the core sans-runtime is what makes the two backends
+//! *differentially testable*: identical frames in produce identical frames
+//! out, regardless of which I/O shell carried them.
+
+use crate::dedup::RecentSet;
+use crate::node::NetConfig;
+use crate::wire::Frame;
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use hyparview_core::{Action, Actions, HyParView, Message};
+use hyparview_plumtree::{
+    Announcement, BroadcastMode, PlumtreeMessage, PlumtreeOut, PlumtreeState, PlumtreeTimer,
+};
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A gossip message delivered to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Globally unique broadcast id.
+    pub id: u128,
+    /// Hops travelled before reaching this node (0 = local broadcast).
+    pub hops: u32,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+/// Runtime counters of a node.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Broadcasts initiated by this node.
+    pub broadcasts_sent: u64,
+    /// Gossip messages delivered (first receipt), own broadcasts included.
+    pub deliveries: u64,
+    /// Redundant gossip receipts suppressed by the dedup set.
+    pub duplicates: u64,
+    /// Broadcast frames dropped because they belong to the *other*
+    /// [`BroadcastMode`] — nonzero means a mode-misconfigured cluster.
+    pub mode_mismatched: u64,
+    /// Every frame shipped to the transport (membership + broadcast).
+    pub frames_sent: u64,
+    /// Payload-carrying broadcast frames sent (`Gossip` / `PlumtreeGossip`).
+    pub payload_frames_sent: u64,
+    /// Single `IHave` announcement frames sent.
+    pub ihave_frames_sent: u64,
+    /// Batched `IHaveBatch` frames sent.
+    pub ihave_batch_frames_sent: u64,
+    /// Announcements carried inside those `IHaveBatch` frames — the
+    /// batching win is `ihave_batch_anns_sent / ihave_batch_frames_sent`.
+    pub ihave_batch_anns_sent: u64,
+}
+
+/// Mutable view snapshots shared with the application-facing handle.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Shared {
+    pub(crate) active: Vec<SocketAddr>,
+    pub(crate) passive: Vec<SocketAddr>,
+    pub(crate) eager: Vec<SocketAddr>,
+    pub(crate) lazy: Vec<SocketAddr>,
+    pub(crate) stats: NodeStats,
+}
+
+/// The effect sink a [`NodeCore`] drives its runtime through: frames out,
+/// graceful connection teardown, timer arming. Implementations:
+/// `ThreadedCtx` (per-node event loop over `Transport`) and `ReactorCtx`
+/// (shared epoll loop).
+pub(crate) trait NodeCtx {
+    /// Ships `frame` to `to`, opening a connection lazily. Failures are
+    /// asynchronous: they come back as an `on_peer_failed` call.
+    fn send_frame(&mut self, to: SocketAddr, frame: &Frame);
+    /// Drops the outbound connection to `peer` (after flushing queued
+    /// frames) without reporting a failure.
+    fn disconnect(&mut self, peer: SocketAddr);
+    /// Arms `timer` to fire after `delay` (wall clock).
+    fn schedule(&mut self, timer: PlumtreeTimer, delay: Duration);
+}
+
+/// The broadcast engine a core runs.
+#[allow(clippy::large_enum_variant)] // exactly one per node; size is irrelevant
+pub(crate) enum Broadcaster {
+    /// The paper's eager flood (§4.1.ii) with bounded duplicate suppression.
+    Flood { seen: RecentSet<u128> },
+    /// Plumtree: eager/lazy dissemination; timers are armed through the
+    /// [`NodeCtx`], scaled by `unit`.
+    Plumtree { state: PlumtreeState<SocketAddr, Bytes>, unit: Duration },
+}
+
+/// One node's full protocol state, independent of the I/O backend.
+pub(crate) struct NodeCore {
+    local: SocketAddr,
+    protocol: HyParView<SocketAddr>,
+    broadcaster: Broadcaster,
+    shared: Arc<Mutex<Shared>>,
+    delivery_tx: Sender<Delivery>,
+    stats: NodeStats,
+    /// Reusable scratch buffer for protocol actions.
+    actions: Actions<SocketAddr>,
+}
+
+impl NodeCore {
+    /// Builds the core for `local` from the runtime configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` when the protocol configuration is rejected.
+    pub(crate) fn new(
+        local: SocketAddr,
+        config: &NetConfig,
+        shared: Arc<Mutex<Shared>>,
+        delivery_tx: Sender<Delivery>,
+    ) -> std::io::Result<NodeCore> {
+        let seed = config.seed.unwrap_or_else(rand::random);
+        let protocol = HyParView::new(local, config.protocol.clone(), seed)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        let broadcaster = match config.broadcast_mode {
+            BroadcastMode::Flood => {
+                Broadcaster::Flood { seen: RecentSet::new(config.dedup_capacity) }
+            }
+            BroadcastMode::Plumtree => Broadcaster::Plumtree {
+                state: PlumtreeState::new(
+                    local,
+                    config.plumtree.clone().with_cache_capacity(config.dedup_capacity),
+                ),
+                unit: config.plumtree_timer_unit,
+            },
+        };
+        Ok(NodeCore {
+            local,
+            protocol,
+            broadcaster,
+            shared,
+            delivery_tx,
+            stats: NodeStats::default(),
+            actions: Actions::new(),
+        })
+    }
+
+    /// The node's identity (its listen address).
+    pub(crate) fn local(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Starts a join through `contact`.
+    pub(crate) fn join(&mut self, contact: SocketAddr, ctx: &mut dyn NodeCtx) {
+        let mut actions = std::mem::take(&mut self.actions);
+        self.protocol.join(contact, &mut actions);
+        self.execute(&mut actions, ctx);
+        self.actions = actions;
+    }
+
+    /// Gracefully leaves the overlay (DISCONNECT to all active peers).
+    pub(crate) fn leave(&mut self, ctx: &mut dyn NodeCtx) {
+        let mut actions = std::mem::take(&mut self.actions);
+        self.protocol.leave(&mut actions);
+        self.execute(&mut actions, ctx);
+        self.actions = actions;
+    }
+
+    /// Runs one membership shuffle cycle.
+    pub(crate) fn on_shuffle_tick(&mut self, ctx: &mut dyn NodeCtx) {
+        let mut actions = std::mem::take(&mut self.actions);
+        self.protocol.shuffle_tick(&mut actions);
+        self.execute(&mut actions, ctx);
+        self.actions = actions;
+    }
+
+    /// Reacts to a transport-detected peer failure.
+    pub(crate) fn on_peer_failed(&mut self, peer: SocketAddr, ctx: &mut dyn NodeCtx) {
+        let mut actions = std::mem::take(&mut self.actions);
+        self.protocol.on_peer_failed(peer, &mut actions);
+        self.execute(&mut actions, ctx);
+        self.actions = actions;
+    }
+
+    /// Handles one decoded frame from `from`.
+    pub(crate) fn on_frame(&mut self, from: SocketAddr, frame: Frame, ctx: &mut dyn NodeCtx) {
+        match frame {
+            Frame::Hello { .. } => {} // handled by the transport layer
+            Frame::Membership(message) => {
+                // A rejected NEIGHBOR probe means the connection to the
+                // rejecting peer has no further use — drop it instead of
+                // letting repair attempts leak connections.
+                let rejected = matches!(message, Message::NeighborReply { accepted: false });
+                let mut actions = std::mem::take(&mut self.actions);
+                self.protocol.handle_message(from, message, &mut actions);
+                self.execute(&mut actions, ctx);
+                self.actions = actions;
+                if rejected && !self.protocol.active_view().contains(&from) {
+                    self.send(from, &Frame::Membership(Message::Disconnect), ctx);
+                    ctx.disconnect(from);
+                }
+            }
+            Frame::Gossip { id, hops, payload } => {
+                let Broadcaster::Flood { seen } = &mut self.broadcaster else {
+                    // Flood traffic in Plumtree mode: a misconfigured peer.
+                    self.stats.mode_mismatched += 1;
+                    return;
+                };
+                if !seen.insert(id) {
+                    self.stats.duplicates += 1;
+                    return;
+                }
+                self.stats.deliveries += 1;
+                let _ = self.delivery_tx.try_send(Delivery { id, hops, payload: payload.clone() });
+                // Eager flood: forward to the whole active view except the
+                // sender (§4.1.ii).
+                let frame = Frame::Gossip { id, hops: hops + 1, payload };
+                for peer in self.protocol.broadcast_targets(Some(from)) {
+                    self.send(peer, &frame, ctx);
+                }
+            }
+            Frame::PlumtreeGossip { id, round, payload } => {
+                self.on_plumtree(from, PlumtreeMessage::Gossip { id, round, payload }, ctx);
+            }
+            Frame::PlumtreeIHave { id, round } => {
+                self.on_plumtree(from, PlumtreeMessage::IHave { id, round }, ctx);
+            }
+            Frame::PlumtreeIHaveBatch { anns } => {
+                let anns = anns.iter().map(|&(id, round)| Announcement { id, round }).collect();
+                self.on_plumtree(from, PlumtreeMessage::IHaveBatch { anns }, ctx);
+            }
+            Frame::PlumtreeGraft { id, round } => {
+                self.on_plumtree(from, PlumtreeMessage::Graft { id, round }, ctx);
+            }
+            Frame::PlumtreePrune => {
+                self.on_plumtree(from, PlumtreeMessage::Prune, ctx);
+            }
+        }
+    }
+
+    /// Broadcasts a payload originated by this node.
+    pub(crate) fn broadcast(&mut self, id: u128, payload: Bytes, ctx: &mut dyn NodeCtx) {
+        match &mut self.broadcaster {
+            Broadcaster::Flood { seen } => {
+                if !seen.insert(id) {
+                    return; // id collision with a recent broadcast: drop
+                }
+                self.stats.broadcasts_sent += 1;
+                self.stats.deliveries += 1;
+                let _ =
+                    self.delivery_tx.try_send(Delivery { id, hops: 0, payload: payload.clone() });
+                let frame = Frame::Gossip { id, hops: 1, payload };
+                for peer in self.protocol.broadcast_targets(None) {
+                    self.send(peer, &frame, ctx);
+                }
+            }
+            Broadcaster::Plumtree { state, .. } => {
+                let mut out = PlumtreeOut::new();
+                state.broadcast(id, payload, &mut out);
+                if !out.deliveries.is_empty() {
+                    self.stats.broadcasts_sent += 1;
+                }
+                self.apply_plumtree(out, ctx);
+            }
+        }
+    }
+
+    /// Fires one Plumtree timer that the runtime armed via
+    /// [`NodeCtx::schedule`].
+    pub(crate) fn on_plumtree_timer(&mut self, timer: PlumtreeTimer, ctx: &mut dyn NodeCtx) {
+        let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster else {
+            return;
+        };
+        let mut out = PlumtreeOut::new();
+        state.on_timer(timer, &mut out);
+        self.apply_plumtree(out, ctx);
+    }
+
+    fn on_plumtree(
+        &mut self,
+        from: SocketAddr,
+        message: PlumtreeMessage<Bytes>,
+        ctx: &mut dyn NodeCtx,
+    ) {
+        let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster else {
+            // Plumtree traffic in flood mode: a misconfigured peer.
+            self.stats.mode_mismatched += 1;
+            return;
+        };
+        if let PlumtreeMessage::Gossip { id, .. } = &message {
+            if state.has_seen(*id) {
+                self.stats.duplicates += 1;
+            }
+        }
+        let mut out = PlumtreeOut::new();
+        state.handle_message(from, message, &mut out);
+        self.apply_plumtree(out, ctx);
+    }
+
+    /// Ships the effects of one Plumtree step: frames out, deliveries up,
+    /// timer requests to the runtime.
+    fn apply_plumtree(&mut self, mut out: PlumtreeOut<SocketAddr, Bytes>, ctx: &mut dyn NodeCtx) {
+        for (to, message) in out.outbox.drain() {
+            let frame = plumtree_frame(message);
+            self.send(to, &frame, ctx);
+        }
+        for delivery in out.deliveries.drain(..) {
+            self.stats.deliveries += 1;
+            let _ = self.delivery_tx.try_send(Delivery {
+                id: delivery.id,
+                hops: delivery.round,
+                payload: delivery.payload,
+            });
+        }
+        if out.timers.is_empty() {
+            return;
+        }
+        let Broadcaster::Plumtree { unit, .. } = &self.broadcaster else { return };
+        let unit = *unit;
+        for request in out.timers.drain(..) {
+            let delay = unit.saturating_mul(request.delay.min(u32::MAX as u64) as u32);
+            ctx.schedule(request.timer, delay);
+        }
+    }
+
+    /// Counts and ships one outgoing frame.
+    fn send(&mut self, to: SocketAddr, frame: &Frame, ctx: &mut dyn NodeCtx) {
+        self.stats.frames_sent += 1;
+        match frame {
+            Frame::Gossip { .. } | Frame::PlumtreeGossip { .. } => {
+                self.stats.payload_frames_sent += 1;
+            }
+            Frame::PlumtreeIHave { .. } => self.stats.ihave_frames_sent += 1,
+            Frame::PlumtreeIHaveBatch { anns } => {
+                self.stats.ihave_batch_frames_sent += 1;
+                self.stats.ihave_batch_anns_sent += anns.len() as u64;
+            }
+            _ => {}
+        }
+        ctx.send_frame(to, frame);
+    }
+
+    fn execute(&mut self, actions: &mut Actions<SocketAddr>, ctx: &mut dyn NodeCtx) {
+        for action in actions.drain() {
+            match action {
+                Action::Send { to, message } => {
+                    // Shuffle replies and neighbor rejections go to peers
+                    // that are NOT neighbors: the paper sends them over
+                    // temporary connections (§4.3). Without the close,
+                    // every shuffle round leaks one connection per node —
+                    // at thousands of nodes that exhausts the fd table in
+                    // minutes. A trailing DISCONNECT tells the peer the
+                    // close is deliberate, not a crash.
+                    let temporary = matches!(
+                        message,
+                        Message::ShuffleReply { .. } | Message::NeighborReply { accepted: false }
+                    ) && !self.protocol.active_view().contains(&to);
+                    let graceful_close = matches!(message, Message::Disconnect);
+                    self.send(to, &Frame::Membership(message), ctx);
+                    if temporary {
+                        self.send(to, &Frame::Membership(Message::Disconnect), ctx);
+                    }
+                    if graceful_close || temporary {
+                        // The frames are queued; the backend flushes them
+                        // before tearing the connection down.
+                        ctx.disconnect(to);
+                    }
+                }
+                Action::NeighborUp { peer } => {
+                    // New active-view links enter the Plumtree eager set;
+                    // connections themselves are opened lazily by sends.
+                    if let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster {
+                        state.on_neighbor_up(peer);
+                    }
+                }
+                Action::NeighborDown { peer } => {
+                    // The peer keeps its connection until DISCONNECT or
+                    // failure, but it leaves the broadcast tree immediately.
+                    if let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster {
+                        state.on_neighbor_down(peer);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Copies the current views and counters into the shared snapshot the
+    /// application handle reads.
+    pub(crate) fn publish(&self) {
+        let mut shared = self.shared.lock();
+        shared.active = self.protocol.active_view().to_vec();
+        shared.passive = self.protocol.passive_view().to_vec();
+        if let Broadcaster::Plumtree { state, .. } = &self.broadcaster {
+            shared.eager = state.eager_peers();
+            shared.lazy = state.lazy_peers();
+        }
+        shared.stats = self.stats;
+    }
+}
+
+/// Plumtree message → wire frame.
+fn plumtree_frame(message: PlumtreeMessage<Bytes>) -> Frame {
+    match message {
+        PlumtreeMessage::Gossip { id, round, payload } => {
+            Frame::PlumtreeGossip { id, round, payload }
+        }
+        PlumtreeMessage::IHave { id, round } => Frame::PlumtreeIHave { id, round },
+        PlumtreeMessage::IHaveBatch { anns } => {
+            Frame::PlumtreeIHaveBatch { anns: anns.iter().map(|a| (a.id, a.round)).collect() }
+        }
+        PlumtreeMessage::Graft { id, round } => Frame::PlumtreeGraft { id, round },
+        PlumtreeMessage::Prune => Frame::PlumtreePrune,
+    }
+}

@@ -1,28 +1,40 @@
-//! The node runtime: an event loop thread driving the sans-io
-//! [`HyParView`] state machine over the TCP [`Transport`], plus the gossip
-//! broadcast layer — the paper's eager flood with duplicate suppression, or
-//! Plumtree's epidemic broadcast tree ([`BroadcastMode`]).
+//! The node runtime handle: the application-facing [`Node`] driving the
+//! sans-io [`HyParView`](hyparview_core::HyParView) state machine plus the
+//! gossip broadcast layer (`NodeCore`) over real TCP.
+//!
+//! Two interchangeable I/O backends execute the same core
+//! ([`TransportBackend`]):
+//!
+//! * [`TransportBackend::Reactor`] (default) — the node registers with a
+//!   shared epoll [`Reactor`](crate::reactor), which multiplexes its event
+//!   loop, timers and every connection onto one thread.
+//!   [`Node::spawn`] is the single-node special case of
+//!   [`Cluster::spawn_node`](crate::Cluster::spawn_node), which drives
+//!   thousands of nodes in one process.
+//! * [`TransportBackend::Threaded`] — the original thread-per-connection
+//!   [`Transport`] plus one event-loop thread per node; kept as the
+//!   differential baseline (the `threaded-transport` cfg feature flips the
+//!   default, mirroring the simulator's `heap-queue`).
 //!
 //! This is the deployable form of the system the paper sketches for its
 //! PlanetLab experiment (§6): real sockets, real connection failures, the
 //! same protocol core as the simulator.
 
-use crate::dedup::RecentSet;
+use crate::core::{NodeCore, NodeCtx, Shared};
+use crate::reactor::{Cluster, ReactorNode};
 use crate::transport::{Transport, TransportConfig, TransportEvent};
-use crate::wire::Frame;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, tick, unbounded, Receiver, Sender};
-use hyparview_core::{Action, Actions, Config, HyParView, Message};
-use hyparview_plumtree::{
-    Announcement, BroadcastMode, PlumtreeConfig, PlumtreeMessage, PlumtreeOut, PlumtreeState,
-    PlumtreeTimer,
-};
+use hyparview_core::Config;
+use hyparview_plumtree::{BroadcastMode, PlumtreeConfig, PlumtreeTimer};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+pub use crate::core::{Delivery, NodeStats};
 
 /// Round-difference threshold of the runtime's default tree optimization
 /// (Plumtree §3.8): an `IHave` announcing a path at least this many rounds
@@ -37,6 +49,39 @@ pub const DEFAULT_OPTIMIZATION_THRESHOLD: u32 = 2;
 /// while keeping the worst-case repair delay small.
 pub const DEFAULT_LAZY_FLUSH_INTERVAL: u64 = 2;
 
+/// Which I/O runtime executes a node's protocol core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportBackend {
+    /// One shared epoll reactor drives listener, connections and timers —
+    /// the scalable default (thousands of nodes per process).
+    Reactor,
+    /// Thread-per-connection [`Transport`] plus an event-loop thread per
+    /// node — the original runtime, kept as the differential baseline.
+    Threaded,
+}
+
+impl Default for TransportBackend {
+    /// [`TransportBackend::Reactor`], unless the `threaded-transport` cfg
+    /// feature flips the workspace back to the legacy backend (the same
+    /// pattern as the simulator's `heap-queue` feature).
+    fn default() -> Self {
+        if cfg!(feature = "threaded-transport") {
+            TransportBackend::Threaded
+        } else {
+            TransportBackend::Reactor
+        }
+    }
+}
+
+impl std::fmt::Display for TransportBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportBackend::Reactor => write!(f, "reactor"),
+            TransportBackend::Threaded => write!(f, "threaded"),
+        }
+    }
+}
+
 /// Runtime configuration for a [`Node`].
 #[derive(Debug, Clone)]
 pub struct NetConfig {
@@ -46,13 +91,17 @@ pub struct NetConfig {
     pub shuffle_interval: Duration,
     /// RNG seed for the protocol instance (`None` = from entropy).
     pub seed: Option<u64>,
-    /// Transport tuning.
+    /// Transport tuning (shared by both backends: `writer_queue` bounds
+    /// the per-peer outbound queue, `connect_timeout` applies to the
+    /// threaded backend's blocking connects).
     pub transport: TransportConfig,
     /// How many recent gossip ids to remember for duplicate suppression
     /// (flood mode) / how many payloads the Plumtree cache keeps.
     pub dedup_capacity: usize,
     /// How broadcast payloads are disseminated.
     pub broadcast_mode: BroadcastMode,
+    /// Which I/O backend runs the node (see [`TransportBackend`]).
+    pub backend: TransportBackend,
     /// Plumtree tuning (timeouts in abstract units, see
     /// [`NetConfig::plumtree_timer_unit`]). The cache capacity is
     /// overridden by `dedup_capacity` so both engines share one knob.
@@ -79,6 +128,7 @@ impl Default for NetConfig {
             transport: TransportConfig::default(),
             dedup_capacity: 8192,
             broadcast_mode: BroadcastMode::Flood,
+            backend: TransportBackend::default(),
             plumtree: PlumtreeConfig::default()
                 .with_optimization_threshold(Some(DEFAULT_OPTIMIZATION_THRESHOLD))
                 .with_lazy_flush_interval(DEFAULT_LAZY_FLUSH_INTERVAL),
@@ -94,6 +144,12 @@ impl NetConfig {
         self
     }
 
+    /// Selects the I/O backend.
+    pub fn with_backend(mut self, backend: TransportBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Sets the Plumtree tuning (timeouts, tree optimization threshold,
     /// lazy-flush interval). The cache capacity is still overridden by
     /// [`NetConfig::dedup_capacity`].
@@ -103,46 +159,15 @@ impl NetConfig {
     }
 }
 
-/// A gossip message delivered to the application.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Delivery {
-    /// Globally unique broadcast id.
-    pub id: u128,
-    /// Hops travelled before reaching this node (0 = local broadcast).
-    pub hops: u32,
-    /// Application payload.
-    pub payload: Bytes,
-}
-
-enum Control {
+pub(crate) enum Control {
     Join(SocketAddr),
     Broadcast { id: u128, payload: Bytes },
     Leave,
     Shutdown,
 }
 
-#[derive(Debug, Default, Clone)]
-struct Shared {
-    active: Vec<SocketAddr>,
-    passive: Vec<SocketAddr>,
-    eager: Vec<SocketAddr>,
-    lazy: Vec<SocketAddr>,
-    stats: NodeStats,
-}
-
-/// Runtime counters of a [`Node`].
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct NodeStats {
-    /// Broadcasts initiated by this node.
-    pub broadcasts_sent: u64,
-    /// Gossip messages delivered (first receipt), own broadcasts included.
-    pub deliveries: u64,
-    /// Redundant gossip receipts suppressed by the dedup set.
-    pub duplicates: u64,
-    /// Broadcast frames dropped because they belong to the *other*
-    /// [`BroadcastMode`] — nonzero means a mode-misconfigured cluster.
-    pub mode_mismatched: u64,
-}
+/// Capacity of the application delivery channel (both backends).
+pub(crate) const DELIVERY_QUEUE: usize = 65_536;
 
 /// A running HyParView node bound to a TCP address.
 ///
@@ -163,64 +188,76 @@ pub struct NodeStats {
 /// ```
 pub struct Node {
     addr: SocketAddr,
-    control: Sender<Control>,
     deliveries: Receiver<Delivery>,
     shared: Arc<Mutex<Shared>>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    inner: Inner,
+}
+
+enum Inner {
+    Threaded { control: Sender<Control>, thread: Option<std::thread::JoinHandle<()>> },
+    Reactor(ReactorNode),
 }
 
 impl Node {
-    /// Binds `addr` (port 0 for ephemeral) and starts the event loop.
+    /// Binds `addr` (port 0 for ephemeral) and starts the node on the
+    /// backend selected by `config.backend`. Under the reactor backend
+    /// this spawns a private single-node [`Cluster`] — to share one
+    /// reactor across many nodes, use
+    /// [`Cluster::spawn_node`](crate::Cluster::spawn_node) instead.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from binding the listener.
     pub fn spawn(addr: SocketAddr, config: NetConfig) -> std::io::Result<Node> {
+        match config.backend {
+            TransportBackend::Threaded => Node::spawn_threaded(addr, config),
+            TransportBackend::Reactor => {
+                let cluster = Cluster::new()?;
+                cluster.spawn_node(addr, config)
+            }
+        }
+    }
+
+    pub(crate) fn from_reactor(
+        addr: SocketAddr,
+        deliveries: Receiver<Delivery>,
+        shared: Arc<Mutex<Shared>>,
+        handle: ReactorNode,
+    ) -> Node {
+        Node { addr, deliveries, shared, inner: Inner::Reactor(handle) }
+    }
+
+    fn spawn_threaded(addr: SocketAddr, config: NetConfig) -> std::io::Result<Node> {
         let (transport, transport_rx) = Transport::bind(addr, config.transport.clone())?;
         let local = transport.local_addr();
-        let seed = config.seed.unwrap_or_else(rand::random);
-        let protocol = HyParView::new(local, config.protocol.clone(), seed)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
 
         let (control_tx, control_rx) = unbounded();
-        let (delivery_tx, delivery_rx) = bounded(65_536);
+        let (delivery_tx, delivery_rx) = bounded(DELIVERY_QUEUE);
         let shared = Arc::new(Mutex::new(Shared::default()));
+        let core = NodeCore::new(local, &config, Arc::clone(&shared), delivery_tx)?;
 
-        let loop_shared = Arc::clone(&shared);
         let shuffle_interval = config.shuffle_interval;
-        let broadcaster = match config.broadcast_mode {
-            BroadcastMode::Flood => {
-                Broadcaster::Flood { seen: RecentSet::new(config.dedup_capacity) }
-            }
-            BroadcastMode::Plumtree => Broadcaster::Plumtree {
-                state: PlumtreeState::new(
-                    local,
-                    config.plumtree.clone().with_cache_capacity(config.dedup_capacity),
-                ),
-                timers: BinaryHeap::new(),
-                unit: config.plumtree_timer_unit,
-            },
-        };
+        let broadcast_mode = config.broadcast_mode;
+        let timer_unit = config.plumtree_timer_unit;
         let thread =
             std::thread::Builder::new().name(format!("hpv-node-{local}")).spawn(move || {
                 event_loop(EventLoop {
                     transport,
                     transport_rx,
                     control_rx,
-                    delivery_tx,
-                    protocol,
-                    broadcaster,
-                    shared: loop_shared,
+                    core,
+                    timers: BinaryHeap::new(),
                     shuffle_interval,
+                    broadcast_mode,
+                    timer_unit,
                 })
             })?;
 
         Ok(Node {
             addr: local,
-            control: control_tx,
             deliveries: delivery_rx,
             shared,
-            thread: Some(thread),
+            inner: Inner::Threaded { control: control_tx, thread: Some(thread) },
         })
     }
 
@@ -231,13 +268,23 @@ impl Node {
 
     /// Joins the overlay through `contact`.
     pub fn join(&self, contact: SocketAddr) {
-        let _ = self.control.send(Control::Join(contact));
+        match &self.inner {
+            Inner::Threaded { control, .. } => {
+                let _ = control.send(Control::Join(contact));
+            }
+            Inner::Reactor(handle) => handle.join(contact),
+        }
     }
 
     /// Broadcasts `payload` to the overlay, returning the broadcast id.
     pub fn broadcast(&self, payload: Vec<u8>) -> u128 {
         let id = rand::random();
-        let _ = self.control.send(Control::Broadcast { id, payload: Bytes::from(payload) });
+        match &self.inner {
+            Inner::Threaded { control, .. } => {
+                let _ = control.send(Control::Broadcast { id, payload: Bytes::from(payload) });
+            }
+            Inner::Reactor(handle) => handle.broadcast(id, Bytes::from(payload)),
+        }
         id
     }
 
@@ -290,18 +337,31 @@ impl Node {
     /// Gracefully leaves the overlay (sends `DISCONNECT` to all active
     /// peers) without shutting down.
     pub fn leave(&self) {
-        let _ = self.control.send(Control::Leave);
+        match &self.inner {
+            Inner::Threaded { control, .. } => {
+                let _ = control.send(Control::Leave);
+            }
+            Inner::Reactor(handle) => handle.leave(),
+        }
     }
 
-    /// Shuts the node down and joins the event loop thread.
+    /// Shuts the node down: closes its listener and every connection. Under
+    /// the threaded backend this also joins the event-loop thread; under
+    /// the reactor backend the shared reactor thread keeps running for its
+    /// other nodes.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
-        let _ = self.control.send(Control::Shutdown);
-        if let Some(thread) = self.thread.take() {
-            let _ = thread.join();
+        match &mut self.inner {
+            Inner::Threaded { control, thread } => {
+                let _ = control.send(Control::Shutdown);
+                if let Some(thread) = thread.take() {
+                    let _ = thread.join();
+                }
+            }
+            Inner::Reactor(handle) => handle.shutdown(),
         }
     }
 }
@@ -321,269 +381,88 @@ impl std::fmt::Debug for Node {
     }
 }
 
-/// The broadcast engine the event loop runs.
-#[allow(clippy::large_enum_variant)] // exactly one per node; size is irrelevant
-enum Broadcaster {
-    /// The paper's eager flood (§4.1.ii) with bounded duplicate suppression.
-    Flood { seen: RecentSet<u128> },
-    /// Plumtree: eager/lazy dissemination with a wall-clock timer wheel for
-    /// the missing-message and lazy-flush timers.
-    Plumtree {
-        state: PlumtreeState<SocketAddr, Bytes>,
-        /// Min-heap of `(deadline, timer)` deadlines.
-        timers: BinaryHeap<Reverse<(Instant, PlumtreeTimer)>>,
-        /// Wall-clock duration of one abstract timer unit.
-        unit: Duration,
-    },
+/// The [`NodeCtx`] of the threaded backend: frames go straight to the
+/// blocking [`Transport`], timers onto the event loop's local heap.
+struct ThreadedCtx<'a> {
+    transport: &'a Transport,
+    timers: &'a mut BinaryHeap<Reverse<(Instant, PlumtreeTimer)>>,
+}
+
+impl NodeCtx for ThreadedCtx<'_> {
+    fn send_frame(&mut self, to: SocketAddr, frame: &crate::wire::Frame) {
+        self.transport.send(to, frame);
+    }
+
+    fn disconnect(&mut self, peer: SocketAddr) {
+        self.transport.disconnect(peer);
+    }
+
+    fn schedule(&mut self, timer: PlumtreeTimer, delay: Duration) {
+        self.timers.push(Reverse((Instant::now() + delay, timer)));
+    }
 }
 
 struct EventLoop {
     transport: Transport,
     transport_rx: Receiver<TransportEvent>,
     control_rx: Receiver<Control>,
-    delivery_tx: Sender<Delivery>,
-    protocol: HyParView<SocketAddr>,
-    broadcaster: Broadcaster,
-    shared: Arc<Mutex<Shared>>,
+    core: NodeCore,
+    /// Min-heap of `(deadline, timer)` Plumtree deadlines.
+    timers: BinaryHeap<Reverse<(Instant, PlumtreeTimer)>>,
     shuffle_interval: Duration,
+    broadcast_mode: BroadcastMode,
+    timer_unit: Duration,
 }
 
-fn event_loop(mut state: EventLoop) {
-    let ticker = tick(state.shuffle_interval);
+fn event_loop(state: EventLoop) {
+    let EventLoop {
+        transport,
+        transport_rx,
+        control_rx,
+        mut core,
+        mut timers,
+        shuffle_interval,
+        broadcast_mode,
+        timer_unit,
+    } = state;
+    let ticker = tick(shuffle_interval);
     // The timer wheel only needs resolution in Plumtree mode; in flood mode
     // the ticker idles at a long period.
-    let timer_tick = tick(match &state.broadcaster {
-        Broadcaster::Flood { .. } => Duration::from_secs(3600),
-        Broadcaster::Plumtree { unit, .. } => *unit,
+    let timer_tick = tick(match broadcast_mode {
+        BroadcastMode::Flood => Duration::from_secs(3600),
+        BroadcastMode::Plumtree => timer_unit,
     });
-    let mut actions = Actions::new();
     loop {
+        let mut ctx = ThreadedCtx { transport: &transport, timers: &mut timers };
         crossbeam::channel::select! {
-            recv(state.control_rx) -> msg => match msg {
-                Ok(Control::Join(contact)) => {
-                    state.protocol.join(contact, &mut actions);
-                }
-                Ok(Control::Broadcast { id, payload }) => {
-                    state.broadcast(id, payload);
-                }
-                Ok(Control::Leave) => {
-                    state.protocol.leave(&mut actions);
-                }
+            recv(control_rx) -> msg => match msg {
+                Ok(Control::Join(contact)) => core.join(contact, &mut ctx),
+                Ok(Control::Broadcast { id, payload }) => core.broadcast(id, payload, &mut ctx),
+                Ok(Control::Leave) => core.leave(&mut ctx),
                 Ok(Control::Shutdown) | Err(_) => {
-                    state.transport.shutdown();
+                    transport.shutdown();
                     return;
                 }
             },
-            recv(state.transport_rx) -> event => match event {
-                Ok(TransportEvent::Frame { from, frame }) => state.on_frame(from, frame, &mut actions),
-                Ok(TransportEvent::PeerFailed { peer }) => {
-                    state.protocol.on_peer_failed(peer, &mut actions);
-                }
+            recv(transport_rx) -> event => match event {
+                Ok(TransportEvent::Frame { from, frame }) => core.on_frame(from, frame, &mut ctx),
+                Ok(TransportEvent::PeerFailed { peer }) => core.on_peer_failed(peer, &mut ctx),
                 Err(_) => return,
             },
-            recv(ticker) -> _ => {
-                state.protocol.shuffle_tick(&mut actions);
-            },
+            recv(ticker) -> _ => core.on_shuffle_tick(&mut ctx),
             recv(timer_tick) -> _ => {
-                state.fire_due_timers();
+                // Fire every Plumtree timer whose deadline passed.
+                loop {
+                    match ctx.timers.peek() {
+                        Some(Reverse((deadline, _))) if *deadline <= Instant::now() => {
+                            let Some(Reverse((_, timer))) = ctx.timers.pop() else { break };
+                            core.on_plumtree_timer(timer, &mut ctx);
+                        }
+                        _ => break,
+                    }
+                }
             },
         }
-        state.execute(&mut actions);
-        state.publish();
-    }
-}
-
-/// Plumtree message → wire frame.
-fn plumtree_frame(message: PlumtreeMessage<Bytes>) -> Frame {
-    match message {
-        PlumtreeMessage::Gossip { id, round, payload } => {
-            Frame::PlumtreeGossip { id, round, payload }
-        }
-        PlumtreeMessage::IHave { id, round } => Frame::PlumtreeIHave { id, round },
-        PlumtreeMessage::IHaveBatch { anns } => {
-            Frame::PlumtreeIHaveBatch { anns: anns.iter().map(|a| (a.id, a.round)).collect() }
-        }
-        PlumtreeMessage::Graft { id, round } => Frame::PlumtreeGraft { id, round },
-        PlumtreeMessage::Prune => Frame::PlumtreePrune,
-    }
-}
-
-impl EventLoop {
-    fn on_frame(&mut self, from: SocketAddr, frame: Frame, actions: &mut Actions<SocketAddr>) {
-        match frame {
-            Frame::Hello { .. } => {} // handled by the transport
-            Frame::Membership(message) => {
-                self.protocol.handle_message(from, message, actions);
-            }
-            Frame::Gossip { id, hops, payload } => {
-                let Broadcaster::Flood { seen } = &mut self.broadcaster else {
-                    // Flood traffic in Plumtree mode: a misconfigured peer.
-                    self.shared.lock().stats.mode_mismatched += 1;
-                    return;
-                };
-                if !seen.insert(id) {
-                    self.shared.lock().stats.duplicates += 1;
-                    return;
-                }
-                self.shared.lock().stats.deliveries += 1;
-                let _ = self.delivery_tx.try_send(Delivery { id, hops, payload: payload.clone() });
-                // Eager flood: forward to the whole active view except the
-                // sender (§4.1.ii).
-                let frame = Frame::Gossip { id, hops: hops + 1, payload };
-                for peer in self.protocol.broadcast_targets(Some(from)) {
-                    self.transport.send(peer, &frame);
-                }
-            }
-            Frame::PlumtreeGossip { id, round, payload } => {
-                self.on_plumtree(from, PlumtreeMessage::Gossip { id, round, payload });
-            }
-            Frame::PlumtreeIHave { id, round } => {
-                self.on_plumtree(from, PlumtreeMessage::IHave { id, round });
-            }
-            Frame::PlumtreeIHaveBatch { anns } => {
-                let anns = anns.iter().map(|&(id, round)| Announcement { id, round }).collect();
-                self.on_plumtree(from, PlumtreeMessage::IHaveBatch { anns });
-            }
-            Frame::PlumtreeGraft { id, round } => {
-                self.on_plumtree(from, PlumtreeMessage::Graft { id, round });
-            }
-            Frame::PlumtreePrune => {
-                self.on_plumtree(from, PlumtreeMessage::Prune);
-            }
-        }
-    }
-
-    fn on_plumtree(&mut self, from: SocketAddr, message: PlumtreeMessage<Bytes>) {
-        let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster else {
-            // Plumtree traffic in flood mode: a misconfigured peer.
-            self.shared.lock().stats.mode_mismatched += 1;
-            return;
-        };
-        if let PlumtreeMessage::Gossip { id, .. } = &message {
-            if state.has_seen(*id) {
-                self.shared.lock().stats.duplicates += 1;
-            }
-        }
-        let mut out = PlumtreeOut::new();
-        state.handle_message(from, message, &mut out);
-        self.apply_plumtree(out);
-    }
-
-    fn broadcast(&mut self, id: u128, payload: Bytes) {
-        match &mut self.broadcaster {
-            Broadcaster::Flood { seen } => {
-                if !seen.insert(id) {
-                    return; // id collision with a recent broadcast: drop
-                }
-                {
-                    let mut shared = self.shared.lock();
-                    shared.stats.broadcasts_sent += 1;
-                    shared.stats.deliveries += 1;
-                }
-                let _ =
-                    self.delivery_tx.try_send(Delivery { id, hops: 0, payload: payload.clone() });
-                let frame = Frame::Gossip { id, hops: 1, payload };
-                for peer in self.protocol.broadcast_targets(None) {
-                    self.transport.send(peer, &frame);
-                }
-            }
-            Broadcaster::Plumtree { state, .. } => {
-                let mut out = PlumtreeOut::new();
-                state.broadcast(id, payload, &mut out);
-                if !out.deliveries.is_empty() {
-                    self.shared.lock().stats.broadcasts_sent += 1;
-                }
-                self.apply_plumtree(out);
-            }
-        }
-    }
-
-    /// Ships the effects of one Plumtree step: frames out, deliveries up,
-    /// timer requests onto the wheel.
-    fn apply_plumtree(&mut self, mut out: PlumtreeOut<SocketAddr, Bytes>) {
-        for (to, message) in out.outbox.drain() {
-            self.transport.send(to, &plumtree_frame(message));
-        }
-        for delivery in out.deliveries.drain(..) {
-            self.shared.lock().stats.deliveries += 1;
-            let _ = self.delivery_tx.try_send(Delivery {
-                id: delivery.id,
-                hops: delivery.round,
-                payload: delivery.payload,
-            });
-        }
-        if out.timers.is_empty() {
-            return;
-        }
-        let Broadcaster::Plumtree { timers, unit, .. } = &mut self.broadcaster else {
-            return;
-        };
-        let now = Instant::now();
-        for request in out.timers.drain(..) {
-            let delay = unit.saturating_mul(request.delay.min(u32::MAX as u64) as u32);
-            timers.push(Reverse((now + delay, request.timer)));
-        }
-    }
-
-    /// Fires every Plumtree timer whose deadline passed.
-    fn fire_due_timers(&mut self) {
-        loop {
-            let timer = {
-                let Broadcaster::Plumtree { timers, .. } = &mut self.broadcaster else {
-                    return;
-                };
-                match timers.peek() {
-                    Some(Reverse((deadline, _))) if *deadline <= Instant::now() => {
-                        let Some(Reverse((_, timer))) = timers.pop() else { return };
-                        timer
-                    }
-                    _ => return,
-                }
-            };
-            let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster else { return };
-            let mut out = PlumtreeOut::new();
-            state.on_timer(timer, &mut out);
-            self.apply_plumtree(out);
-        }
-    }
-
-    fn execute(&mut self, actions: &mut Actions<SocketAddr>) {
-        for action in actions.drain() {
-            match action {
-                Action::Send { to, message } => {
-                    let graceful_close = matches!(message, Message::Disconnect);
-                    self.transport.send(to, &Frame::Membership(message));
-                    if graceful_close {
-                        // The DISCONNECT is queued; the writer flushes it
-                        // before the channel closes.
-                        self.transport.disconnect(to);
-                    }
-                }
-                Action::NeighborUp { peer } => {
-                    // New active-view links enter the Plumtree eager set;
-                    // connections themselves are opened lazily by sends.
-                    if let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster {
-                        state.on_neighbor_up(peer);
-                    }
-                }
-                Action::NeighborDown { peer } => {
-                    // The peer keeps its connection until DISCONNECT or
-                    // failure, but it leaves the broadcast tree immediately.
-                    if let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster {
-                        state.on_neighbor_down(peer);
-                    }
-                }
-            }
-        }
-    }
-
-    fn publish(&self) {
-        let mut shared = self.shared.lock();
-        shared.active = self.protocol.active_view().to_vec();
-        shared.passive = self.protocol.passive_view().to_vec();
-        if let Broadcaster::Plumtree { state, .. } = &self.broadcaster {
-            shared.eager = state.eager_peers();
-            shared.lazy = state.lazy_peers();
-        }
+        core.publish();
     }
 }

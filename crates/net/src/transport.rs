@@ -18,6 +18,7 @@
 
 use crate::wire::{encode, Frame, FrameReader};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use hyparview_core::Message;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -88,23 +89,16 @@ impl Transport {
         let (events_tx, events_rx) = unbounded();
         let shutdown = Arc::new(AtomicBool::new(false));
 
+        let writers: Writers = Arc::new(Mutex::new(HashMap::new()));
         let accept_tx = events_tx.clone();
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_writers = Arc::clone(&writers);
         std::thread::Builder::new()
             .name(format!("hpv-accept-{local}"))
-            .spawn(move || accept_loop(listener, accept_tx, accept_shutdown))
+            .spawn(move || accept_loop(listener, accept_tx, accept_shutdown, accept_writers))
             .expect("failed to spawn accept thread");
 
-        Ok((
-            Transport {
-                local,
-                writers: Arc::new(Mutex::new(HashMap::new())),
-                events_tx,
-                config,
-                shutdown,
-            },
-            events_rx,
-        ))
+        Ok((Transport { local, writers, events_tx, config, shutdown }, events_rx))
     }
 
     /// The actual bound address (the node's identity).
@@ -204,30 +198,54 @@ fn writer_loop(
     Ok(())
 }
 
-fn accept_loop(listener: TcpListener, events: Sender<TransportEvent>, shutdown: Arc<AtomicBool>) {
+/// Shortest / longest accept-poll sleep. The nonblocking listener is polled
+/// with exponential backoff rather than a fixed 10 ms spin: an idle node
+/// sleeps up to [`ACCEPT_BACKOFF_MAX`] between checks, while a successful
+/// accept resets the backoff so connection bursts are drained promptly.
+/// (The reactor backend has no such loop at all — its listener wakes on
+/// epoll readiness.)
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(200);
+
+fn accept_loop(
+    listener: TcpListener,
+    events: Sender<TransportEvent>,
+    shutdown: Arc<AtomicBool>,
+    writers: Writers,
+) {
+    let mut backoff = ACCEPT_BACKOFF_MIN;
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                backoff = ACCEPT_BACKOFF_MIN;
                 let events = events.clone();
                 let shutdown = Arc::clone(&shutdown);
+                let writers = Arc::clone(&writers);
                 std::thread::Builder::new()
                     .name("hpv-reader".to_owned())
-                    .spawn(move || reader_loop(stream, events, shutdown))
+                    .spawn(move || reader_loop(stream, events, shutdown, writers))
                     .expect("failed to spawn reader thread");
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
             }
             Err(_) => break,
         }
     }
 }
 
-fn reader_loop(mut stream: TcpStream, events: Sender<TransportEvent>, shutdown: Arc<AtomicBool>) {
+fn reader_loop(
+    mut stream: TcpStream,
+    events: Sender<TransportEvent>,
+    shutdown: Arc<AtomicBool>,
+    writers: Writers,
+) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let mut reader = FrameReader::new();
     let mut identity: Option<SocketAddr> = None;
+    let mut goodbye = false;
     let mut buf = [0u8; 16 * 1024];
     loop {
         if shutdown.load(Ordering::SeqCst) {
@@ -243,16 +261,21 @@ fn reader_loop(mut stream: TcpStream, events: Sender<TransportEvent>, shutdown: 
                         Ok(Some(frame)) => {
                             let Some(from) = identity else {
                                 // Protocol violation: data before Hello.
-                                report_failure(&events, identity);
+                                report_failure(&events, identity, &writers);
                                 return;
                             };
+                            // A DISCONNECT announces a graceful close: the
+                            // EOF that follows is cleanup, not a crash.
+                            if matches!(frame, Frame::Membership(Message::Disconnect)) {
+                                goodbye = true;
+                            }
                             if events.send(TransportEvent::Frame { from, frame }).is_err() {
                                 return;
                             }
                         }
                         Ok(None) => break,
                         Err(_) => {
-                            report_failure(&events, identity);
+                            report_failure(&events, identity, &writers);
                             return;
                         }
                     }
@@ -267,11 +290,28 @@ fn reader_loop(mut stream: TcpStream, events: Sender<TransportEvent>, shutdown: 
             Err(_) => break,
         }
     }
-    report_failure(&events, identity);
+    if goodbye {
+        // Evict the stale outbound writer silently — the peer is not
+        // failed, it closed on purpose.
+        if let Some(peer) = identity {
+            writers.lock().remove(&peer);
+        }
+        return;
+    }
+    report_failure(&events, identity, &writers);
 }
 
-fn report_failure(events: &Sender<TransportEvent>, identity: Option<SocketAddr>) {
+/// Reports an inbound-side failure and evicts the peer's *outbound* writer
+/// entry in the same step. Without the eviction, a crashed peer's writer
+/// (queue sender + connection) would linger in the `writers` map until the
+/// next send to it happened to fail — a slow leak under churn.
+fn report_failure(
+    events: &Sender<TransportEvent>,
+    identity: Option<SocketAddr>,
+    writers: &Writers,
+) {
     if let Some(peer) = identity {
+        writers.lock().remove(&peer);
         let _ = events.send(TransportEvent::PeerFailed { peer });
     }
 }

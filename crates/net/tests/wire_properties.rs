@@ -77,8 +77,74 @@ fn hello_round_trip_both_families() {
     }
 }
 
+/// Deterministic worst-case splits: every cut point of a frame — including
+/// each position *inside* the 4-byte length prefix and the tag byte — must
+/// leave the reader waiting, and the remainder must complete the identical
+/// frame with nothing left buffered.
+#[test]
+fn mid_header_splits_resume_to_the_same_frame() {
+    let frames = [
+        Frame::Hello { sender: "127.0.0.1:4000".parse().unwrap() },
+        Frame::Membership(Message::Join),
+        Frame::Gossip { id: 42, hops: 7, payload: Bytes::from_static(b"split me") },
+        Frame::PlumtreeIHaveBatch { anns: vec![(1, 2), (3, 4)] },
+    ];
+    for frame in &frames {
+        let bytes = encode(frame);
+        for split in 1..bytes.len() {
+            let mut reader = FrameReader::new();
+            reader.extend(&bytes[..split]);
+            assert_eq!(
+                reader.next_frame().unwrap(),
+                None,
+                "partial bytes (cut at {split}) must not yield a frame"
+            );
+            reader.extend(&bytes[split..]);
+            assert_eq!(
+                reader.next_frame().unwrap().as_ref(),
+                Some(frame),
+                "resumed decode differs (cut at {split})"
+            );
+            assert_eq!(reader.buffered(), 0);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Dribbling a frame stream into the reader in fixed 1..k byte slices
+    /// yields exactly the frames the one-shot `decode` path produces for
+    /// the same bytes — fragmentation can reorder nothing, lose nothing,
+    /// invent nothing.
+    #[test]
+    fn fragmented_decode_matches_one_shot(
+        frames in proptest::collection::vec(arb_frame(), 1..8),
+        k in 1usize..16,
+    ) {
+        let one_shot: Vec<Frame> = frames
+            .iter()
+            .map(|f| {
+                let mut encoded = encode(f);
+                let _ = encoded.get_u32(); // strip the length prefix
+                decode(encoded).unwrap()
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode(f));
+        }
+        let mut reader = FrameReader::new();
+        let mut dribbled = Vec::new();
+        for chunk in stream.chunks(k) {
+            reader.extend(chunk);
+            while let Some(frame) = reader.next_frame().unwrap() {
+                dribbled.push(frame);
+            }
+        }
+        prop_assert_eq!(dribbled, one_shot);
+        prop_assert_eq!(reader.buffered(), 0);
+    }
 
     /// encode → decode is the identity for every frame.
     #[test]

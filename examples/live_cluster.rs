@@ -1,12 +1,13 @@
-//! Live cluster: run 12 real HyParView nodes over TCP on localhost,
-//! broadcast through the overlay, crash a few nodes and watch the views
-//! repair — the same protocol core as the simulator, on real sockets.
+//! Live cluster: run 12 real HyParView nodes over TCP on localhost — all
+//! multiplexed onto ONE epoll reactor thread (`Cluster`) — broadcast
+//! through the overlay, crash a few nodes and watch the views repair. The
+//! same protocol core as the simulator, on real sockets.
 //!
 //! ```text
 //! cargo run --release --example live_cluster
 //! ```
 
-use hyparview_net::{NetConfig, Node};
+use hyparview_net::{Cluster, NetConfig, Node};
 use std::time::Duration;
 
 const N: usize = 12;
@@ -14,12 +15,14 @@ const N: usize = 12;
 fn main() -> std::io::Result<()> {
     let config = NetConfig { shuffle_interval: Duration::from_millis(200), ..NetConfig::default() };
 
-    // Spawn the cluster; everyone joins through the first node.
+    // One reactor carries every node's listener, connections and timers;
+    // spawn the cluster, everyone joining through the first node.
+    let cluster = Cluster::new()?;
     let mut nodes: Vec<Node> = Vec::new();
     for i in 0..N {
         let mut cfg = config.clone();
         cfg.seed = Some(1000 + i as u64);
-        let node = Node::spawn("127.0.0.1:0".parse().unwrap(), cfg)?;
+        let node = cluster.spawn_node("127.0.0.1:0".parse().unwrap(), cfg)?;
         if let Some(contact) = nodes.first() {
             node.join(contact.addr());
         }

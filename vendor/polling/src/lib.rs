@@ -1,0 +1,542 @@
+//! Offline stand-in for the `polling` crate: a mio-style readiness poller
+//! wrapping Linux `epoll(7)`, plus the two small syscall helpers a
+//! nonblocking TCP runtime needs (`connect_tcp`, `raise_nofile_limit`).
+//!
+//! The API mirrors the upstream crate's shape — [`Poller::add`] /
+//! [`Poller::modify`] / [`Poller::delete`] registrations keyed by `usize`,
+//! [`Poller::wait`] filling an [`Events`] buffer, [`Poller::notify`] for
+//! cross-thread wakeups — so swapping in the real crate is the usual
+//! one-line edit of the workspace dependency table. Differences from
+//! upstream, in the spirit of the other shims:
+//!
+//! * level-triggered only (upstream defaults to oneshot), which is what
+//!   the `hyparview-net` reactor wants anyway;
+//! * Linux only: the reproduction's build and CI environments are Linux,
+//!   and the paper's evaluation targets commodity Linux clusters;
+//! * the wakeup channel is a nonblocking pipe registered under a reserved
+//!   key, drained inside [`Poller::wait`] and never surfaced to callers.
+//!
+//! This is the only crate in the workspace that needs `unsafe` (raw
+//! syscalls through the platform libc); everything above it keeps
+//! `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+
+#[cfg(not(target_os = "linux"))]
+compile_error!(
+    "the vendored `polling` shim wraps Linux epoll; build on Linux or swap \
+     in the real `polling` crate via [workspace.dependencies]"
+);
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::os::raw::{c_int, c_void};
+use std::os::unix::io::{FromRawFd, RawFd};
+use std::time::Duration;
+
+/// The key [`Poller`] reserves for its internal wakeup pipe. Registrations
+/// under this key are rejected.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const O_NONBLOCK: c_int = 0o4000;
+const O_CLOEXEC: c_int = 0o2000000;
+
+const AF_INET: c_int = 2;
+const AF_INET6: c_int = 10;
+const SOCK_STREAM: c_int = 1;
+const SOCK_NONBLOCK: c_int = O_NONBLOCK;
+const SOCK_CLOEXEC: c_int = O_CLOEXEC;
+const EINPROGRESS: i32 = 115;
+const EINTR: i32 = 4;
+
+const RLIMIT_NOFILE: c_int = 7;
+
+/// `struct epoll_event`. Packed on x86 so the layout matches the kernel
+/// ABI (the kernel declares it `__attribute__((packed))` there).
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+#[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    port: u16,
+    addr: [u8; 4],
+    zero: [u8; 8],
+}
+
+#[repr(C)]
+struct SockAddrIn6 {
+    family: u16,
+    port: u16,
+    flowinfo: u32,
+    addr: [u8; 16],
+    scope_id: u32,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn connect(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+    fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// One readiness notification: the registration `key` plus the directions
+/// that are ready. Error and hangup conditions surface as both readable
+/// and writable, so whichever direction the connection state machine tries
+/// next observes the failure from the socket itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the file descriptor was registered under.
+    pub key: usize,
+    /// Reading would not block (data, EOF, error, or peer hangup).
+    pub readable: bool,
+    /// Writing would not block (or the connection failed).
+    pub writable: bool,
+}
+
+/// Reusable buffer of [`Event`]s filled by [`Poller::wait`].
+#[derive(Debug)]
+pub struct Events {
+    ready: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// Creates a buffer receiving at most `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { ready: Vec::with_capacity(capacity), capacity: capacity.max(1) }
+    }
+
+    /// Iterates over the events of the last wait.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.ready.iter().copied()
+    }
+
+    /// Number of events delivered by the last wait.
+    pub fn len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// `true` when the last wait delivered nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ready.is_empty()
+    }
+
+    /// Clears the buffer (done automatically by [`Poller::wait`]).
+    pub fn clear(&mut self) {
+        self.ready.clear();
+    }
+}
+
+impl Default for Events {
+    fn default() -> Events {
+        Events::with_capacity(1024)
+    }
+}
+
+/// An epoll instance plus a self-pipe for cross-thread wakeups.
+///
+/// All methods take `&self`: the kernel serializes epoll operations, so a
+/// `Poller` can be shared across threads (`Arc<Poller>`) with `wait` on
+/// one thread and `notify`/registration calls on others.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+    wake_read: RawFd,
+    wake_write: RawFd,
+}
+
+// SAFETY: every method issues thread-safe syscalls on owned fds.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// Creates the epoll instance and its wakeup pipe.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error when fd allocation fails (e.g. `EMFILE`).
+    pub fn new() -> io::Result<Poller> {
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        let mut fds = [0 as c_int; 2];
+        if let Err(e) = cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) }) {
+            unsafe { close(epfd) };
+            return Err(e);
+        }
+        let poller = Poller { epfd, wake_read: fds[0], wake_write: fds[1] };
+        poller.ctl(EPOLL_CTL_ADD, poller.wake_read, EPOLLIN, NOTIFY_KEY as u64)?;
+        Ok(poller)
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        let mut event = EpollEvent { events, data };
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut event) }).map(|_| ())
+    }
+
+    fn interest(readable: bool, writable: bool) -> u32 {
+        // EPOLLRDHUP makes a half-closed peer readable (read returns 0)
+        // instead of invisible until the next write.
+        let mut events = EPOLLRDHUP;
+        if readable {
+            events |= EPOLLIN;
+        }
+        if writable {
+            events |= EPOLLOUT;
+        }
+        events
+    }
+
+    /// Registers `fd` under `key` with the given interest.
+    ///
+    /// The fd stays owned by the caller and must be [`Poller::delete`]d
+    /// before it is closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error (`EEXIST` for double registration, …), or
+    /// `InvalidInput` for the reserved key.
+    pub fn add(&self, fd: RawFd, key: usize, readable: bool, writable: bool) -> io::Result<()> {
+        if key == NOTIFY_KEY {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "key is reserved"));
+        }
+        self.ctl(EPOLL_CTL_ADD, fd, Self::interest(readable, writable), key as u64)
+    }
+
+    /// Replaces the interest set of a registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error (`ENOENT` when `fd` was never added).
+    pub fn modify(&self, fd: RawFd, key: usize, readable: bool, writable: bool) -> io::Result<()> {
+        if key == NOTIFY_KEY {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "key is reserved"));
+        }
+        self.ctl(EPOLL_CTL_MOD, fd, Self::interest(readable, writable), key as u64)
+    }
+
+    /// Removes a registration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error (`ENOENT` when `fd` was never added).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks until at least one registered fd is ready, the timeout
+    /// elapses, or [`Poller::notify`] is called; fills `events` with the
+    /// ready set. A `None` timeout blocks indefinitely. Returns the number
+    /// of events delivered (0 on timeout or bare wakeup).
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error from `epoll_wait` (never `EINTR`, which is
+    /// retried internally).
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            // Round up so a 100µs timeout polls at 1ms instead of spinning
+            // at 0ms.
+            Some(t) => {
+                t.as_millis().min(i32::MAX as u128) as c_int
+                    + c_int::from(t.subsec_nanos() % 1_000_000 != 0)
+            }
+        };
+        let mut buf = vec![EpollEvent { events: 0, data: 0 }; events.capacity];
+        let n = loop {
+            let ret =
+                unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms) };
+            if ret >= 0 {
+                break ret as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.raw_os_error() != Some(EINTR) {
+                return Err(err);
+            }
+        };
+        for raw in &buf[..n] {
+            let (flags, data) = (raw.events, raw.data);
+            if data == NOTIFY_KEY as u64 {
+                // Drain the wakeup pipe; level-triggered, so leftovers
+                // would otherwise wake every subsequent wait.
+                let mut sink = [0u8; 64];
+                while unsafe { read(self.wake_read, sink.as_mut_ptr().cast(), sink.len()) } > 0 {}
+                continue;
+            }
+            let failed = flags & (EPOLLERR | EPOLLHUP) != 0;
+            events.ready.push(Event {
+                key: data as usize,
+                readable: failed || flags & (EPOLLIN | EPOLLRDHUP) != 0,
+                writable: failed || flags & EPOLLOUT != 0,
+            });
+        }
+        Ok(events.ready.len())
+    }
+
+    /// Wakes a concurrent (or the next) [`Poller::wait`] from any thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error from writing the pipe; a full pipe is *not* an
+    /// error (the wakeup is already pending).
+    pub fn notify(&self) -> io::Result<()> {
+        let byte = 1u8;
+        let ret = unsafe { write(self.wake_write, (&byte as *const u8).cast(), 1) };
+        if ret >= 0 {
+            return Ok(());
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::WouldBlock {
+            Ok(()) // pipe full: a wakeup is already queued
+        } else {
+            Err(err)
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.wake_read);
+            close(self.wake_write);
+            close(self.epfd);
+        }
+    }
+}
+
+/// Starts a nonblocking TCP connect to `addr` and returns the socket
+/// immediately — the connection is usually still in flight. Register the
+/// stream for *writability*; once writable, `TcpStream::take_error`
+/// distinguishes success (`None`) from failure (`Some(e)`).
+///
+/// # Errors
+///
+/// Returns immediate connect failures (no route, `ECONNREFUSED` on
+/// loopback, fd exhaustion). `EINPROGRESS` is success by design.
+pub fn connect_tcp(addr: SocketAddr) -> io::Result<TcpStream> {
+    let family = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
+    let fd = cvt(unsafe { socket(family, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    let ret = match addr {
+        SocketAddr::V4(v4) => {
+            let raw = SockAddrIn {
+                family: AF_INET as u16,
+                port: v4.port().to_be(),
+                addr: v4.ip().octets(),
+                zero: [0; 8],
+            };
+            unsafe {
+                connect(
+                    fd,
+                    (&raw as *const SockAddrIn).cast(),
+                    std::mem::size_of::<SockAddrIn>() as u32,
+                )
+            }
+        }
+        SocketAddr::V6(v6) => {
+            let raw = SockAddrIn6 {
+                family: AF_INET6 as u16,
+                port: v6.port().to_be(),
+                flowinfo: v6.flowinfo().to_be(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            unsafe {
+                connect(
+                    fd,
+                    (&raw as *const SockAddrIn6).cast(),
+                    std::mem::size_of::<SockAddrIn6>() as u32,
+                )
+            }
+        }
+    };
+    if ret < 0 {
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() != Some(EINPROGRESS) {
+            unsafe { close(fd) };
+            return Err(err);
+        }
+    }
+    // SAFETY: `fd` is a freshly created socket we exclusively own.
+    Ok(unsafe { TcpStream::from_raw_fd(fd) })
+}
+
+/// Raises the soft `RLIMIT_NOFILE` to the hard limit and returns the new
+/// soft limit. Thousands of reactor-driven nodes in one process need tens
+/// of thousands of fds; the default soft limit (often 1024) does not.
+///
+/// # Errors
+///
+/// Returns the OS error from `getrlimit`/`setrlimit`.
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    let mut limit = RLimit { cur: 0, max: 0 };
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut limit) })?;
+    if limit.cur < limit.max {
+        limit.cur = limit.max;
+        cvt(unsafe { setrlimit(RLIMIT_NOFILE, &limit) })?;
+    }
+    Ok(limit.cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::TcpListener;
+    use std::os::unix::io::AsRawFd;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn timeout_expires_with_no_events() {
+        let poller = Poller::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let start = Instant::now();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(19));
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let poller = Arc::new(Poller::new().unwrap());
+        let waker = Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.notify().unwrap();
+        });
+        let mut events = Events::with_capacity(8);
+        let start = Instant::now();
+        // Without the notify this would block for 5 seconds.
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 0, "the wakeup itself is not an event");
+        assert!(start.elapsed() < Duration::from_secs(4));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn repeated_notifies_coalesce_and_drain() {
+        let poller = Poller::new().unwrap();
+        for _ in 0..100 {
+            poller.notify().unwrap();
+        }
+        let mut events = Events::with_capacity(8);
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        // The pipe was drained: the next wait times out instead of waking.
+        let start = Instant::now();
+        poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(19));
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 7, true, false).unwrap();
+        let _client = connect_tcp(listener.local_addr().unwrap()).unwrap();
+        let mut events = Events::with_capacity(8);
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        let event = events.iter().next().unwrap();
+        assert_eq!(event.key, 7);
+        assert!(event.readable);
+        poller.delete(listener.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn connected_stream_reports_writable_then_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = connect_tcp(listener.local_addr().unwrap()).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(stream.as_raw_fd(), 3, true, true).unwrap();
+        let mut events = Events::with_capacity(8);
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        let event = events.iter().find(|e| e.key == 3).expect("connect completion");
+        assert!(event.writable, "completed connect is writable");
+        assert!(stream.take_error().unwrap().is_none(), "loopback connect succeeds");
+
+        // Data from the accepted side makes the stream readable.
+        let (mut accepted, _) = listener.accept().unwrap();
+        accepted.write_all(b"ping").unwrap();
+        poller.modify(stream.as_raw_fd(), 3, true, false).unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 3 && e.readable));
+        poller.delete(stream.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn refused_connect_fails_now_or_on_writability() {
+        // Bind-and-drop to find a port with no listener.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        match connect_tcp(dead) {
+            Err(_) => {} // refused synchronously: fine
+            Ok(stream) => {
+                let poller = Poller::new().unwrap();
+                poller.add(stream.as_raw_fd(), 1, false, true).unwrap();
+                let mut events = Events::with_capacity(8);
+                poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+                assert!(!events.is_empty(), "failed connect must report readiness");
+                assert!(stream.take_error().unwrap().is_some(), "SO_ERROR must be set");
+                poller.delete(stream.as_raw_fd()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_key_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let poller = Poller::new().unwrap();
+        let err = poller.add(listener.as_raw_fd(), NOTIFY_KEY, true, false).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn nofile_limit_is_at_least_the_soft_default() {
+        let limit = raise_nofile_limit().unwrap();
+        assert!(limit >= 256, "suspiciously low fd limit: {limit}");
+        // Idempotent.
+        assert_eq!(raise_nofile_limit().unwrap(), limit);
+    }
+}
