@@ -9,7 +9,7 @@
 //! bins. Wall-clock numbers never belong in these documents — they go in
 //! the perf sidecar ([`crate::measure::perf_artifact`]).
 
-use crate::experiments::adaptive::{AdaptiveCell, PhaseMetrics};
+use crate::experiments::adaptive::{AdaptiveCell, PathSummary, PhaseMetrics};
 use crate::experiments::fig2::Fig2Row;
 use crate::experiments::latency::LatencyCell;
 use crate::experiments::plumtree::BroadcastCostRow;
@@ -80,6 +80,21 @@ pub fn plumtree_vs_flood_artifact(
         .build()
 }
 
+/// One phase's dissemination-path summary: histogram percentiles (all
+/// deterministic integers) plus the rendered sample tree.
+fn paths_json(paths: &PathSummary) -> String {
+    JsonObject::new()
+        .int("hop_latency_p50", paths.hop_latency.p50())
+        .int("hop_latency_p99", paths.hop_latency.p99())
+        .int("hop_latency_max", paths.hop_latency.max())
+        .int("depth_p50", paths.depth.p50())
+        .int("depth_p99", paths.depth.p99())
+        .int("branching_p50", paths.branching.p50())
+        .int("branching_p99", paths.branching.p99())
+        .int("deliveries", paths.depth.count())
+        .build()
+}
+
 fn phase_json(metrics: &PhaseMetrics) -> String {
     JsonObject::new()
         .num("mean_reliability", metrics.mean_reliability)
@@ -130,12 +145,18 @@ pub fn plumtree_latency_artifact(
     heal_cycles: usize,
     cells: &[LatencyCell],
 ) -> String {
+    // One reconstructable dissemination tree rides along so the artifact
+    // demonstrates the causal path tracing end to end: the first cell's
+    // first stable-phase broadcast, rendered deterministically.
+    let sample_tree =
+        cells.first().map(|c| c.stable_paths.sample_tree.as_str()).unwrap_or_default();
     JsonObject::new()
         .str("experiment", "plumtree_latency")
         .str("params", &params.describe())
         .num("failure", failure)
         .int("warmup", warmup as u64)
         .int("heal_cycles", heal_cycles as u64)
+        .str("sample_tree", sample_tree)
         .raw(
             "cells",
             array(cells.iter().map(|cell| {
@@ -144,6 +165,8 @@ pub fn plumtree_latency_artifact(
                     .str("variant", cell.variant)
                     .raw("stable", phase_json(&cell.stable))
                     .raw("healed", phase_json(&cell.healed))
+                    .raw("stable_paths", paths_json(&cell.stable_paths))
+                    .raw("healed_paths", paths_json(&cell.healed_paths))
                     .int("optimizations", cell.optimizations)
                     .int("late_optimizations", cell.late_optimizations)
                     .int("grafts", cell.grafts)

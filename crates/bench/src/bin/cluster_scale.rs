@@ -24,12 +24,20 @@
 //! counters), but frame counts vary run to run with socket timing.
 
 use hyparview_bench::json::JsonObject;
-use hyparview_bench::measure::{perf_artifact, perf_path, timed, Throughput};
+use hyparview_bench::measure::{
+    metrics_path, perf_artifact, perf_artifact_with_reactor, perf_path, timed, Throughput,
+};
+use hyparview_bench::obsv_json::registry_json;
 use hyparview_bench::table::{num, pct, render};
 use hyparview_net::{BroadcastMode, Cluster, NetConfig, Node, NodeStats, TransportBackend};
+use hyparview_obsv::log::Level;
+use hyparview_obsv::{obsv_info, Registry};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
+
+/// Log target for this binary's progress lines.
+const LOG: &str = "cluster_scale";
 
 struct Args {
     nodes: usize,
@@ -177,6 +185,10 @@ fn aggregate(nodes: &[Node]) -> NodeStats {
 }
 
 fn main() {
+    // Progress goes through the leveled logger (stderr, `HPV_LOG`
+    // overridable); stdout stays reserved for the results table and
+    // artifact notices.
+    hyparview_obsv::log::init_from_env(Level::Info);
     let args = parse_args();
     let fd_limit = hyparview_net::reactor::raise_nofile_limit().unwrap_or(0);
 
@@ -246,7 +258,7 @@ fn main() {
         nodes
     });
     let nodes = spawn_wall.value;
-    println!("spawned {} nodes in {:.0} ms", nodes.len(), spawn_wall.wall_ms);
+    obsv_info!(LOG, "spawned {} nodes in {:.0} ms", nodes.len(), spawn_wall.wall_ms);
 
     // Converge: the overlay must become ONE component. A node whose join
     // raced churn can end with an empty active view, and HyParView cannot
@@ -285,7 +297,8 @@ fn main() {
         std::thread::sleep(Duration::from_millis(1_500));
     }
     let connected = connectivity(&nodes);
-    println!(
+    obsv_info!(
+        LOG,
         "convergence: single component = {converged}, connectivity = {}, rejoins = {rejoins}",
         pct(connected)
     );
@@ -342,6 +355,16 @@ fn main() {
     println!("{}", render(&headers, &rows));
     println!("throughput: {} (frames over sockets)", throughput.describe());
 
+    // Capture the observability snapshots while the handles are still
+    // alive: every node's registry merged into one cluster view (counters
+    // add, histograms merge bucket-wise), plus the reactor's own loop
+    // gauges on the epoll backend.
+    let mut node_metrics = Registry::new();
+    for node in &nodes {
+        node_metrics.merge(&node.metrics());
+    }
+    let reactor_metrics = cluster.as_ref().map(Cluster::reactor_metrics);
+
     // Tear the cluster down before touching the filesystem — with
     // thousands of live sockets the fd table is near its limit and even
     // opening the results file can fail with EMFILE.
@@ -369,9 +392,26 @@ fn main() {
             .build();
         std::fs::write(path, json).expect("write JSON results");
         let sidecar = perf_path(path);
-        std::fs::write(&sidecar, perf_artifact("cluster_scale", 1, &throughput))
-            .expect("write perf sidecar");
-        println!("(JSON results written to {path}, perf sidecar to {sidecar})");
+        // The epoll backend's sidecar carries the reactor introspection
+        // gauges; the threaded baseline has no reactor loop to introspect.
+        let perf = match &reactor_metrics {
+            Some(reactor) => perf_artifact_with_reactor("cluster_scale", 1, &throughput, reactor),
+            None => perf_artifact("cluster_scale", 1, &throughput),
+        };
+        std::fs::write(&sidecar, perf).expect("write perf sidecar");
+        let mut snapshot = JsonObject::new()
+            .str("experiment", "cluster_scale")
+            .str("backend", &args.backend.to_string())
+            .raw("nodes", registry_json(&node_metrics));
+        if let Some(reactor) = &reactor_metrics {
+            snapshot = snapshot.raw("reactor", registry_json(reactor));
+        }
+        let metrics_file = metrics_path(path);
+        std::fs::write(&metrics_file, snapshot.build()).expect("write metrics snapshot");
+        println!(
+            "(JSON results written to {path}, perf sidecar to {sidecar}, \
+             metrics snapshot to {metrics_file})"
+        );
     }
 
     if args.assert_mode {

@@ -16,9 +16,11 @@
 
 use hyparview_bench::artifacts::plumtree_latency_artifact;
 use hyparview_bench::experiments::latency::{pair_by_case, plumtree_latency};
-use hyparview_bench::measure::{perf_artifact, perf_path, timed, Throughput};
+use hyparview_bench::measure::{metrics_path, perf_artifact, perf_path, timed, Throughput};
+use hyparview_bench::obsv_json::registry_json;
 use hyparview_bench::table::{num, pct, render};
 use hyparview_bench::Params;
+use hyparview_obsv::Registry;
 
 const DEFAULT_FAILURE: f64 = 0.3;
 const DEFAULT_WARMUP: usize = 30;
@@ -113,7 +115,19 @@ fn main() {
         let sidecar = perf_path(&path);
         std::fs::write(&sidecar, perf_artifact("plumtree_latency", params.jobs, &throughput))
             .expect("write perf sidecar");
-        println!("(JSON results written to {path}, perf sidecar to {sidecar})");
+        // Metric snapshot: the cells' registries merged across the sweep —
+        // deterministic per seed, so like the results artifact it is
+        // byte-identical at any --jobs setting.
+        let mut merged = Registry::new();
+        for cell in &cells {
+            merged.merge(&cell.metrics);
+        }
+        let snapshot = metrics_path(&path);
+        std::fs::write(&snapshot, registry_json(&merged)).expect("write metrics snapshot");
+        println!(
+            "(JSON results written to {path}, perf sidecar to {sidecar}, \
+             metrics snapshot to {snapshot})"
+        );
     }
 
     if assert_mode {

@@ -45,6 +45,15 @@ pub fn direction(path: &str) -> Direction {
         || name.contains("wall_ms")
     {
         Direction::LowerIsBetter
+    } else if name.ends_with("_p50") || name.ends_with("_p99") {
+        // Histogram percentile paths from the observability layer. The
+        // latency/hop/depth families are tail metrics: growing tails mean
+        // a deeper or slower dissemination tree.
+        if name.contains("latency") || name.contains("hop") || name.contains("depth") {
+            Direction::LowerIsBetter
+        } else {
+            Direction::Info
+        }
     } else {
         Direction::Info
     }
@@ -56,6 +65,12 @@ pub fn direction(path: &str) -> Direction {
 /// them, but stay warn-only: their values carry CI-runner noise, and a
 /// slow runner must not turn the gate red.
 pub fn gates(path: &str) -> bool {
+    // Reactor introspection gauges (epoll wait time, batch sizes, queue
+    // high-water marks) are wall-clock and load dependent: direction-aware
+    // for the trend table, warn-only for the gate.
+    if path.to_ascii_lowercase().contains("reactor.") {
+        return false;
+    }
     let name = metric_name(path);
     !(name.contains("wall_ms") || name.contains("events_per_sec"))
 }
@@ -334,6 +349,16 @@ mod tests {
         assert_eq!(direction("cells[x].dead_letters"), Direction::LowerIsBetter);
         assert_eq!(direction("cells[low_control_variant].grafts"), Direction::Info);
         assert_eq!(direction("warmup"), Direction::Info);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_direction_aware_and_reactor_gauges_warn_only() {
+        assert_eq!(direction("cells[x].stable_paths.hop_latency_p99"), Direction::LowerIsBetter);
+        assert_eq!(direction("cells[x].healed_paths.depth_p50"), Direction::LowerIsBetter);
+        assert_eq!(direction("cells[x].stable_paths.branching_p50"), Direction::Info);
+        assert!(gates("cells[x].stable_paths.hop_latency_p99"));
+        assert!(!gates("gauges.reactor.epoll_wait_us"), "reactor gauges stay warn-only");
+        assert!(!gates("reactor.timer_lag_us_max"));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use crate::parallel;
 use crate::params::Params;
 use hyparview_core::SimId;
+use hyparview_obsv::Histogram;
 use hyparview_plumtree::{BroadcastMode, PlumtreeConfig};
 use hyparview_sim::protocols::build_hyparview;
 
@@ -112,6 +113,26 @@ pub struct AdaptiveCell {
 /// never queues more than one announcement per peer).
 pub const BURST: usize = 4;
 
+/// Dissemination-path summary of one measurement phase, folded from the
+/// simulator's hop-provenance records (causal broadcast-path tracing).
+///
+/// Everything here is a pure function of the seed — virtual-time
+/// latencies, integer histograms, a deterministically rendered sample
+/// tree — so it belongs in the byte-identical results artifact.
+#[derive(Debug, Clone, Default)]
+pub struct PathSummary {
+    /// Per-hop delivery latencies (child delivery time − parent delivery
+    /// time, virtual units) across every measured broadcast.
+    pub hop_latency: Histogram,
+    /// Delivery depths (hops from the origin) across every broadcast.
+    pub depth: Histogram,
+    /// Branching factors of internal tree nodes across every broadcast.
+    pub branching: Histogram,
+    /// The first measured broadcast's dissemination tree, rendered as
+    /// indented text (see [`hyparview_obsv::DisseminationTree::render`]).
+    pub sample_tree: String,
+}
+
 /// Disseminates `messages` broadcasts from `origin` in bursts of [`BURST`]
 /// and aggregates them into one [`PhaseMetrics`]. Shared with the
 /// latency-sweep experiment.
@@ -120,33 +141,58 @@ pub(crate) fn measure(
     origin: SimId,
     messages: usize,
 ) -> PhaseMetrics {
+    measure_with_paths(sim, origin, messages).0
+}
+
+/// [`measure`], additionally reconstructing every broadcast's
+/// dissemination tree from hop provenance and folding the trees into a
+/// [`PathSummary`]. Records are drained per burst, so memory stays
+/// bounded by one burst regardless of `messages`.
+pub(crate) fn measure_with_paths(
+    sim: &mut hyparview_sim::protocols::HyParViewSim,
+    origin: SimId,
+    messages: usize,
+) -> (PhaseMetrics, PathSummary) {
     let mut reliability_sum = 0.0;
     let mut min_reliability = f64::INFINITY;
     let mut rmr_sum = 0.0;
     let mut hop_sum = 0.0;
     let mut control = 0usize;
     let mut count = 0usize;
+    let mut paths = PathSummary::default();
+    sim.enable_path_tracing();
+    sim.clear_path_records();
     // Honor `messages` exactly: full bursts plus a partial final burst.
     while count < messages.max(1) {
         let size = BURST.min(messages.max(1) - count);
         let burst = sim.broadcast_burst_from(origin, size);
         control += burst.control_frames;
+        let tracer = sim.take_path_records();
         for report in &burst.reports {
             reliability_sum += report.reliability();
             min_reliability = min_reliability.min(report.reliability());
             rmr_sum += report.rmr();
             hop_sum += report.max_hops as f64;
             count += 1;
+            if let Some(tree) = tracer.tree(report.id) {
+                paths.hop_latency.merge(&tree.hop_latency_histogram());
+                paths.depth.merge(&tree.depth_histogram());
+                paths.branching.merge(&tree.branching_histogram());
+                if paths.sample_tree.is_empty() {
+                    paths.sample_tree = tree.render();
+                }
+            }
         }
     }
     let n = count.max(1) as f64;
-    PhaseMetrics {
+    let metrics = PhaseMetrics {
         mean_reliability: reliability_sum / n,
         min_reliability: if min_reliability.is_finite() { min_reliability } else { 0.0 },
         mean_rmr: rmr_sum / n,
         mean_last_hop: hop_sum / n,
         control_per_broadcast: control as f64 / n,
-    }
+    };
+    (metrics, paths)
 }
 
 /// Measures one variant: build + stabilize, carve the tree with `warmup`

@@ -24,10 +24,11 @@
 //! last-delivery-hop) than the static one, at 100% reliability — the
 //! in-simulation evidence behind the TCP runtime's adaptive defaults.
 
-use crate::experiments::adaptive::{measure, PhaseMetrics};
+use crate::experiments::adaptive::{measure_with_paths, PathSummary, PhaseMetrics};
 use crate::parallel;
 use crate::params::Params;
 use hyparview_core::SimId;
+use hyparview_obsv::Registry;
 use hyparview_plumtree::{BroadcastMode, PlumtreeConfig};
 use hyparview_sim::protocols::build_hyparview;
 use hyparview_sim::Latency;
@@ -60,6 +61,11 @@ pub struct LatencyCell {
     pub stable: PhaseMetrics,
     /// Metrics after the failure healed.
     pub healed: PhaseMetrics,
+    /// Dissemination-path summary of the stable phase (hop-latency /
+    /// depth / branching histograms + one rendered sample tree).
+    pub stable_paths: PathSummary,
+    /// Dissemination-path summary of the healed phase.
+    pub healed_paths: PathSummary,
     /// Total tree optimizations across the run (both trigger paths).
     pub optimizations: u64,
     /// Optimizations triggered by an `IHave` that lost the race against
@@ -71,6 +77,10 @@ pub struct LatencyCell {
     pub dead_letters: u64,
     /// Simulator events processed across the cell's run.
     pub events: u64,
+    /// Final metric-registry snapshot of the cell's simulation
+    /// ([`hyparview_sim::Sim::metrics_snapshot`]): `sim.*`, `frames.*`,
+    /// `broadcast.*` and `plumtree.*` counters, deterministic per seed.
+    pub metrics: Registry,
 }
 
 /// The two tree policies compared under each latency model. Lazy batching
@@ -106,7 +116,7 @@ pub fn latency_cell(
     for _ in 0..warmup {
         sim.broadcast_from(origin);
     }
-    let stable = measure(&mut sim, origin, params.messages);
+    let (stable, stable_paths) = measure_with_paths(&mut sim, origin, params.messages);
 
     sim.fail_fraction(failure);
     sim.run_cycles(heal_cycles);
@@ -115,7 +125,7 @@ pub fn latency_cell(
     for _ in 0..warmup {
         sim.broadcast_from(origin);
     }
-    let healed = measure(&mut sim, origin, params.messages);
+    let (healed, healed_paths) = measure_with_paths(&mut sim, origin, params.messages);
 
     let stats = sim.plumtree_stats_total().expect("Plumtree mode");
     LatencyCell {
@@ -123,11 +133,14 @@ pub fn latency_cell(
         variant: if threshold.is_some() { "optimized" } else { "static" },
         stable,
         healed,
+        stable_paths,
+        healed_paths,
         optimizations: stats.optimizations,
         late_optimizations: stats.late_optimizations,
         grafts: stats.grafts_sent,
         dead_letters: stats.graft_dead_letters,
         events: sim.stats().events_processed,
+        metrics: sim.metrics_snapshot(),
     }
 }
 

@@ -38,6 +38,7 @@ pub mod diff;
 pub mod experiments;
 pub mod json;
 pub mod measure;
+pub mod obsv_json;
 pub mod parallel;
 pub mod params;
 pub mod table;

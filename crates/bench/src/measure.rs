@@ -16,6 +16,8 @@
 //! gating).
 
 use crate::json::JsonObject;
+use crate::obsv_json::registry_json;
+use hyparview_obsv::Registry;
 use std::time::Instant;
 
 /// A value plus the wall-clock milliseconds it took to produce.
@@ -74,6 +76,28 @@ pub fn perf_artifact(experiment: &str, jobs: usize, throughput: &Throughput) -> 
         .build()
 }
 
+/// Renders a perf sidecar that additionally carries a reactor
+/// introspection snapshot (`reactor.*` gauges: epoll wait time, readiness
+/// batch size, outq high-water, timer lag) as a nested `reactor` object.
+/// Like `wall_ms`, the gauges are wall-clock-derived and noisy — they
+/// live in the sidecar, never in the results artifact, and `bench_diff`
+/// treats `reactor.` paths as warn-only.
+pub fn perf_artifact_with_reactor(
+    experiment: &str,
+    jobs: usize,
+    throughput: &Throughput,
+    reactor: &Registry,
+) -> String {
+    JsonObject::new()
+        .str("experiment", experiment)
+        .int("jobs", jobs as u64)
+        .num("wall_ms", throughput.wall_ms)
+        .int("events", throughput.events)
+        .num("events_per_sec", throughput.events_per_sec)
+        .raw("reactor", registry_json(reactor))
+        .build()
+}
+
 /// The perf sidecar path for a results artifact: `x.json` →
 /// `x.perf.json` (non-`.json` paths just get `.perf.json` appended), so
 /// directory-diffing tools pair sidecars by name like any other artifact.
@@ -81,6 +105,17 @@ pub fn perf_path(json_path: &str) -> String {
     match json_path.strip_suffix(".json") {
         Some(stem) => format!("{stem}.perf.json"),
         None => format!("{json_path}.perf.json"),
+    }
+}
+
+/// The metric-snapshot path for a results artifact: `x.json` →
+/// `x.metrics.json`. Snapshot files hold a full [`Registry`] rendered by
+/// [`registry_json`]; they land next to the results so the CI artifact
+/// upload picks them up unchanged.
+pub fn metrics_path(json_path: &str) -> String {
+    match json_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.metrics.json"),
+        None => format!("{json_path}.metrics.json"),
     }
 }
 
@@ -119,5 +154,22 @@ mod tests {
     fn perf_path_replaces_the_extension() {
         assert_eq!(perf_path("bench-results/fig2.json"), "bench-results/fig2.perf.json");
         assert_eq!(perf_path("weird-name"), "weird-name.perf.json");
+        assert_eq!(metrics_path("results/x.json"), "results/x.metrics.json");
+        assert_eq!(metrics_path("plain"), "plain.metrics.json");
+    }
+
+    #[test]
+    fn reactor_perf_artifact_nests_the_gauge_snapshot() {
+        let mut reactor = Registry::new();
+        let waits = reactor.counter("reactor.epoll_waits");
+        reactor.add(waits, 12);
+        let outq = reactor.gauge("reactor.outq_high_water");
+        reactor.set_gauge(outq, 5);
+        let doc =
+            perf_artifact_with_reactor("cluster_scale", 1, &Throughput::new(100.0, 200), &reactor);
+        let parsed = parse(&doc).expect("valid JSON");
+        let nested = parsed.get("reactor").expect("reactor object");
+        assert_eq!(nested.get("reactor.epoll_waits").and_then(JsonValue::as_f64), Some(12.0));
+        assert_eq!(nested.get("reactor.outq_high_water").and_then(JsonValue::as_f64), Some(5.0));
     }
 }

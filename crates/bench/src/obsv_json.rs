@@ -1,0 +1,67 @@
+//! Serialization of [`hyparview_obsv`] metric snapshots into the bench
+//! JSON dialect.
+//!
+//! Counters and gauges render as integer fields; histograms render as a
+//! nested object of `count`/`sum`/`min`/`max`/`p50`/`p99`. Everything is
+//! integer-valued (histogram quantiles are deterministic bucket upper
+//! bounds), so a registry snapshot that is a pure function of the seed
+//! serializes byte-identically across `--jobs` splits — the same contract
+//! the result artifacts keep.
+
+use crate::json::JsonObject;
+use hyparview_obsv::{Histogram, Registry};
+
+/// Renders one histogram as a JSON object of its summary statistics.
+pub fn histogram_json(hist: &Histogram) -> String {
+    JsonObject::new()
+        .int("count", hist.count())
+        .int("sum", hist.sum())
+        .int("min", hist.min())
+        .int("max", hist.max())
+        .int("p50", hist.p50())
+        .int("p99", hist.p99())
+        .build()
+}
+
+/// Renders a full registry snapshot: every counter and gauge as an
+/// integer field, every histogram as a [`histogram_json`] object, all
+/// keyed by their canonical dotted metric names in registration order.
+pub fn registry_json(registry: &Registry) -> String {
+    let mut obj = JsonObject::new();
+    for (name, value) in registry.counters() {
+        obj = obj.int(name, value);
+    }
+    for (name, value) in registry.gauges() {
+        obj = obj.int(name, value);
+    }
+    for (name, hist) in registry.histograms() {
+        obj = obj.raw(name, histogram_json(hist));
+    }
+    obj.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn registry_snapshot_round_trips_through_the_parser() {
+        let mut registry = Registry::new();
+        let c = registry.counter("frames.sent");
+        registry.add(c, 41);
+        let g = registry.gauge("reactor.outq_high_water");
+        registry.set_gauge(g, 7);
+        let h = registry.histogram("broadcast.hop_latency");
+        for v in [1, 2, 3, 10] {
+            registry.record(h, v);
+        }
+        let doc = registry_json(&registry);
+        let parsed = parse(&doc).expect("valid JSON");
+        assert_eq!(parsed.get("frames.sent").and_then(|v| v.as_f64()), Some(41.0));
+        assert_eq!(parsed.get("reactor.outq_high_water").and_then(|v| v.as_f64()), Some(7.0));
+        let hist = parsed.get("broadcast.hop_latency").expect("histogram object");
+        assert_eq!(hist.get("count").and_then(|v| v.as_f64()), Some(4.0));
+        assert_eq!(hist.get("sum").and_then(|v| v.as_f64()), Some(16.0));
+    }
+}

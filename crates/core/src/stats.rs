@@ -2,6 +2,30 @@
 //!
 //! Cheap monotonically increasing counters useful for experiments (message
 //! overhead accounting) and for debugging live deployments.
+//!
+//! [`Stats`] is the *snapshot view*; the canonical cross-layer form is a
+//! [`hyparview_obsv::Registry`] populated through [`Stats::fill_registry`]
+//! under the `hyparview.*` metric names, which is what the simulator and
+//! the TCP runtime export and what cluster-level aggregation merges.
+
+use hyparview_obsv::Registry;
+
+/// The `hyparview.*` registry names, field order of [`Stats`].
+pub const METRIC_NAMES: [&str; 13] = [
+    "hyparview.joins_handled",
+    "hyparview.forward_joins_received",
+    "hyparview.forward_joins_accepted",
+    "hyparview.neighbor_requests_received",
+    "hyparview.neighbor_requests_accepted",
+    "hyparview.neighbor_requests_sent",
+    "hyparview.shuffles_started",
+    "hyparview.shuffles_accepted",
+    "hyparview.shuffles_forwarded",
+    "hyparview.disconnects_received",
+    "hyparview.active_evictions",
+    "hyparview.peer_failures",
+    "hyparview.promotions",
+];
 
 /// Counters of protocol activity since the node started.
 ///
@@ -66,6 +90,59 @@ impl Stats {
             + self.peer_failures
             + self.promotions
     }
+
+    /// The counters in [`METRIC_NAMES`] order.
+    fn values(&self) -> [u64; 13] {
+        [
+            self.joins_handled,
+            self.forward_joins_received,
+            self.forward_joins_accepted,
+            self.neighbor_requests_received,
+            self.neighbor_requests_accepted,
+            self.neighbor_requests_sent,
+            self.shuffles_started,
+            self.shuffles_accepted,
+            self.shuffles_forwarded,
+            self.disconnects_received,
+            self.active_evictions,
+            self.peer_failures,
+            self.promotions,
+        ]
+    }
+
+    /// Writes this snapshot into `registry` under the canonical
+    /// `hyparview.*` names (absolute values — registering on first use,
+    /// overwriting on refresh, so periodic republishing never
+    /// double-counts).
+    pub fn fill_registry(&self, registry: &mut Registry) {
+        for (name, value) in METRIC_NAMES.iter().zip(self.values()) {
+            let id = registry.counter(name);
+            registry.set_counter(id, value);
+        }
+    }
+
+    /// Reads a snapshot back from the canonical `hyparview.*` counters
+    /// (absent names read as zero) — the inverse of
+    /// [`Stats::fill_registry`], which is what keeps the legacy struct a
+    /// pure *view* of the registry.
+    pub fn from_registry(registry: &Registry) -> Stats {
+        let get = |name: &str| registry.value_by_name(name).unwrap_or(0);
+        Stats {
+            joins_handled: get(METRIC_NAMES[0]),
+            forward_joins_received: get(METRIC_NAMES[1]),
+            forward_joins_accepted: get(METRIC_NAMES[2]),
+            neighbor_requests_received: get(METRIC_NAMES[3]),
+            neighbor_requests_accepted: get(METRIC_NAMES[4]),
+            neighbor_requests_sent: get(METRIC_NAMES[5]),
+            shuffles_started: get(METRIC_NAMES[6]),
+            shuffles_accepted: get(METRIC_NAMES[7]),
+            shuffles_forwarded: get(METRIC_NAMES[8]),
+            disconnects_received: get(METRIC_NAMES[9]),
+            active_evictions: get(METRIC_NAMES[10]),
+            peer_failures: get(METRIC_NAMES[11]),
+            promotions: get(METRIC_NAMES[12]),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -107,5 +184,22 @@ mod tests {
             promotions: 1,
         };
         assert_eq!(s.total_events(), 13);
+    }
+
+    #[test]
+    fn registry_round_trip_preserves_every_counter() {
+        let mut s = Stats::new();
+        s.joins_handled = 3;
+        s.shuffles_forwarded = 7;
+        s.promotions = 1;
+        let mut registry = Registry::new();
+        s.fill_registry(&mut registry);
+        assert_eq!(registry.value_by_name("hyparview.joins_handled"), Some(3));
+        assert_eq!(Stats::from_registry(&registry), s);
+        // Refreshing overwrites rather than double-counting.
+        s.promotions = 9;
+        s.fill_registry(&mut registry);
+        assert_eq!(Stats::from_registry(&registry).promotions, 9);
+        assert_eq!(Stats::from_registry(&Registry::new()), Stats::new());
     }
 }

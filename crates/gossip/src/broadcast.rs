@@ -273,6 +273,32 @@ impl ReliabilitySummary {
     pub fn series(&self) -> &[f64] {
         &self.reliabilities
     }
+
+    /// Distribution of the per-broadcast maximum hop counts — the paper's
+    /// "maximum hops to delivery" (Table 1) generalized from a mean to a
+    /// full fixed-bucket histogram, so tails survive aggregation.
+    pub fn max_hops_histogram(&self) -> hyparview_obsv::Histogram {
+        let mut hist = hyparview_obsv::Histogram::new();
+        for &hops in &self.max_hops {
+            hist.record(u64::from(hops));
+        }
+        hist
+    }
+
+    /// Writes the summary's totals into `registry` under the canonical
+    /// `broadcast.*` names (absolute values; re-filling overwrites).
+    pub fn fill_registry(&self, registry: &mut hyparview_obsv::Registry) {
+        let totals = [
+            ("broadcast.sent", self.count() as u64),
+            ("broadcast.transmissions", self.sent),
+            ("broadcast.redundant", self.redundant),
+            ("broadcast.control", self.control),
+        ];
+        for (name, value) in totals {
+            let id = registry.counter(name);
+            registry.set_counter(id, value);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@
 //! ```
 
 use hyparview_net::{BroadcastMode, NetConfig, Node, TransportBackend};
+use hyparview_obsv::log::Level;
+use hyparview_obsv::{obsv_error, obsv_info};
 use std::io::BufRead;
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -77,10 +79,12 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> std::io::Result<()> {
+    // `HPV_LOG=debug|info|warn|error|off` filters; interactive default Info.
+    hyparview_obsv::log::init_from_env(Level::Info);
     let args = match parse_args() {
         Ok(args) => args,
         Err(e) => {
-            eprintln!("error: {e}");
+            obsv_error!("hyparview_node", "{e}");
             std::process::exit(2);
         }
     };
@@ -97,9 +101,13 @@ fn main() -> std::io::Result<()> {
     let mode = config.broadcast_mode;
     let backend = config.backend;
     let node = Node::spawn(args.bind, config)?;
-    println!("listening on {} ({mode} broadcast, {backend} backend)", node.addr());
+    obsv_info!(
+        "hyparview_node",
+        "listening on {} ({mode} broadcast, {backend} backend)",
+        node.addr()
+    );
     if let Some(contact) = args.join {
-        println!("joining through {contact}");
+        obsv_info!("hyparview_node", "joining through {contact}");
         node.join(contact);
     }
 

@@ -19,6 +19,10 @@ use crate::wire::Frame;
 use bytes::Bytes;
 use crossbeam::channel::Sender;
 use hyparview_core::{Action, Actions, HyParView, Message};
+use hyparview_obsv::{
+    names, Clock, CounterId, Registry, TimerKind, TraceEvent, TraceKind, TraceRing, TraceSink,
+    WallClock,
+};
 use hyparview_plumtree::{
     Announcement, BroadcastMode, PlumtreeMessage, PlumtreeOut, PlumtreeState, PlumtreeTimer,
 };
@@ -39,6 +43,11 @@ pub struct Delivery {
 }
 
 /// Runtime counters of a node.
+///
+/// A *snapshot view*: the source of truth is the core's
+/// [`hyparview_obsv::Registry`] (canonical `frames.*` / `broadcast.*` /
+/// `net.*` names, shared with the simulator); this struct is materialized
+/// from it on every publish.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct NodeStats {
     /// Broadcasts initiated by this node.
@@ -63,6 +72,36 @@ pub struct NodeStats {
     pub ihave_batch_anns_sent: u64,
 }
 
+/// Dense handles into a [`NodeCore`]'s registry, registered once at
+/// construction so the frame hot path updates by vector index.
+struct NetCounters {
+    broadcasts_sent: CounterId,
+    deliveries: CounterId,
+    duplicates: CounterId,
+    mode_mismatched: CounterId,
+    frames_sent: CounterId,
+    frames_payload: CounterId,
+    frames_ihave: CounterId,
+    frames_ihave_batch: CounterId,
+    frames_ihave_batch_anns: CounterId,
+}
+
+impl NetCounters {
+    fn register(registry: &mut Registry) -> NetCounters {
+        NetCounters {
+            broadcasts_sent: registry.counter(names::BROADCAST_SENT),
+            deliveries: registry.counter(names::BROADCAST_DELIVERED),
+            duplicates: registry.counter(names::BROADCAST_DUPLICATES),
+            mode_mismatched: registry.counter(names::NET_MODE_MISMATCHED),
+            frames_sent: registry.counter(names::FRAMES_SENT),
+            frames_payload: registry.counter(names::FRAMES_PAYLOAD_SENT),
+            frames_ihave: registry.counter(names::FRAMES_IHAVE_SENT),
+            frames_ihave_batch: registry.counter(names::FRAMES_IHAVE_BATCH_SENT),
+            frames_ihave_batch_anns: registry.counter(names::FRAMES_IHAVE_BATCH_ANNS_SENT),
+        }
+    }
+}
+
 /// Mutable view snapshots shared with the application-facing handle.
 #[derive(Debug, Default, Clone)]
 pub(crate) struct Shared {
@@ -71,6 +110,12 @@ pub(crate) struct Shared {
     pub(crate) eager: Vec<SocketAddr>,
     pub(crate) lazy: Vec<SocketAddr>,
     pub(crate) stats: NodeStats,
+    /// Mirror of the core's full metric registry (canonical names,
+    /// `hyparview.*` and `plumtree.*` counters included).
+    pub(crate) metrics: Registry,
+    /// Trace events drained from the core's ring on publish (bounded by
+    /// the same capacity).
+    pub(crate) trace: Option<TraceRing>,
 }
 
 /// The effect sink a [`NodeCore`] drives its runtime through: frames out,
@@ -105,7 +150,10 @@ pub(crate) struct NodeCore {
     broadcaster: Broadcaster,
     shared: Arc<Mutex<Shared>>,
     delivery_tx: Sender<Delivery>,
-    stats: NodeStats,
+    metrics: Registry,
+    counters: NetCounters,
+    trace: Option<TraceRing>,
+    clock: WallClock,
     /// Reusable scratch buffer for protocol actions.
     actions: Actions<SocketAddr>,
 }
@@ -137,15 +185,29 @@ impl NodeCore {
                 unit: config.plumtree_timer_unit,
             },
         };
+        let mut metrics = Registry::new();
+        let counters = NetCounters::register(&mut metrics);
+        let trace = (config.trace_capacity > 0).then(|| TraceRing::new(config.trace_capacity));
         Ok(NodeCore {
             local,
             protocol,
             broadcaster,
             shared,
             delivery_tx,
-            stats: NodeStats::default(),
+            metrics,
+            counters,
+            trace,
+            clock: WallClock::new(),
             actions: Actions::new(),
         })
+    }
+
+    /// Appends one decision-trace event, stamped with this node's
+    /// wall-clock microseconds (no-op unless tracing is configured).
+    fn trace_event(&mut self, kind: TraceKind) {
+        let Some(ring) = &mut self.trace else { return };
+        let node = u64::from(self.local.port());
+        ring.record(TraceEvent { time: self.clock.now(), node, kind });
     }
 
     /// The node's identity (its listen address).
@@ -206,14 +268,15 @@ impl NodeCore {
             Frame::Gossip { id, hops, payload } => {
                 let Broadcaster::Flood { seen } = &mut self.broadcaster else {
                     // Flood traffic in Plumtree mode: a misconfigured peer.
-                    self.stats.mode_mismatched += 1;
+                    self.metrics.inc(self.counters.mode_mismatched);
                     return;
                 };
                 if !seen.insert(id) {
-                    self.stats.duplicates += 1;
+                    self.metrics.inc(self.counters.duplicates);
                     return;
                 }
-                self.stats.deliveries += 1;
+                self.metrics.inc(self.counters.deliveries);
+                self.trace_event(TraceKind::Delivered { msg: id as u64, hops });
                 let _ = self.delivery_tx.try_send(Delivery { id, hops, payload: payload.clone() });
                 // Eager flood: forward to the whole active view except the
                 // sender (§4.1.ii).
@@ -248,8 +311,9 @@ impl NodeCore {
                 if !seen.insert(id) {
                     return; // id collision with a recent broadcast: drop
                 }
-                self.stats.broadcasts_sent += 1;
-                self.stats.deliveries += 1;
+                self.metrics.inc(self.counters.broadcasts_sent);
+                self.metrics.inc(self.counters.deliveries);
+                self.trace_event(TraceKind::Delivered { msg: id as u64, hops: 0 });
                 let _ =
                     self.delivery_tx.try_send(Delivery { id, hops: 0, payload: payload.clone() });
                 let frame = Frame::Gossip { id, hops: 1, payload };
@@ -261,7 +325,7 @@ impl NodeCore {
                 let mut out = PlumtreeOut::new();
                 state.broadcast(id, payload, &mut out);
                 if !out.deliveries.is_empty() {
-                    self.stats.broadcasts_sent += 1;
+                    self.metrics.inc(self.counters.broadcasts_sent);
                 }
                 self.apply_plumtree(out, ctx);
             }
@@ -271,6 +335,11 @@ impl NodeCore {
     /// Fires one Plumtree timer that the runtime armed via
     /// [`NodeCtx::schedule`].
     pub(crate) fn on_plumtree_timer(&mut self, timer: PlumtreeTimer, ctx: &mut dyn NodeCtx) {
+        let kind = match timer {
+            PlumtreeTimer::Missing(_) => TimerKind::MissingMsg,
+            PlumtreeTimer::LazyFlush => TimerKind::LazyFlush,
+        };
+        self.trace_event(TraceKind::TimerFired { timer: kind });
         let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster else {
             return;
         };
@@ -285,14 +354,26 @@ impl NodeCore {
         message: PlumtreeMessage<Bytes>,
         ctx: &mut dyn NodeCtx,
     ) {
-        let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster else {
+        if !matches!(self.broadcaster, Broadcaster::Plumtree { .. }) {
             // Plumtree traffic in flood mode: a misconfigured peer.
-            self.stats.mode_mismatched += 1;
+            self.metrics.inc(self.counters.mode_mismatched);
             return;
-        };
+        }
+        // Receiver-side tree decisions (the sender side traces
+        // `GraftSent`/`PruneSent` in `apply_plumtree`).
+        match &message {
+            PlumtreeMessage::Graft { .. } => {
+                self.trace_event(TraceKind::EagerPromote { peer: u64::from(from.port()) });
+            }
+            PlumtreeMessage::Prune => {
+                self.trace_event(TraceKind::LazyDemote { peer: u64::from(from.port()) });
+            }
+            _ => {}
+        }
+        let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster else { return };
         if let PlumtreeMessage::Gossip { id, .. } = &message {
             if state.has_seen(*id) {
-                self.stats.duplicates += 1;
+                self.metrics.inc(self.counters.duplicates);
             }
         }
         let mut out = PlumtreeOut::new();
@@ -304,11 +385,25 @@ impl NodeCore {
     /// timer requests to the runtime.
     fn apply_plumtree(&mut self, mut out: PlumtreeOut<SocketAddr, Bytes>, ctx: &mut dyn NodeCtx) {
         for (to, message) in out.outbox.drain() {
+            match &message {
+                PlumtreeMessage::Graft { id, .. } => {
+                    let msg = id.map(|id| id as u64).unwrap_or(0);
+                    self.trace_event(TraceKind::GraftSent { peer: u64::from(to.port()), msg });
+                }
+                PlumtreeMessage::Prune => {
+                    self.trace_event(TraceKind::PruneSent { peer: u64::from(to.port()) });
+                }
+                _ => {}
+            }
             let frame = plumtree_frame(message);
             self.send(to, &frame, ctx);
         }
         for delivery in out.deliveries.drain(..) {
-            self.stats.deliveries += 1;
+            self.metrics.inc(self.counters.deliveries);
+            self.trace_event(TraceKind::Delivered {
+                msg: delivery.id as u64,
+                hops: delivery.round,
+            });
             let _ = self.delivery_tx.try_send(Delivery {
                 id: delivery.id,
                 hops: delivery.round,
@@ -328,15 +423,15 @@ impl NodeCore {
 
     /// Counts and ships one outgoing frame.
     fn send(&mut self, to: SocketAddr, frame: &Frame, ctx: &mut dyn NodeCtx) {
-        self.stats.frames_sent += 1;
+        self.metrics.inc(self.counters.frames_sent);
         match frame {
             Frame::Gossip { .. } | Frame::PlumtreeGossip { .. } => {
-                self.stats.payload_frames_sent += 1;
+                self.metrics.inc(self.counters.frames_payload);
             }
-            Frame::PlumtreeIHave { .. } => self.stats.ihave_frames_sent += 1,
+            Frame::PlumtreeIHave { .. } => self.metrics.inc(self.counters.frames_ihave),
             Frame::PlumtreeIHaveBatch { anns } => {
-                self.stats.ihave_batch_frames_sent += 1;
-                self.stats.ihave_batch_anns_sent += anns.len() as u64;
+                self.metrics.inc(self.counters.frames_ihave_batch);
+                self.metrics.add(self.counters.frames_ihave_batch_anns, anns.len() as u64);
             }
             _ => {}
         }
@@ -361,6 +456,7 @@ impl NodeCore {
                     let graceful_close = matches!(message, Message::Disconnect);
                     self.send(to, &Frame::Membership(message), ctx);
                     if temporary {
+                        self.trace_event(TraceKind::TempConnClose { peer: u64::from(to.port()) });
                         self.send(to, &Frame::Membership(Message::Disconnect), ctx);
                     }
                     if graceful_close || temporary {
@@ -372,6 +468,7 @@ impl NodeCore {
                 Action::NeighborUp { peer } => {
                     // New active-view links enter the Plumtree eager set;
                     // connections themselves are opened lazily by sends.
+                    self.trace_event(TraceKind::NeighborUp { peer: u64::from(peer.port()) });
                     if let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster {
                         state.on_neighbor_up(peer);
                     }
@@ -379,6 +476,7 @@ impl NodeCore {
                 Action::NeighborDown { peer } => {
                     // The peer keeps its connection until DISCONNECT or
                     // failure, but it leaves the broadcast tree immediately.
+                    self.trace_event(TraceKind::NeighborDown { peer: u64::from(peer.port()) });
                     if let Broadcaster::Plumtree { state, .. } = &mut self.broadcaster {
                         state.on_neighbor_down(peer);
                     }
@@ -387,9 +485,35 @@ impl NodeCore {
         }
     }
 
+    /// The legacy counters struct, materialized from the registry.
+    fn stats_snapshot(&self) -> NodeStats {
+        let c = |id: CounterId| self.metrics.counter_value(id);
+        NodeStats {
+            broadcasts_sent: c(self.counters.broadcasts_sent),
+            deliveries: c(self.counters.deliveries),
+            duplicates: c(self.counters.duplicates),
+            mode_mismatched: c(self.counters.mode_mismatched),
+            frames_sent: c(self.counters.frames_sent),
+            payload_frames_sent: c(self.counters.frames_payload),
+            ihave_frames_sent: c(self.counters.frames_ihave),
+            ihave_batch_frames_sent: c(self.counters.frames_ihave_batch),
+            ihave_batch_anns_sent: c(self.counters.frames_ihave_batch_anns),
+        }
+    }
+
     /// Copies the current views and counters into the shared snapshot the
     /// application handle reads.
-    pub(crate) fn publish(&self) {
+    ///
+    /// The protocol-layer counters (`hyparview.*`, `plumtree.*`) are
+    /// refilled into the registry first, so the published mirror always
+    /// carries the full canonical set. The refill registers those names on
+    /// the first publish; afterwards the layout is stable and the mirror
+    /// is an allocation-free value copy.
+    pub(crate) fn publish(&mut self) {
+        self.protocol.stats().fill_registry(&mut self.metrics);
+        if let Broadcaster::Plumtree { state, .. } = &self.broadcaster {
+            state.stats().fill_registry(&mut self.metrics);
+        }
         let mut shared = self.shared.lock();
         shared.active = self.protocol.active_view().to_vec();
         shared.passive = self.protocol.passive_view().to_vec();
@@ -397,7 +521,18 @@ impl NodeCore {
             shared.eager = state.eager_peers();
             shared.lazy = state.lazy_peers();
         }
-        shared.stats = self.stats;
+        shared.stats = self.stats_snapshot();
+        if shared.metrics.names().len() == self.metrics.names().len() {
+            shared.metrics.copy_values_from(&self.metrics);
+        } else {
+            shared.metrics = self.metrics.clone();
+        }
+        if let Some(ring) = &mut self.trace {
+            let sink = shared.trace.get_or_insert_with(|| TraceRing::new(ring.capacity()));
+            for event in ring.drain() {
+                sink.record(event);
+            }
+        }
     }
 }
 

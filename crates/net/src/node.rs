@@ -26,6 +26,7 @@ use crate::transport::{Transport, TransportConfig, TransportEvent};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, tick, unbounded, Receiver, Sender};
 use hyparview_core::Config;
+use hyparview_obsv::{Registry, TraceEvent};
 use hyparview_plumtree::{BroadcastMode, PlumtreeConfig, PlumtreeTimer};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
@@ -117,6 +118,9 @@ pub struct NetConfig {
     pub plumtree: PlumtreeConfig,
     /// Wall-clock duration of one Plumtree timer unit.
     pub plumtree_timer_unit: Duration,
+    /// Capacity of the node's decision-trace ring (see
+    /// [`hyparview_obsv::TraceRing`]); `0` disables tracing.
+    pub trace_capacity: usize,
 }
 
 impl Default for NetConfig {
@@ -133,6 +137,7 @@ impl Default for NetConfig {
                 .with_optimization_threshold(Some(DEFAULT_OPTIMIZATION_THRESHOLD))
                 .with_lazy_flush_interval(DEFAULT_LAZY_FLUSH_INTERVAL),
             plumtree_timer_unit: Duration::from_millis(20),
+            trace_capacity: 0,
         }
     }
 }
@@ -155,6 +160,13 @@ impl NetConfig {
     /// [`NetConfig::dedup_capacity`].
     pub fn with_plumtree(mut self, config: PlumtreeConfig) -> Self {
         self.plumtree = config;
+        self
+    }
+
+    /// Enables structured decision tracing with a ring of `capacity`
+    /// events (drained into the node handle's snapshot on each publish).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
         self
     }
 }
@@ -332,6 +344,26 @@ impl Node {
     /// Snapshot of the node's runtime counters.
     pub fn stats(&self) -> NodeStats {
         self.shared.lock().stats
+    }
+
+    /// Snapshot of the node's full metric registry: the canonical
+    /// `frames.*` / `broadcast.*` / `net.*` transport counters (shared
+    /// with the simulator's event loop — see
+    /// [`hyparview_obsv::names::SHARED_TRANSPORT_NAMES`]) plus the
+    /// protocol-layer `hyparview.*` and, in Plumtree mode, `plumtree.*`
+    /// counters.
+    pub fn metrics(&self) -> Registry {
+        self.shared.lock().metrics.clone()
+    }
+
+    /// Drains the decision-trace events published since the last call
+    /// (always empty unless [`NetConfig::trace_capacity`] is nonzero).
+    /// Timestamps are wall-clock microseconds since the node started.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        match &mut self.shared.lock().trace {
+            Some(ring) => ring.drain().collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Gracefully leaves the overlay (sends `DISCONNECT` to all active

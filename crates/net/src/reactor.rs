@@ -38,6 +38,7 @@ use crate::wire::{encode, Frame, FrameReader};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
 use hyparview_core::Message;
+use hyparview_obsv::{names, CounterId, GaugeId, Registry};
 use hyparview_plumtree::PlumtreeTimer;
 use parking_lot::Mutex;
 pub use polling::raise_nofile_limit;
@@ -78,6 +79,7 @@ pub struct Cluster {
 pub(crate) struct ClusterInner {
     control: Sender<ReactorControl>,
     poller: Arc<Poller>,
+    metrics: Arc<Mutex<Registry>>,
     thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
@@ -111,17 +113,28 @@ impl Cluster {
     pub fn new() -> std::io::Result<Cluster> {
         let poller = Arc::new(Poller::new()?);
         let (control_tx, control_rx) = unbounded();
+        let metrics = Arc::new(Mutex::new(Registry::new()));
         let reactor_poller = Arc::clone(&poller);
+        let reactor_metrics = Arc::clone(&metrics);
         let thread = std::thread::Builder::new()
             .name("hpv-reactor".to_owned())
-            .spawn(move || Reactor::new(reactor_poller, control_rx).run())?;
+            .spawn(move || Reactor::new(reactor_poller, control_rx, reactor_metrics).run())?;
         Ok(Cluster {
             inner: Arc::new(ClusterInner {
                 control: control_tx,
                 poller,
+                metrics,
                 thread: Mutex::new(Some(thread)),
             }),
         })
+    }
+
+    /// Snapshot of the reactor loop's introspection metrics (`reactor.*`):
+    /// epoll wait counts and cumulative wait time, readiness-batch and
+    /// per-connection outbound-queue high-water marks, timer-heap lag.
+    /// Published once per loop iteration by the reactor thread.
+    pub fn reactor_metrics(&self) -> Registry {
+        self.inner.metrics.lock().clone()
     }
 
     /// Binds `addr` (port 0 for ephemeral) and adds a node to this reactor.
@@ -268,11 +281,20 @@ struct Io {
     /// `(node, canonical peer) -> slab key` for outbound connections, so a
     /// node's sends reuse one connection per peer.
     outbound: HashMap<(usize, SocketAddr), usize>,
+    /// Deepest outbound queue ever observed (`reactor.outq_high_water`) —
+    /// how close the cluster came to NeEM slow-node expulsion.
+    outq_high_water: u64,
 }
 
 impl Io {
     fn new(poller: Arc<Poller>) -> Io {
-        Io { poller, slots: Vec::new(), free: Vec::new(), outbound: HashMap::new() }
+        Io {
+            poller,
+            slots: Vec::new(),
+            free: Vec::new(),
+            outbound: HashMap::new(),
+            outq_high_water: 0,
+        }
     }
 
     fn alloc_key(&mut self) -> usize {
@@ -387,6 +409,7 @@ impl Io {
         };
         let Slot::Conn(conn) = &mut self.slots[key] else { return };
         conn.outq.push_back(bytes);
+        self.outq_high_water = self.outq_high_water.max(conn.outq.len() as u64);
         if conn.outq.len() > queue_cap {
             // NeEM-style slow-node expulsion (§5.5): the peer is not
             // draining; cutting it loose beats back-pressuring the overlay.
@@ -560,6 +583,27 @@ impl NodeCtx for ReactorCtx<'_> {
     }
 }
 
+/// Loop-local accumulators for the `reactor.*` introspection metrics,
+/// flushed into the shared registry once per loop iteration.
+#[derive(Default)]
+struct LoopStats {
+    epoll_waits: u64,
+    epoll_wait_us: u64,
+    batch_max: u64,
+    timer_lag_us_max: u64,
+    timers_fired: u64,
+}
+
+/// Handles into the shared introspection registry (registered once).
+struct GaugeIds {
+    epoll_waits: CounterId,
+    epoll_wait_us: CounterId,
+    timers_fired: CounterId,
+    batch_max: GaugeId,
+    outq_high_water: GaugeId,
+    timer_lag_us_max: GaugeId,
+}
+
 struct Reactor {
     io: Io,
     /// Node table. Indices are never reused, so a stale timer or a late
@@ -571,10 +615,28 @@ struct Reactor {
     /// Nodes whose shared snapshot is stale; published once per loop
     /// iteration instead of once per event.
     dirty: HashSet<usize>,
+    stats: LoopStats,
+    metrics: Arc<Mutex<Registry>>,
+    gauge_ids: GaugeIds,
 }
 
 impl Reactor {
-    fn new(poller: Arc<Poller>, control_rx: Receiver<ReactorControl>) -> Reactor {
+    fn new(
+        poller: Arc<Poller>,
+        control_rx: Receiver<ReactorControl>,
+        metrics: Arc<Mutex<Registry>>,
+    ) -> Reactor {
+        let gauge_ids = {
+            let mut registry = metrics.lock();
+            GaugeIds {
+                epoll_waits: registry.counter(names::REACTOR_EPOLL_WAITS),
+                epoll_wait_us: registry.counter(names::REACTOR_EPOLL_WAIT_US),
+                timers_fired: registry.counter(names::REACTOR_TIMERS_FIRED),
+                batch_max: registry.gauge(names::REACTOR_BATCH_MAX),
+                outq_high_water: registry.gauge(names::REACTOR_OUTQ_HIGH_WATER),
+                timer_lag_us_max: registry.gauge(names::REACTOR_TIMER_LAG_US_MAX),
+            }
+        };
         Reactor {
             io: Io::new(poller),
             nodes: Vec::new(),
@@ -582,7 +644,23 @@ impl Reactor {
             timer_seq: 0,
             control_rx,
             dirty: HashSet::new(),
+            stats: LoopStats::default(),
+            metrics,
+            gauge_ids,
         }
+    }
+
+    /// Mirrors the loop-local accumulators into the shared registry —
+    /// one short lock per loop iteration, absolute values (cumulative
+    /// counters, high-water gauges).
+    fn publish_gauges(&mut self) {
+        let mut registry = self.metrics.lock();
+        registry.set_counter(self.gauge_ids.epoll_waits, self.stats.epoll_waits);
+        registry.set_counter(self.gauge_ids.epoll_wait_us, self.stats.epoll_wait_us);
+        registry.set_counter(self.gauge_ids.timers_fired, self.stats.timers_fired);
+        registry.set_gauge(self.gauge_ids.batch_max, self.stats.batch_max);
+        registry.set_gauge(self.gauge_ids.outq_high_water, self.io.outq_high_water);
+        registry.set_gauge(self.gauge_ids.timer_lag_us_max, self.stats.timer_lag_us_max);
     }
 
     /// Runs `f` against a node's core with a fresh [`ReactorCtx`], then
@@ -669,7 +747,7 @@ impl Reactor {
     }
 
     fn remove_node(&mut self, node: usize) {
-        let Some(slot) = self.nodes.get_mut(node).and_then(Option::take) else { return };
+        let Some(mut slot) = self.nodes.get_mut(node).and_then(Option::take) else { return };
         self.io.close(slot.listener_key);
         let conn_keys: Vec<usize> = self
             .io
@@ -695,7 +773,10 @@ impl Reactor {
                 Some(std::cmp::Reverse((deadline, _, _))) if *deadline <= now => {}
                 _ => return,
             }
-            let Some(std::cmp::Reverse((_, _, entry))) = self.timers.pop() else { return };
+            let Some(std::cmp::Reverse((deadline, _, entry))) = self.timers.pop() else { return };
+            self.stats.timers_fired += 1;
+            let lag_us = now.saturating_duration_since(deadline).as_micros() as u64;
+            self.stats.timer_lag_us_max = self.stats.timer_lag_us_max.max(lag_us);
             match entry {
                 TimerEntry::Shuffle(node) => {
                     self.with_core(node, |core, ctx| core.on_shuffle_tick(ctx));
@@ -713,7 +794,7 @@ impl Reactor {
 
     fn publish_dirty(&mut self) {
         for node in self.dirty.drain() {
-            if let Some(Some(slot)) = self.nodes.get(node) {
+            if let Some(Some(slot)) = self.nodes.get_mut(node) {
                 slot.core.publish();
             }
         }
@@ -838,26 +919,34 @@ impl Reactor {
             }
             self.fire_due_timers();
             self.publish_dirty();
+            self.publish_gauges();
             let timeout =
                 self.timers.peek().map(|next| (next.0).0.saturating_duration_since(Instant::now()));
+            let wait_start = Instant::now();
             if self.io.poller.wait(&mut events, timeout).is_err() {
                 break;
             }
+            self.stats.epoll_waits += 1;
+            self.stats.epoll_wait_us += wait_start.elapsed().as_micros() as u64;
             // `events` snapshots keys; a handler may free (and the slab
             // reuse) a key within the batch. handle_event re-checks the
             // slot kind, and a misdirected read/flush on a reused slot is
             // harmless under level-triggered polling (real readiness is
             // re-reported on the next wait).
+            let mut batch = 0u64;
             for event in events.iter() {
+                batch += 1;
                 self.handle_event(event, &mut buf, &mut frames);
             }
+            self.stats.batch_max = self.stats.batch_max.max(batch);
         }
         // Shutdown: close every fd and publish final snapshots.
         for key in 0..self.io.slots.len() {
             self.io.close(key);
         }
-        for slot in self.nodes.iter().flatten() {
+        for slot in self.nodes.iter_mut().flatten() {
             slot.core.publish();
         }
+        self.publish_gauges();
     }
 }

@@ -1,0 +1,147 @@
+//! Minimal leveled, structured logging for the binaries.
+//!
+//! Logging is **off until initialized**: library code and tests never see
+//! output unless a binary opts in with [`init`] (or [`init_from_env`],
+//! which lets `HPV_LOG=debug` et al. override the binary's default).
+//! Lines go to stderr as `LEVEL target: message`, keeping stdout free for
+//! experiment artifacts.
+//!
+//! The [`obsv_error!`](crate::obsv_error), [`obsv_warn!`](crate::obsv_warn),
+//! [`obsv_info!`](crate::obsv_info) and [`obsv_debug!`](crate::obsv_debug)
+//! macros check the level before formatting, so a disabled level costs one
+//! atomic load.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Severity of a log line, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing is logged (the default until a binary initializes).
+    Off = 0,
+    /// Unrecoverable or surprising failures.
+    Error = 1,
+    /// Degraded but continuing.
+    Warn = 2,
+    /// Operational milestones (node spawned, cluster converged).
+    Info = 3,
+    /// Per-event detail for debugging.
+    Debug = 4,
+}
+
+impl Level {
+    fn parse(text: &str) -> Option<Level> {
+        match text.to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Level::Off => "OFF",
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+}
+
+/// The environment variable [`init_from_env`] reads.
+pub const ENV_VAR: &str = "HPV_LOG";
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Off as u8);
+
+/// Sets the global log level.
+pub fn init(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Sets the global log level from [`ENV_VAR`] when set (and parseable),
+/// falling back to `default`. Returns the level that took effect.
+pub fn init_from_env(default: Level) -> Level {
+    let level = std::env::var(ENV_VAR).ok().and_then(|text| Level::parse(&text)).unwrap_or(default);
+    init(level);
+    level
+}
+
+/// `true` when a line at `level` would be emitted.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= LEVEL.load(Ordering::Relaxed) && level != Level::Off
+}
+
+/// Emits one line (used via the logging macros, which gate on
+/// [`enabled`] before formatting).
+pub fn emit(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    eprintln!("{:5} {target}: {args}", level.label());
+}
+
+/// Logs at [`Level::Error`]: `obsv_error!("target", "oops: {e}")`.
+#[macro_export]
+macro_rules! obsv_error {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::emit($crate::log::Level::Error, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! obsv_warn {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::emit($crate::log::Level::Warn, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! obsv_info {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::emit($crate::log::Level::Info, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! obsv_debug {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::emit($crate::log::Level::Debug, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("nonsense"), None);
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn disabled_by_default_and_gated_by_level() {
+        // The global default is Off; nothing is enabled.
+        assert!(!enabled(Level::Error), "logging must be off in tests by default");
+        init(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        obsv_warn!("test", "a warning {}", 1);
+        init(Level::Off);
+        assert!(!enabled(Level::Error), "Off silences even errors");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests of the histogram bucketing scheme — the invariants the
+//! byte-deterministic artifacts lean on.
+//!
+//! * **Monotone boundaries** — the bucket index map never decreases and
+//!   every bucket's bounds bracket the values it receives.
+//! * **Sum/count invariants** — `count` and `sum` track the raw samples
+//!   exactly, however they were bucketed.
+//! * **Merge associativity and determinism** — folding per-job partial
+//!   histograms in any split or order reproduces the sequential result,
+//!   which is what keeps `--jobs N` artifacts byte-identical.
+
+use hyparview_obsv::{bucket_bounds, bucket_index, Histogram};
+use proptest::prelude::*;
+
+/// Sample values spanning the linear range, several octaves, and huge
+/// magnitudes.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..64, 0u64..100_000, 0u64..(1 << 40)]
+}
+
+proptest! {
+    #[test]
+    fn bucket_index_is_monotone(a in sample(), b in sample()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi),
+            "index({lo}) > index({hi})");
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values(v in sample()) {
+        let index = bucket_index(v);
+        let (lower, upper) = bucket_bounds(index);
+        prop_assert!(lower <= v && v < upper, "{v} outside [{lower}, {upper})");
+        prop_assert!(lower < upper);
+        // Adjacent buckets tile the axis: no gaps, no overlaps.
+        let (next_lower, _) = bucket_bounds(index + 1);
+        prop_assert_eq!(upper, next_lower);
+    }
+
+    #[test]
+    fn count_and_sum_are_exact(values in proptest::collection::vec(sample(), 0..200)) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        prop_assert_eq!(hist.count(), values.len() as u64);
+        prop_assert_eq!(hist.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(hist.min(), values.iter().min().copied().unwrap_or(0));
+        prop_assert_eq!(hist.max(), values.iter().max().copied().unwrap_or(0));
+        // The bucketed quantile may overestimate, but never by more than
+        // one sub-bucket width (12.5%), and never exceeds the recorded max
+        // bucket's upper bound.
+        if !values.is_empty() {
+            let p99 = hist.p99();
+            let true_max = hist.max();
+            prop_assert!(p99 < bucket_bounds(bucket_index(true_max)).1);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_reached_by_some_bucket(values in proptest::collection::vec(sample(), 1..100)) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let answer = hist.quantile(q);
+            let (lower, upper) = bucket_bounds(bucket_index(answer));
+            // The answer is a bucket's inclusive upper bound.
+            prop_assert!(answer + 1 == upper || answer >= lower);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_split_invariant(
+        values in proptest::collection::vec(sample(), 0..150),
+        split_a in 0usize..150,
+        split_b in 0usize..150,
+    ) {
+        // Sequential reference.
+        let mut all = Histogram::new();
+        for &v in &values {
+            all.record(v);
+        }
+
+        // Split into three parts at arbitrary points, as a --jobs 3 sweep
+        // would, then merge left-assoc and right-assoc.
+        let a = split_a.min(values.len());
+        let b = split_b.clamp(a, values.len());
+        let fill = |slice: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in slice {
+                h.record(v);
+            }
+            h
+        };
+        let (h1, h2, h3) = (fill(&values[..a]), fill(&values[a..b]), fill(&values[b..]));
+
+        let mut left = h1.clone();
+        left.merge(&h2);
+        left.merge(&h3);
+
+        let mut rest = h2.clone();
+        rest.merge(&h3);
+        let mut right = h1.clone();
+        right.merge(&rest);
+
+        prop_assert_eq!(&left, &all, "left-associated merge diverged");
+        prop_assert_eq!(&right, &all, "right-associated merge diverged");
+        // Deterministic serialization follows: identical structs, identical
+        // quantiles.
+        prop_assert_eq!(left.p50(), all.p50());
+        prop_assert_eq!(right.p99(), all.p99());
+    }
+}

@@ -111,6 +111,46 @@ pub struct PlumtreeStats {
     pub redundant: u64,
 }
 
+/// The `plumtree.*` registry names, field order of [`PlumtreeStats`].
+pub const METRIC_NAMES: [&str; 10] = [
+    "plumtree.gossip_sent",
+    "plumtree.ihave_sent",
+    "plumtree.ihave_batches_sent",
+    "plumtree.grafts_sent",
+    "plumtree.prunes_sent",
+    "plumtree.optimizations",
+    "plumtree.late_optimizations",
+    "plumtree.graft_dead_letters",
+    "plumtree.delivered",
+    "plumtree.redundant",
+];
+
+impl PlumtreeStats {
+    /// Writes this snapshot into `registry` under the canonical
+    /// `plumtree.*` names (absolute values, so republishing a refreshed
+    /// snapshot never double-counts). [`PlumtreeStats`] stays the
+    /// plain-struct *view*; the registry is the cross-layer form that
+    /// cluster aggregation merges.
+    pub fn fill_registry(&self, registry: &mut hyparview_obsv::Registry) {
+        let values = [
+            self.gossip_sent,
+            self.ihave_sent,
+            self.ihave_batches_sent,
+            self.grafts_sent,
+            self.prunes_sent,
+            self.optimizations,
+            self.late_optimizations,
+            self.graft_dead_letters,
+            self.delivered,
+            self.redundant,
+        ];
+        for (name, value) in METRIC_NAMES.iter().zip(values) {
+            let id = registry.counter(name);
+            registry.set_counter(id, value);
+        }
+    }
+}
+
 impl std::ops::AddAssign for PlumtreeStats {
     fn add_assign(&mut self, rhs: PlumtreeStats) {
         self.gossip_sent += rhs.gossip_sent;

@@ -153,7 +153,7 @@ impl AnySim {
 
     /// See [`crate::Sim::stats`].
     pub fn stats(&self) -> SimStats {
-        dispatch!(self, sim => *sim.stats())
+        dispatch!(self, sim => sim.stats())
     }
 }
 

@@ -16,6 +16,10 @@
 use crate::event::{EventQueue, QueueBackend};
 use hyparview_core::SimId;
 use hyparview_gossip::{BroadcastReport, GossipState, Membership, Outbox};
+use hyparview_obsv::{
+    names, CounterId, HopRecord, PathTracer, Registry, TimerKind, TraceEvent, TraceKind, TraceRing,
+    TraceSink, VirtualClock,
+};
 use hyparview_plumtree::{
     BroadcastMode, MsgId, PlumtreeConfig, PlumtreeMessage, PlumtreeOut, PlumtreeState,
     PlumtreeStats, PlumtreeTimer,
@@ -262,6 +266,12 @@ impl SimConfig {
 }
 
 /// Cumulative simulator counters.
+///
+/// Since the observability refactor this struct is a *snapshot view*: the
+/// source of truth is the simulator's [`Registry`], which counts under the
+/// canonical `sim.*` / `frames.*` / `broadcast.*` names shared with the
+/// TCP runtime (see [`hyparview_obsv::names`]). [`Sim::stats`] materializes
+/// the view; [`Sim::metrics`] exposes the registry itself.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Membership messages delivered.
@@ -280,6 +290,48 @@ pub struct SimStats {
     /// of the simulator's events/sec throughput metric. Deterministic per
     /// seed, like every other counter here.
     pub events_processed: u64,
+}
+
+/// Pre-registered handles into the simulator's [`Registry`] — the hot
+/// path increments by dense index, never by name.
+#[derive(Debug, Clone, Copy)]
+struct SimCounters {
+    membership_delivered: CounterId,
+    membership_to_dead: CounterId,
+    gossip_delivered: CounterId,
+    gossip_to_dead: CounterId,
+    failure_notifications: CounterId,
+    broadcasts: CounterId,
+    events_processed: CounterId,
+    frames_sent: CounterId,
+    frames_payload: CounterId,
+    frames_ihave: CounterId,
+    frames_ihave_batch: CounterId,
+    frames_ihave_batch_anns: CounterId,
+    delivered: CounterId,
+    duplicates: CounterId,
+}
+
+impl SimCounters {
+    /// Registers the canonical counter names in `registry`.
+    fn register(registry: &mut Registry) -> SimCounters {
+        SimCounters {
+            membership_delivered: registry.counter(names::SIM_MEMBERSHIP_DELIVERED),
+            membership_to_dead: registry.counter(names::SIM_MEMBERSHIP_TO_DEAD),
+            gossip_delivered: registry.counter(names::SIM_GOSSIP_DELIVERED),
+            gossip_to_dead: registry.counter(names::SIM_GOSSIP_TO_DEAD),
+            failure_notifications: registry.counter(names::SIM_FAILURE_NOTIFICATIONS),
+            broadcasts: registry.counter(names::BROADCAST_SENT),
+            events_processed: registry.counter(names::SIM_EVENTS_PROCESSED),
+            frames_sent: registry.counter(names::FRAMES_SENT),
+            frames_payload: registry.counter(names::FRAMES_PAYLOAD_SENT),
+            frames_ihave: registry.counter(names::FRAMES_IHAVE_SENT),
+            frames_ihave_batch: registry.counter(names::FRAMES_IHAVE_BATCH_SENT),
+            frames_ihave_batch_anns: registry.counter(names::FRAMES_IHAVE_BATCH_ANNS_SENT),
+            delivered: registry.counter(names::BROADCAST_DELIVERED),
+            duplicates: registry.counter(names::BROADCAST_DUPLICATES),
+        }
+    }
 }
 
 /// Event payload: either a membership message or one gossip transmission.
@@ -487,7 +539,16 @@ pub struct Sim<M: Membership<SimId>> {
     queue: EventQueue<Payload<M::Message>>,
     time: u64,
     rng: StdRng,
-    stats: SimStats,
+    /// Source of truth for every counter ([`SimStats`] is a view of this).
+    metrics: Registry,
+    counters: SimCounters,
+    /// The virtual-time face of the shared clock abstraction: advanced in
+    /// lockstep with `time`, read by the trace producers.
+    clock: VirtualClock,
+    /// Hop provenance of first deliveries ([`Sim::enable_path_tracing`]).
+    path: Option<PathTracer>,
+    /// Protocol decision trace ([`Sim::enable_tracing`]).
+    trace: Option<TraceRing>,
     next_broadcast: u64,
     factory: Box<dyn FnMut(SimId, u64) -> M>,
     factory_seed: u64,
@@ -508,13 +569,19 @@ impl<M: Membership<SimId>> Sim<M> {
         F: FnMut(SimId, u64) -> M + 'static,
     {
         let queue = EventQueue::with_backend(config.queue);
+        let mut metrics = Registry::new();
+        let counters = SimCounters::register(&mut metrics);
         Sim {
             config,
             nodes: Vec::new(),
             queue,
             time: 0,
             rng: StdRng::seed_from_u64(seed),
-            stats: SimStats::default(),
+            metrics,
+            counters,
+            clock: VirtualClock::new(),
+            path: None,
+            trace: None,
             next_broadcast: 0,
             factory: Box::new(factory),
             factory_seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
@@ -587,9 +654,84 @@ impl<M: Membership<SimId>> Sim<M> {
         self.queue.is_empty()
     }
 
-    /// Cumulative simulator statistics.
-    pub fn stats(&self) -> &SimStats {
-        &self.stats
+    /// Cumulative simulator statistics, materialized from the metric
+    /// registry (the registry is the source of truth; this struct is the
+    /// legacy snapshot view).
+    pub fn stats(&self) -> SimStats {
+        let value = |id: CounterId| self.metrics.counter_value(id);
+        SimStats {
+            membership_delivered: value(self.counters.membership_delivered),
+            membership_to_dead: value(self.counters.membership_to_dead),
+            gossip_delivered: value(self.counters.gossip_delivered),
+            gossip_to_dead: value(self.counters.gossip_to_dead),
+            failure_notifications: value(self.counters.failure_notifications),
+            broadcasts: value(self.counters.broadcasts),
+            events_processed: value(self.counters.events_processed),
+        }
+    }
+
+    /// The simulator's metric registry: `sim.*` event-loop counters plus
+    /// the `frames.*` / `broadcast.*` transport vocabulary it shares with
+    /// the TCP runtime ([`hyparview_obsv::names`]).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// A cluster-style metrics snapshot: the event-loop registry merged
+    /// with the aggregated per-node protocol counters (`plumtree.*` in
+    /// Plumtree mode).
+    pub fn metrics_snapshot(&self) -> Registry {
+        let mut snapshot = self.metrics.clone();
+        if let Some(total) = self.plumtree_stats_total() {
+            total.fill_registry(&mut snapshot);
+        }
+        snapshot
+    }
+
+    /// Turns on causal broadcast-path tracing: from now on every first
+    /// delivery is tagged with its hop provenance (parent, depth, virtual
+    /// delivery time). Records accumulate until [`Sim::take_path_records`]
+    /// or [`Sim::clear_path_records`]; for long runs, drain between bursts
+    /// to bound memory.
+    pub fn enable_path_tracing(&mut self) {
+        if self.path.is_none() {
+            self.path = Some(PathTracer::new());
+        }
+    }
+
+    /// The hop-provenance records accumulated so far (empty when tracing
+    /// is disabled).
+    pub fn path_records(&self) -> &[HopRecord] {
+        self.path.as_ref().map(PathTracer::records).unwrap_or(&[])
+    }
+
+    /// Moves the accumulated hop-provenance records out, leaving the
+    /// tracer enabled but empty.
+    pub fn take_path_records(&mut self) -> PathTracer {
+        match &mut self.path {
+            Some(tracer) => std::mem::take(tracer),
+            None => PathTracer::new(),
+        }
+    }
+
+    /// Drops accumulated hop-provenance records (between bursts).
+    pub fn clear_path_records(&mut self) {
+        if let Some(tracer) = &mut self.path {
+            tracer.clear();
+        }
+    }
+
+    /// Turns on structured decision tracing into a bounded ring of
+    /// `capacity` events (see [`TraceRing`]): Plumtree grafts, prunes,
+    /// promotions/demotions, timer fires and first deliveries, stamped
+    /// with deterministic virtual time.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = Some(TraceRing::new(capacity));
+    }
+
+    /// The decision-trace ring, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceRing> {
+        self.trace.as_ref()
     }
 
     /// The simulator configuration.
@@ -795,7 +937,7 @@ impl<M: Membership<SimId>> Sim<M> {
         assert!(count > 0, "a burst needs at least one message");
         let base = self.next_broadcast;
         self.next_broadcast += count as u64;
-        self.stats.broadcasts += count as u64;
+        self.metrics.add(self.counters.broadcasts, count as u64);
 
         let mut track = Track::tracking(
             base,
@@ -817,6 +959,8 @@ impl<M: Membership<SimId>> Sim<M> {
                     // The origin delivers its own message at hop 0 and
                     // floods.
                     self.nodes[origin.index()].gossip.deliver(id, 0);
+                    self.metrics.inc(self.counters.delivered);
+                    self.record_delivery(id, origin, None, 0);
                     let targets =
                         self.nodes[origin.index()].memb.broadcast_targets(self.config.fanout, None);
                     if let Some(per) = track.per_mut(id) {
@@ -825,6 +969,8 @@ impl<M: Membership<SimId>> Sim<M> {
                     }
                     for &t in &targets {
                         let latency = self.latency_of(origin, t);
+                        self.metrics.add(self.counters.frames_sent, 1);
+                        self.metrics.add(self.counters.frames_payload, 1);
                         self.queue.push(
                             self.time + latency,
                             origin,
@@ -837,7 +983,7 @@ impl<M: Membership<SimId>> Sim<M> {
                 BroadcastMode::Plumtree => {
                     let mut out = PlumtreeOut::new();
                     self.plumtree_mut(origin.index()).broadcast(id as MsgId, (), &mut out);
-                    self.apply_plumtree_out(origin, out, &mut track);
+                    self.apply_plumtree_out(origin, None, out, &mut track);
                 }
             }
         }
@@ -907,6 +1053,7 @@ impl<M: Membership<SimId>> Sim<M> {
     fn dispatch(&mut self, from: SimId, out: &mut Outbox<SimId, M::Message>) {
         for (to, message) in out.drain() {
             let latency = self.latency_of(from, to);
+            self.metrics.inc(self.counters.frames_sent);
             self.queue.push(self.time + latency, from, to, Payload::Membership(message));
         }
     }
@@ -930,6 +1077,7 @@ impl<M: Membership<SimId>> Sim<M> {
                 self.config.max_drain_events
             );
             self.time = self.time.max(event.time);
+            self.clock.advance_to(self.time);
             match event.payload {
                 Payload::Membership(message) => {
                     self.deliver_membership(event.from, event.to, message);
@@ -939,7 +1087,7 @@ impl<M: Membership<SimId>> Sim<M> {
                 }
                 Payload::ConnectionLost { dead } => {
                     if self.nodes[event.to.index()].alive {
-                        self.stats.failure_notifications += 1;
+                        self.metrics.inc(self.counters.failure_notifications);
                         let mut out = Outbox::new();
                         self.nodes[event.to.index()].memb.on_send_failed(dead, &mut out);
                         let to = event.to;
@@ -953,22 +1101,31 @@ impl<M: Membership<SimId>> Sim<M> {
                 Payload::PlumtreeTimer { timer } => {
                     if self.nodes[event.to.index()].alive {
                         let mut out = PlumtreeOut::new();
+                        self.trace_event(
+                            event.to,
+                            TraceKind::TimerFired {
+                                timer: match timer {
+                                    PlumtreeTimer::Missing(_) => TimerKind::MissingMsg,
+                                    PlumtreeTimer::LazyFlush => TimerKind::LazyFlush,
+                                },
+                            },
+                        );
                         self.plumtree_mut(event.to.index()).on_timer(timer, &mut out);
-                        self.apply_plumtree_out(event.to, out, track);
+                        self.apply_plumtree_out(event.to, None, out, track);
                     }
                 }
             }
         }
-        self.stats.events_processed += processed;
+        self.metrics.add(self.counters.events_processed, processed);
     }
 
     fn deliver_membership(&mut self, from: SimId, to: SimId, message: M::Message) {
         if !self.nodes[to.index()].alive {
-            self.stats.membership_to_dead += 1;
+            self.metrics.inc(self.counters.membership_to_dead);
             self.notify_send_failure(from, to);
             return;
         }
-        self.stats.membership_delivered += 1;
+        self.metrics.inc(self.counters.membership_delivered);
         let mut out = Outbox::new();
         self.nodes[to.index()].memb.handle_message(from, message, &mut out);
         self.dispatch(to, &mut out);
@@ -989,31 +1146,46 @@ impl<M: Membership<SimId>> Sim<M> {
         let is_payload = message.carries_payload();
         if !self.nodes[to.index()].alive {
             if is_payload {
-                self.stats.gossip_to_dead += 1;
+                self.metrics.inc(self.counters.gossip_to_dead);
                 if let Some(per) = message.id().and_then(|id| track.per_mut(id as u64)) {
                     per.to_dead += 1;
                 }
             } else {
-                self.stats.membership_to_dead += 1;
+                self.metrics.inc(self.counters.membership_to_dead);
             }
             self.notify_send_failure(from, to);
             return;
         }
         if is_payload {
-            self.stats.gossip_delivered += 1;
+            self.metrics.inc(self.counters.gossip_delivered);
             if let Some(id) = message.id() {
-                if track.matches(id) && self.plumtree_mut(to.index()).has_seen(id) {
-                    if let Some(per) = track.per_mut(id as u64) {
-                        per.redundant += 1;
+                if self.plumtree_mut(to.index()).has_seen(id) {
+                    self.metrics.inc(self.counters.duplicates);
+                    if track.matches(id) {
+                        if let Some(per) = track.per_mut(id as u64) {
+                            per.redundant += 1;
+                        }
                     }
                 }
             }
         } else {
-            self.stats.membership_delivered += 1;
+            self.metrics.inc(self.counters.membership_delivered);
+            // An incoming graft promotes the sender to the eager set; an
+            // incoming prune demotes it to lazy. Trace the receiver-side
+            // decision (the sender side traced `GraftSent`/`PruneSent`).
+            match &message {
+                PlumtreeMessage::Graft { .. } => {
+                    self.trace_event(to, TraceKind::EagerPromote { peer: from.index() as u64 });
+                }
+                PlumtreeMessage::Prune => {
+                    self.trace_event(to, TraceKind::LazyDemote { peer: from.index() as u64 });
+                }
+                _ => {}
+            }
         }
         let mut out = PlumtreeOut::new();
         self.plumtree_mut(to.index()).handle_message(from, message, &mut out);
-        self.apply_plumtree_out(to, out, track);
+        self.apply_plumtree_out(to, Some(from), out, track);
     }
 
     /// The node's Plumtree state; only reachable in Plumtree mode (the
@@ -1028,22 +1200,28 @@ impl<M: Membership<SimId>> Sim<M> {
     fn apply_plumtree_out(
         &mut self,
         node: SimId,
+        via: Option<SimId>,
         mut out: PlumtreeOut<SimId, ()>,
         track: &mut Track,
     ) {
         for (to, message) in out.outbox.drain() {
+            self.metrics.inc(self.counters.frames_sent);
             match &message {
                 PlumtreeMessage::Gossip { id, .. } => {
+                    self.metrics.inc(self.counters.frames_payload);
                     if let Some(per) = track.per_mut(*id as u64) {
                         per.sent += 1;
                     }
                 }
                 PlumtreeMessage::IHave { id, .. } => {
+                    self.metrics.inc(self.counters.frames_ihave);
                     if let Some(per) = track.per_mut(*id as u64) {
                         per.control += 1;
                     }
                 }
                 PlumtreeMessage::IHaveBatch { anns } => {
+                    self.metrics.inc(self.counters.frames_ihave_batch);
+                    self.metrics.add(self.counters.frames_ihave_batch_anns, anns.len() as u64);
                     // Batch-aware accounting: however many announcements it
                     // carries, a batch is *one* control frame — that is the
                     // entire point of lazy-link batching. It can span
@@ -1054,14 +1232,26 @@ impl<M: Membership<SimId>> Sim<M> {
                     }
                 }
                 PlumtreeMessage::Graft { id: Some(id), .. } => {
-                    if let Some(per) = track.per_mut(*id as u64) {
+                    let msg = *id as u64;
+                    self.trace_event(node, TraceKind::GraftSent { peer: to.index() as u64, msg });
+                    if let Some(per) = track.per_mut(msg) {
                         per.control += 1;
                     }
                 }
-                PlumtreeMessage::Graft { id: None, .. } | PlumtreeMessage::Prune => {
+                PlumtreeMessage::Graft { id: None, .. } => {
+                    self.trace_event(
+                        node,
+                        TraceKind::GraftSent { peer: to.index() as u64, msg: 0 },
+                    );
                     // Optimization grafts and prunes carry no id; attribute
                     // them to the burst whose dissemination provoked them
                     // (bursts are disseminated one at a time).
+                    if track.active() {
+                        track.shared_control += 1;
+                    }
+                }
+                PlumtreeMessage::Prune => {
+                    self.trace_event(node, TraceKind::PruneSent { peer: to.index() as u64 });
                     if track.active() {
                         track.shared_control += 1;
                     }
@@ -1072,6 +1262,12 @@ impl<M: Membership<SimId>> Sim<M> {
         }
         for delivery in out.deliveries.drain(..) {
             let first = self.nodes[node.index()].gossip.deliver(delivery.id as u64, delivery.round);
+            if first {
+                self.metrics.inc(self.counters.delivered);
+                self.record_delivery(delivery.id as u64, node, via, delivery.round);
+            } else {
+                self.metrics.inc(self.counters.duplicates);
+            }
             if first && track.matches(delivery.id) {
                 let round = delivery.round;
                 if let Some(per) = track.per_mut(delivery.id as u64) {
@@ -1104,7 +1300,7 @@ impl<M: Membership<SimId>> Sim<M> {
 
     fn deliver_gossip(&mut self, from: SimId, to: SimId, id: u64, hops: u32, track: &mut Track) {
         if !self.nodes[to.index()].alive {
-            self.stats.gossip_to_dead += 1;
+            self.metrics.inc(self.counters.gossip_to_dead);
             if let Some(per) = track.per_mut(id) {
                 per.to_dead += 1;
             }
@@ -1112,14 +1308,17 @@ impl<M: Membership<SimId>> Sim<M> {
             self.retry_gossip(from, to, id, hops, track);
             return;
         }
-        self.stats.gossip_delivered += 1;
+        self.metrics.inc(self.counters.gossip_delivered);
         let first_time = self.nodes[to.index()].gossip.deliver(id, hops);
         if !first_time {
+            self.metrics.inc(self.counters.duplicates);
             if let Some(per) = track.per_mut(id) {
                 per.redundant += 1;
             }
             return;
         }
+        self.metrics.inc(self.counters.delivered);
+        self.record_delivery(id, to, Some(from), hops);
         // Forward to this node's gossip targets, excluding the sender.
         let targets = self.nodes[to.index()].memb.broadcast_targets(self.config.fanout, Some(from));
         if let Some(per) = track.per_mut(id) {
@@ -1129,6 +1328,8 @@ impl<M: Membership<SimId>> Sim<M> {
         }
         for &t in &targets {
             let latency = self.latency_of(to, t);
+            self.metrics.add(self.counters.frames_sent, 1);
+            self.metrics.add(self.counters.frames_payload, 1);
             self.queue.push(self.time + latency, to, t, Payload::Gossip { id, hops: hops + 1 });
         }
         if track.matches(id as MsgId) {
@@ -1138,6 +1339,30 @@ impl<M: Membership<SimId>> Sim<M> {
 
     /// TCP-as-failure-detector: a send to a dead node synchronously informs
     /// detecting protocols.
+    /// Tags one *first* delivery with its hop provenance (when path
+    /// tracing is on) and mirrors it into the decision trace (when that
+    /// is on). `parent` is the node the payload arrived from — `None`
+    /// for the broadcast origin's self-delivery.
+    fn record_delivery(&mut self, id: u64, node: SimId, parent: Option<SimId>, depth: u32) {
+        if let Some(tracer) = &mut self.path {
+            tracer.record(HopRecord {
+                msg: id,
+                node: node.index() as u64,
+                parent: parent.map(|p| p.index() as u64),
+                depth,
+                time: self.time,
+            });
+        }
+        self.trace_event(node, TraceKind::Delivered { msg: id, hops: depth });
+    }
+
+    /// Appends one decision-trace event (no-op unless tracing is on).
+    fn trace_event(&mut self, node: SimId, kind: TraceKind) {
+        if let Some(ring) = &mut self.trace {
+            ring.record(TraceEvent { time: self.time, node: node.index() as u64, kind });
+        }
+    }
+
     fn notify_send_failure(&mut self, sender: SimId, dead: SimId) {
         if !self.nodes[sender.index()].alive {
             return;
@@ -1145,7 +1370,7 @@ impl<M: Membership<SimId>> Sim<M> {
         if !self.nodes[sender.index()].memb.detects_send_failures() {
             return;
         }
-        self.stats.failure_notifications += 1;
+        self.metrics.inc(self.counters.failure_notifications);
         let mut out = Outbox::new();
         self.nodes[sender.index()].memb.on_send_failed(dead, &mut out);
         self.dispatch(sender, &mut out);
@@ -1174,6 +1399,8 @@ impl<M: Membership<SimId>> Sim<M> {
             per.sent += 1;
         }
         let latency = self.latency_of(sender, replacement);
+        self.metrics.add(self.counters.frames_sent, 1);
+        self.metrics.add(self.counters.frames_payload, 1);
         self.queue.push(self.time + latency, sender, replacement, Payload::Gossip { id, hops });
     }
 }
@@ -1199,7 +1426,7 @@ impl<M: Membership<SimId>> std::fmt::Debug for Sim<M> {
             .field("nodes", &self.nodes.len())
             .field("alive", &self.alive_count())
             .field("time", &self.time)
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -1305,7 +1532,7 @@ mod tests {
             sim.run_cycles(3);
             sim.fail_fraction(0.4);
             let r = sim.broadcast_random();
-            (r.delivered, r.sent, r.redundant, r.max_hops, *sim.stats())
+            (r.delivered, r.sent, r.redundant, r.max_hops, sim.stats())
         };
         assert_eq!(run(42), run(42));
     }
@@ -1480,7 +1707,7 @@ mod tests {
             let mut sim = build_plumtree_overlay(seed, 40);
             sim.fail_fraction(0.3);
             let r = sim.broadcast_random();
-            (r.delivered, r.sent, r.redundant, r.control, r.max_hops, *sim.stats())
+            (r.delivered, r.sent, r.redundant, r.control, r.max_hops, sim.stats())
         };
         assert_eq!(run(42), run(42));
     }
@@ -1669,5 +1896,91 @@ mod tests {
         sim.join(b, a);
         let report = sim.broadcast_from(a);
         assert_eq!(report.control, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Observability: registry metrics, path tracing, decision trace
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn metrics_registry_mirrors_sim_stats_snapshot() {
+        let mut sim = hyparview_sim(31);
+        let contact = sim.add_node();
+        for _ in 1..20 {
+            let id = sim.add_node();
+            sim.join(id, contact);
+        }
+        sim.run_cycles(3);
+        sim.broadcast_from(contact);
+        let stats = sim.stats();
+        let m = sim.metrics();
+        assert!(stats.events_processed > 0);
+        assert_eq!(m.value_by_name(names::SIM_EVENTS_PROCESSED), Some(stats.events_processed));
+        assert_eq!(
+            m.value_by_name(names::SIM_MEMBERSHIP_DELIVERED),
+            Some(stats.membership_delivered)
+        );
+        assert_eq!(m.value_by_name(names::BROADCAST_SENT), Some(stats.broadcasts));
+        assert!(m.value_by_name(names::FRAMES_SENT).unwrap() > 0);
+        // Every cross-transport metric name is present in the snapshot.
+        let snapshot = sim.metrics_snapshot();
+        for name in names::SHARED_TRANSPORT_NAMES {
+            assert!(snapshot.value_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn path_tracing_reconstructs_a_spanning_dissemination_tree() {
+        let mut sim = build_plumtree_overlay(32, 40);
+        for _ in 0..5 {
+            sim.broadcast_from(SimId::new(0));
+        }
+        sim.enable_path_tracing();
+        let report = sim.broadcast_from(SimId::new(0));
+        assert!(report.is_atomic());
+        let tracer = sim.take_path_records();
+        let tree = tracer.tree(report.id).expect("traced broadcast has a tree");
+        assert_eq!(tree.node_count(), report.alive, "tree spans every alive node");
+        assert_eq!(tree.records()[0].parent, None, "root is the origin");
+        assert_eq!(tree.max_depth(), report.max_hops);
+        let hops = tree.hop_latency_histogram();
+        assert_eq!(hops.count(), report.alive as u64 - 1, "one hop latency per non-root");
+        let rendered = tree.render();
+        assert!(rendered.contains("msg"), "render names the message: {rendered}");
+        assert!(sim.path_records().is_empty(), "take drains the tracer");
+    }
+
+    #[test]
+    fn path_tracing_works_in_flood_mode_too() {
+        let mut sim = hyparview_sim(33);
+        let contact = sim.add_node();
+        for _ in 1..20 {
+            let id = sim.add_node();
+            sim.join(id, contact);
+        }
+        sim.run_cycles(3);
+        sim.enable_path_tracing();
+        let report = sim.broadcast_from(contact);
+        let tree = sim.take_path_records().tree(report.id).expect("flood tree");
+        assert_eq!(tree.node_count(), report.delivered);
+        assert_eq!(tree.max_depth(), report.max_hops);
+    }
+
+    #[test]
+    fn decision_trace_records_plumtree_protocol_events() {
+        let mut sim = build_plumtree_overlay(34, 40);
+        sim.enable_tracing(4096);
+        for _ in 0..10 {
+            sim.broadcast_from(SimId::new(0));
+        }
+        let ring = sim.trace().expect("tracing enabled");
+        assert!(!ring.is_empty());
+        let kinds: Vec<_> = ring.events().map(|e| &e.kind).collect();
+        assert!(kinds.iter().any(|k| matches!(k, TraceKind::Delivered { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, TraceKind::PruneSent { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, TraceKind::LazyDemote { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, TraceKind::TimerFired { .. })));
+        // Ring stays bounded.
+        assert!(ring.len() <= 4096);
     }
 }

@@ -247,7 +247,7 @@ proptest! {
             sim.run_cycles(2);
             sim.fail_fraction(failure);
             let report = sim.broadcast_from(sim.alive_ids()[0]);
-            (report, *sim.stats())
+            (report, sim.stats())
         };
         prop_assert_eq!(run(QueueBackend::Bucket), run(QueueBackend::Heap));
     }

@@ -10,6 +10,8 @@
 //!   substitute).
 //! * [`graph`] — overlay graph metrics.
 //! * [`net`] — the real TCP runtime.
+//! * [`obsv`] — the sans-io observability layer (metric registry,
+//!   structured traces, broadcast-path tracing).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
@@ -21,4 +23,5 @@ pub use hyparview_core as core;
 pub use hyparview_gossip as gossip;
 pub use hyparview_graph as graph;
 pub use hyparview_net as net;
+pub use hyparview_obsv as obsv;
 pub use hyparview_sim as sim;
