@@ -13,6 +13,7 @@ use crate::experiments::adaptive::{AdaptiveCell, PathSummary, PhaseMetrics};
 use crate::experiments::fig2::Fig2Row;
 use crate::experiments::latency::LatencyCell;
 use crate::experiments::plumtree::BroadcastCostRow;
+use crate::experiments::wan::WanCell;
 use crate::json::{array, JsonObject};
 use crate::params::Params;
 
@@ -171,6 +172,51 @@ pub fn plumtree_latency_artifact(
                     .int("late_optimizations", cell.late_optimizations)
                     .int("grafts", cell.grafts)
                     .int("dead_letters", cell.dead_letters)
+                    .int("events", cell.events)
+                    .build()
+            })),
+        )
+        .build()
+}
+
+/// The `plumtree_wan` results artifact. Cells are labeled by strategy and
+/// loss rate (`variant` + `label`), so the diff flattener yields stable
+/// paths like `cells[adaptive.loss10].stable.mean_reliability`.
+pub fn plumtree_wan_artifact(
+    params: &Params,
+    warmup: usize,
+    part_messages: usize,
+    heal_attempts: usize,
+    cells: &[WanCell],
+) -> String {
+    let sample_tree =
+        cells.first().map(|c| c.stable_paths.sample_tree.as_str()).unwrap_or_default();
+    JsonObject::new()
+        .str("experiment", "plumtree_wan")
+        .str("params", &params.describe())
+        .int("warmup", warmup as u64)
+        .int("partition_messages", part_messages as u64)
+        .int("heal_attempts", heal_attempts as u64)
+        .str("sample_tree", sample_tree)
+        .raw(
+            "cells",
+            array(cells.iter().map(|cell| {
+                JsonObject::new()
+                    .str("variant", cell.mode)
+                    .str("label", &format!("loss{}", (cell.loss * 100.0).round() as u64))
+                    .num("loss", cell.loss)
+                    .raw("stable", phase_json(&cell.stable))
+                    .raw("stable_paths", paths_json(&cell.stable_paths))
+                    .num("partitioned_reliability", cell.partitioned_reliability)
+                    .int("heal_broadcasts", cell.heal_broadcasts)
+                    .int("time_to_heal", cell.time_to_heal)
+                    .int("converged", cell.converged as u64)
+                    .raw("healed", phase_json(&cell.healed))
+                    .int("grafts", cell.grafts)
+                    .int("dead_letters", cell.dead_letters)
+                    .int("dropped", cell.dropped)
+                    .int("partition_dropped", cell.partition_dropped)
+                    .int("duplicated", cell.duplicated)
                     .int("events", cell.events)
                     .build()
             })),

@@ -20,7 +20,7 @@
 //! artifact was uploaded), `1` if any directed metric regressed beyond the
 //! threshold, `2` on usage or parse errors.
 
-use hyparview_bench::diff::{diff, flatten, markdown_table_with_trend, Trend};
+use hyparview_bench::diff::{diff, flatten, markdown_table_with_trend, new_artifact_table, Trend};
 use hyparview_bench::json::parse;
 use std::path::{Path, PathBuf};
 use std::process::exit;
@@ -65,7 +65,7 @@ fn main() {
     // A baseline of run-<id>/ subdirectories is a rolling window: gate
     // against the newest run, feed the older ones into the trend column.
     let (gate, window) = resolve_window(baseline);
-    let (pairs, notices) = pair_artifacts(&gate, current);
+    let (pairs, notices, current_only) = pair_artifacts(&gate, current);
     println!("### Bench trend vs baseline (threshold {:.0}%)\n", threshold * 100.0);
     if !window.is_empty() {
         println!(
@@ -76,6 +76,23 @@ fn main() {
     }
     for notice in &notices {
         println!("{notice}\n");
+    }
+    // Artifacts with no baseline (a new experiment this PR introduces, or
+    // one the older main runs never uploaded) are recorded informationally
+    // — their values become the baseline of the next run — and never gate.
+    for name in &current_only {
+        match load(&current.join(name)) {
+            Some(value) => {
+                let table = new_artifact_table(&flatten(&value));
+                println!(
+                    "<details><summary><b>{name}</b> — new in this run, informational</summary>\n"
+                );
+                println!("{table}</details>\n");
+            }
+            None => {
+                println!("_`{name}` is new in this run but failed to load — see the step log._\n")
+            }
+        }
     }
     if pairs.is_empty() {
         println!("_Baseline and current artifacts share no JSON files — nothing to compare._");
@@ -177,17 +194,19 @@ fn load(path: &Path) -> Option<hyparview_bench::json::JsonValue> {
     parse(&text).map_err(|e| eprintln!("parse {}: {e}", path.display())).ok()
 }
 
+/// `(name, baseline path, current path)` for each artifact present on
+/// both sides.
+type ArtifactPairs = Vec<(String, PathBuf, PathBuf)>;
+
 /// Pairs the artifacts to compare: two files compare directly, two
 /// directories pair by file name. Files present on only one side are not
-/// regressions (new or retired experiments); they come back as markdown
-/// notices for the caller to print under its header.
-fn pair_artifacts(
-    baseline: &Path,
-    current: &Path,
-) -> (Vec<(String, PathBuf, PathBuf)>, Vec<String>) {
+/// regressions (new or retired experiments); retired ones come back as
+/// markdown notices, current-only ones additionally as a name list so the
+/// caller can render their values informationally.
+fn pair_artifacts(baseline: &Path, current: &Path) -> (ArtifactPairs, Vec<String>, Vec<String>) {
     if baseline.is_file() {
         let name = baseline.file_name().unwrap_or_default().to_string_lossy().into_owned();
-        return (vec![(name, baseline.to_owned(), current.to_owned())], Vec::new());
+        return (vec![(name, baseline.to_owned(), current.to_owned())], Vec::new(), Vec::new());
     }
     let json_files = |dir: &Path| -> Vec<String> {
         let mut names: Vec<String> = std::fs::read_dir(dir)
@@ -205,9 +224,8 @@ fn pair_artifacts(
     let base_names = json_files(baseline);
     let current_names = json_files(current);
     let mut notices = Vec::new();
-    for name in current_names.iter().filter(|n| !base_names.contains(n)) {
-        notices.push(format!("_`{name}` is new in this run (no baseline)._"));
-    }
+    let current_only: Vec<String> =
+        current_names.iter().filter(|n| !base_names.contains(n)).cloned().collect();
     for name in base_names.iter().filter(|n| !current_names.contains(n)) {
         notices.push(format!("_`{name}` exists only in the baseline (experiment removed?)._"));
     }
@@ -216,5 +234,5 @@ fn pair_artifacts(
         .filter(|n| current_names.contains(n))
         .map(|n| (n.clone(), baseline.join(&n), current.join(&n)))
         .collect();
-    (pairs, notices)
+    (pairs, notices, current_only)
 }

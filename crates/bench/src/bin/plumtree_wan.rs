@@ -1,0 +1,195 @@
+//! Broadcast under WAN conditions: per-link loss, duplication, and a
+//! partition-and-heal cycle, for flood vs static vs adaptive Plumtree.
+//!
+//! ```text
+//! cargo run --release -p hyparview-bench --bin plumtree_wan
+//! cargo run --release -p hyparview-bench --bin plumtree_wan -- --smoke --assert
+//! cargo run --release -p hyparview-bench --bin plumtree_wan -- --full --jobs 4
+//! ```
+//!
+//! Expected shape: at zero loss every strategy is fully reliable, loses
+//! exactly the far half of the overlay while partitioned, and converges
+//! back to atomic delivery after the heal. Under loss, flood degrades with
+//! every dropped frame while adaptive Plumtree's lazy `IHave`/`Graft`
+//! recovery holds ≥ 99% mean reliability at 10% per-link loss. `--full`
+//! is shorthand for the paper scale (n = 10,000) — the on-demand CI run.
+
+use hyparview_bench::artifacts::plumtree_wan_artifact;
+use hyparview_bench::experiments::wan::{plumtree_wan, wan_cell_for};
+use hyparview_bench::measure::{metrics_path, perf_artifact, perf_path, timed, Throughput};
+use hyparview_bench::obsv_json::registry_json;
+use hyparview_bench::table::{num, pct, render};
+use hyparview_bench::Params;
+use hyparview_obsv::Registry;
+
+const DEFAULT_WARMUP: usize = 20;
+const DEFAULT_PART_MESSAGES: usize = 10;
+const DEFAULT_HEAL_ATTEMPTS: usize = 10;
+
+fn main() {
+    // `--full` is the on-demand CI spelling of the paper scale.
+    let args =
+        std::env::args()
+            .skip(1)
+            .map(|arg| if arg == "--full" { "--paper".to_owned() } else { arg });
+    let (params, rest) = Params::default().apply_args(args);
+    let mut warmup = DEFAULT_WARMUP;
+    let mut part_messages = DEFAULT_PART_MESSAGES;
+    let mut heal_attempts = DEFAULT_HEAL_ATTEMPTS;
+    let mut json_path: Option<String> = None;
+    let mut assert_mode = false;
+    let mut rest_iter = rest.iter();
+    while let Some(arg) = rest_iter.next() {
+        match arg.as_str() {
+            "--warmup" => {
+                if let Some(v) = rest_iter.next() {
+                    warmup = v.parse().expect("--warmup expects an integer");
+                }
+            }
+            "--part-messages" => {
+                if let Some(v) = rest_iter.next() {
+                    part_messages = v.parse().expect("--part-messages expects an integer");
+                }
+            }
+            "--heal-attempts" => {
+                if let Some(v) = rest_iter.next() {
+                    heal_attempts = v.parse().expect("--heal-attempts expects an integer");
+                }
+            }
+            "--json" => json_path = rest_iter.next().cloned(),
+            "--assert" => assert_mode = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    println!("# Broadcast under WAN faults — flood vs static vs adaptive Plumtree");
+    println!(
+        "# {} (warmup {warmup}, partition messages {part_messages}, heal attempts \
+         {heal_attempts}, lognormal-link latency, duplication = loss/2)",
+        params.describe()
+    );
+
+    let sweep = timed(|| plumtree_wan(&params, warmup, part_messages, heal_attempts));
+    let cells = sweep.value;
+    let throughput = Throughput::new(sweep.wall_ms, cells.iter().map(|c| c.events).sum());
+
+    let headers = vec![
+        "mode",
+        "loss",
+        "stable rel",
+        "RMR",
+        "part rel",
+        "heal time",
+        "healed rel",
+        "grafts",
+        "dropped",
+        "dup",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for cell in &cells {
+        rows.push(vec![
+            cell.mode.to_owned(),
+            pct(cell.loss),
+            pct(cell.stable.mean_reliability),
+            num(cell.stable.mean_rmr, 3),
+            pct(cell.partitioned_reliability),
+            if cell.converged {
+                format!("{} ({} bcast)", cell.time_to_heal, cell.heal_broadcasts)
+            } else {
+                "did not converge".to_owned()
+            },
+            pct(cell.healed.mean_reliability),
+            cell.grafts.to_string(),
+            cell.dropped.to_string(),
+            cell.duplicated.to_string(),
+        ]);
+    }
+    println!("{}", render(&headers, &rows));
+
+    let flood = wan_cell_for(&cells, "flood", 0.10);
+    let adaptive = wan_cell_for(&cells, "adaptive", 0.10);
+    println!(
+        "at 10% per-link loss: adaptive {} vs flood {} stable reliability \
+         ({} frames recovered by graft)",
+        pct(adaptive.stable.mean_reliability),
+        pct(flood.stable.mean_reliability),
+        adaptive.grafts,
+    );
+    println!("throughput: {} (jobs = {})", throughput.describe(), params.jobs);
+
+    if let Some(path) = json_path {
+        let json = plumtree_wan_artifact(&params, warmup, part_messages, heal_attempts, &cells);
+        std::fs::write(&path, json).expect("write JSON results");
+        let sidecar = perf_path(&path);
+        std::fs::write(&sidecar, perf_artifact("plumtree_wan", params.jobs, &throughput))
+            .expect("write perf sidecar");
+        let mut merged = Registry::new();
+        for cell in &cells {
+            merged.merge(&cell.metrics);
+        }
+        let snapshot = metrics_path(&path);
+        std::fs::write(&snapshot, registry_json(&merged)).expect("write metrics snapshot");
+        println!(
+            "(JSON results written to {path}, perf sidecar to {sidecar}, \
+             metrics snapshot to {snapshot})"
+        );
+    }
+
+    if assert_mode {
+        let mut failures = Vec::new();
+        if adaptive.stable.mean_reliability < 0.99 {
+            failures.push(format!(
+                "adaptive at 10% loss: stable reliability {} < 99%",
+                pct(adaptive.stable.mean_reliability)
+            ));
+        }
+        for cell in &cells {
+            if cell.loss == 0.0 {
+                if cell.stable.mean_reliability < 0.9999 {
+                    failures.push(format!(
+                        "{} lossless stable: reliability {} < 100%",
+                        cell.mode,
+                        pct(cell.stable.mean_reliability)
+                    ));
+                }
+                if !cell.converged {
+                    failures.push(format!(
+                        "{} lossless: did not converge back to atomic delivery after the heal",
+                        cell.mode
+                    ));
+                }
+                if cell.healed.mean_reliability < 0.9999 {
+                    failures.push(format!(
+                        "{} lossless healed: reliability {} < 100%",
+                        cell.mode,
+                        pct(cell.healed.mean_reliability)
+                    ));
+                }
+            } else if cell.dropped == 0 {
+                failures.push(format!(
+                    "{} at {} loss: the loss model never dropped a frame",
+                    cell.mode,
+                    pct(cell.loss)
+                ));
+            }
+            if cell.partitioned_reliability >= 1.0 {
+                failures.push(format!(
+                    "{} at {} loss: a halved overlay delivered everywhere (partition inert?)",
+                    cell.mode,
+                    pct(cell.loss)
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("ASSERTION FAILURES:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "(asserts passed: adaptive ≥ 99% reliability at 10% per-link loss, lossless \
+             cells converge back to atomic delivery after partition-and-heal)"
+        );
+    }
+}

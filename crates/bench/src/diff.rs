@@ -42,6 +42,7 @@ pub fn direction(path: &str) -> Direction {
         || name.contains("last_hop")
         || name.contains("control")
         || name.contains("dead_letter")
+        || name.contains("time_to_heal")
         || name.contains("wall_ms")
     {
         Direction::LowerIsBetter
@@ -162,6 +163,23 @@ fn walk(value: &JsonValue, path: String, out: &mut Vec<(String, f64)>) {
         }
         JsonValue::Null | JsonValue::Bool(_) | JsonValue::Str(_) => {}
     }
+}
+
+/// Renders an artifact that has **no baseline** (a new experiment, or a
+/// metric set the older runs never uploaded) as an informational markdown
+/// table of its current values. Never gates: with nothing to compare
+/// against there is no regression to detect — the values are recorded so
+/// the *next* run has its baseline.
+pub fn new_artifact_table(metrics: &[(String, f64)]) -> String {
+    let mut table = String::from("| metric | current |\n|---|---:|\n");
+    for (path, value) in metrics {
+        table.push_str(&format!("| `{path}` | {} |\n", fmt(Some(*value))));
+    }
+    table.push_str(&format!(
+        "\n{} metric(s) recorded, none gated (no baseline to compare against).\n",
+        metrics.len()
+    ));
+    table
 }
 
 /// Diffs two parsed artifacts into per-metric rows: the union of both
@@ -349,6 +367,35 @@ mod tests {
         assert_eq!(direction("cells[x].dead_letters"), Direction::LowerIsBetter);
         assert_eq!(direction("cells[low_control_variant].grafts"), Direction::Info);
         assert_eq!(direction("warmup"), Direction::Info);
+    }
+
+    #[test]
+    fn wan_fault_metrics_classify_by_name() {
+        // Reliability under loss still gates upward; healing time gates
+        // downward; raw fault counters are informational — how many frames
+        // the injected plan ate is a property of the plan, not a quality
+        // signal.
+        assert_eq!(
+            direction("cells[adaptive.loss10].partitioned_reliability"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(direction("cells[adaptive.loss10].time_to_heal"), Direction::LowerIsBetter);
+        assert!(gates("cells[adaptive.loss10].time_to_heal"));
+        assert_eq!(direction("cells[flood.loss5].dropped"), Direction::Info);
+        assert_eq!(direction("cells[flood.loss5].partition_dropped"), Direction::Info);
+        assert_eq!(direction("cells[flood.loss5].duplicated"), Direction::Info);
+        assert_eq!(direction("counters.faults.dropped"), Direction::Info);
+        assert_eq!(direction("cells[static.loss0].converged"), Direction::Info);
+    }
+
+    #[test]
+    fn new_artifact_table_reports_without_gating() {
+        let metrics = flatten(&artifact(0.5, 6.0));
+        let table = new_artifact_table(&metrics);
+        assert!(table.contains("| `cells[uniform.optimized].healed.mean_reliability` | 0.5000 |"));
+        assert!(table.contains("3 metric(s) recorded, none gated"), "{table}");
+        let empty = new_artifact_table(&[]);
+        assert!(empty.contains("0 metric(s) recorded"), "{empty}");
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod latency;
 pub mod overhead;
 pub mod plumtree;
 pub mod table1;
+pub mod wan;
 
 pub use ablations::{
     flood_vs_random, passive_size_sweep, shuffle_payload_sweep, walk_length_sweep, AblationPoint,
@@ -38,3 +39,4 @@ pub use plumtree::{
     broadcast_cost_cell, flood_vs_plumtree, BroadcastCostCell, BroadcastCostRow, BROADCAST_MODES,
 };
 pub use table1::{graph_properties, Table1Row};
+pub use wan::{plumtree_wan, wan_cell, wan_cell_for, WanCell, WanMode, WAN_LOSSES, WAN_MODES};

@@ -17,6 +17,9 @@
 //! * `plumtree_latency` — the same trees under variable latency models
 //!   (uniform jitter, per-link geometry, heavy-tailed), where arrival
 //!   order and round order disagree.
+//! * `plumtree_wan` — flood vs static vs adaptive Plumtree under WAN
+//!   conditions: deterministic per-link loss, duplication, and a
+//!   partition-and-heal cycle dated by the causal path tracer.
 //! * `all_experiments` — everything above, in `EXPERIMENTS.md` format.
 //! * `bench_diff` — not an experiment: diffs two bench JSON artifacts into
 //!   a markdown trend table (the CI cross-run perf trajectory).

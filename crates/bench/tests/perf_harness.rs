@@ -9,9 +9,10 @@
 //!   `plumtree_latency` smoke shapes: runs are pure functions of their
 //!   seed and partials merge in seed order.
 
-use hyparview_bench::artifacts::{fig2_artifact, plumtree_latency_artifact};
+use hyparview_bench::artifacts::{fig2_artifact, plumtree_latency_artifact, plumtree_wan_artifact};
 use hyparview_bench::experiments::latency::plumtree_latency;
 use hyparview_bench::experiments::reliability_after_failures;
+use hyparview_bench::experiments::wan::plumtree_wan;
 use hyparview_bench::Params;
 use hyparview_sim::protocols::ProtocolKind;
 use hyparview_sim::QueueBackend;
@@ -56,5 +57,23 @@ fn plumtree_latency_artifact_is_byte_identical_across_jobs() {
     assert_eq!(
         sequential, parallel,
         "--jobs 4 must not change a byte of the plumtree_latency artifact"
+    );
+}
+
+#[test]
+fn plumtree_wan_artifact_is_byte_identical_across_jobs() {
+    // Fault-injection draws come from their own seeded stream, so the
+    // lossy cells of the WAN sweep are pure functions of the scenario
+    // seed — parallel execution must not change a byte.
+    let doc = |jobs: usize| {
+        let params = Params::smoke().with_messages(12).with_jobs(jobs);
+        let cells = plumtree_wan(&params, 12, 4, 6);
+        plumtree_wan_artifact(&params, 12, 4, 6, &cells)
+    };
+    let sequential = doc(1);
+    let parallel = doc(4);
+    assert_eq!(
+        sequential, parallel,
+        "--jobs 4 must not change a byte of the plumtree_wan artifact"
     );
 }

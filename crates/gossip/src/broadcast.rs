@@ -118,6 +118,9 @@ pub struct BroadcastReport {
     pub redundant: usize,
     /// Transmissions addressed to dead nodes.
     pub to_dead: usize,
+    /// Transmissions dropped in flight by injected network failure (loss
+    /// or partition). Always 0 on a fault-free network.
+    pub dropped: usize,
     /// Control messages sent on behalf of this broadcast (`IHave`/`Graft`/
     /// `Prune` in Plumtree mode; always 0 for the eager flood).
     pub control: usize,
@@ -152,14 +155,18 @@ impl BroadcastReport {
     /// Relative Message Redundancy (Plumtree's cost metric): payload
     /// receipts at alive nodes per *required* link, minus one —
     /// `(m / (n − 1)) − 1` where `m` counts payload transmissions that
-    /// reached an alive node and `n` the nodes that delivered. 0 means a
-    /// perfect spanning tree; an eager flood sits near `fanout − 1`.
-    /// Undefined (reported as 0) when fewer than two nodes delivered.
+    /// reached an alive node and `n` the nodes that delivered. Dropped
+    /// transmissions never reach anyone, so they are excluded alongside
+    /// sends to dead nodes. 0 means a perfect spanning tree; an eager
+    /// flood sits near `fanout − 1`. Undefined (reported as 0) when fewer
+    /// than two nodes delivered.
     pub fn rmr(&self) -> f64 {
         if self.delivered <= 1 {
             return 0.0;
         }
-        (self.sent - self.to_dead) as f64 / (self.delivered - 1) as f64 - 1.0
+        self.sent.saturating_sub(self.to_dead).saturating_sub(self.dropped) as f64
+            / (self.delivered - 1) as f64
+            - 1.0
     }
 }
 
@@ -314,6 +321,7 @@ mod tests {
             sent: 10,
             redundant: 2,
             to_dead: 1,
+            dropped: 0,
             control: 3,
             max_hops: 5,
         }
@@ -385,6 +393,7 @@ mod tests {
             sent: 9,
             redundant: 0,
             to_dead: 0,
+            dropped: 0,
             control: 12,
             max_hops: 4,
         };
@@ -395,6 +404,9 @@ mod tests {
         // Degenerate single-delivery broadcast.
         let lone = BroadcastReport { delivered: 1, ..r };
         assert_eq!(lone.rmr(), 0.0);
+        // Dropped frames reached nobody: they do not inflate redundancy.
+        let lossy = BroadcastReport { sent: 12, dropped: 3, ..r };
+        assert!(lossy.rmr().abs() < 1e-12);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | `net.`       | TCP runtime oddities                       |
 //! | `hyparview.` | membership protocol counters               |
 //! | `plumtree.`  | broadcast tree counters                    |
+//! | `faults.`    | injected network faults (simulator only)   |
 //! | `reactor.`   | epoll loop introspection gauges (warn-only |
 //! |              | in `bench_diff`: wall-clock noise)         |
 
@@ -49,6 +50,15 @@ pub const SIM_FAILURE_NOTIFICATIONS: &str = "sim.failure_notifications";
 
 /// Frames of the *other* broadcast mode dropped by a node.
 pub const NET_MODE_MISMATCHED: &str = "net.mode_mismatched";
+
+/// Frames dropped by injected per-link loss (simulator fault injection).
+/// Sim-only by design — not part of [`SHARED_TRANSPORT_NAMES`]: the TCP
+/// runtime runs on a real network and injects nothing.
+pub const FAULTS_DROPPED: &str = "faults.dropped";
+/// Frames dropped at an injected partition boundary.
+pub const FAULTS_PARTITION_DROPPED: &str = "faults.partition_dropped";
+/// Frames delivered twice by injected duplication.
+pub const FAULTS_DUPLICATED: &str = "faults.duplicated";
 
 /// `poller.wait` calls made by the reactor loop.
 pub const REACTOR_EPOLL_WAITS: &str = "reactor.epoll_waits";

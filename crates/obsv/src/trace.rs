@@ -88,6 +88,13 @@ pub enum TraceKind {
         /// Hops travelled before delivery.
         hops: u32,
     },
+    /// An outbound frame was dropped by injected network failure (loss or
+    /// partition). Recorded at the *sender*: the frame never reached the
+    /// wire, so the receiver has nothing to trace.
+    FrameDropped {
+        /// The peer the frame was addressed to.
+        peer: u64,
+    },
 }
 
 /// One timestamped decision made by one node.
@@ -114,6 +121,7 @@ impl std::fmt::Display for TraceEvent {
             TraceKind::TimerFired { timer } => write!(f, "timer_fired timer={timer}"),
             TraceKind::TempConnClose { peer } => write!(f, "temp_conn_close peer={peer}"),
             TraceKind::Delivered { msg, hops } => write!(f, "delivered msg={msg} hops={hops}"),
+            TraceKind::FrameDropped { peer } => write!(f, "frame_dropped peer={peer}"),
         }
     }
 }
@@ -215,5 +223,7 @@ mod tests {
             kind: TraceKind::TimerFired { timer: TimerKind::LazyFlush },
         };
         assert_eq!(fired.to_string(), "t=1 node=2 timer_fired timer=lazy_flush");
+        let dropped = TraceEvent { time: 9, node: 5, kind: TraceKind::FrameDropped { peer: 6 } };
+        assert_eq!(dropped.to_string(), "t=9 node=5 frame_dropped peer=6");
     }
 }

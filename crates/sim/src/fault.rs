@@ -1,0 +1,221 @@
+//! Deterministic network fault injection.
+//!
+//! A [`FaultPlan`] describes *message-level* failure — per-directed-link
+//! loss, frame duplication, and timed partitions — layered on top of the
+//! crash model the simulator always had. Every fault decision is a pure
+//! function of the scenario seed: loss and duplication draws come from a
+//! dedicated SplitMix64 stream (seeded from the scenario seed, advanced
+//! once per decision) that consumes **no simulator randomness**, the same
+//! trick the per-link latency geometry uses. A faulty run and a fault-free
+//! run therefore crash identical node sets, pick identical gossip targets,
+//! and draw identical latencies — the only difference is which frames make
+//! it onto the wire.
+//!
+//! Loss and duplication apply to the *dissemination plane* only: flood
+//! gossip and every Plumtree frame (payload and control alike).
+//! Membership traffic models TCP — the transport HyParView's design
+//! explicitly assumes (§3) — so it is never lost or duplicated; were
+//! membership control frames (e.g. `Disconnect`) droppable, view symmetry
+//! would silently break and nodes would strand behind phantom neighbors,
+//! which is a transport violation rather than the WAN behavior this plan
+//! models. Partitions, by contrast, sever *everything* crossing the cut:
+//! TCP cannot route around a split either. `ConnectionLost` notifications
+//! (local TCP resets, not packets) and self-addressed Plumtree timers are
+//! exempt from all of it.
+//!
+//! ```
+//! use hyparview_sim::FaultPlan;
+//!
+//! let plan = FaultPlan::default()
+//!     .with_loss(0.05)
+//!     .with_duplication(0.01)
+//!     .with_link_loss(0, 1, 0.5)
+//!     .with_partition_at(&[&[0, 1], &[2, 3]], 1_000)
+//!     .with_heal_at(5_000);
+//! assert!(plan.is_active());
+//! assert_eq!(plan.loss_for(0, 1), 0.5);
+//! assert_eq!(plan.loss_for(1, 0), 0.05);
+//! ```
+
+/// One timed fault operation, applied when virtual time first reaches
+/// [`FaultOp::at`] (mid-drain, before the next event processes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultOp {
+    /// Virtual time at which the operation takes effect.
+    pub at: u64,
+    /// What happens.
+    pub kind: FaultOpKind,
+}
+
+/// The operation a [`FaultOp`] performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultOpKind {
+    /// Splits the network into the given groups of node indices: frames
+    /// between different groups are dropped at send time. Nodes not listed
+    /// in any group form an implicit extra group of their own.
+    Partition(Vec<Vec<usize>>),
+    /// Removes the active partition; cross-group traffic flows again.
+    Heal,
+}
+
+/// A deterministic network fault plan, carried by
+/// [`SimConfig`](crate::SimConfig) / [`Scenario`](crate::Scenario).
+///
+/// The default plan is inert: no loss, no duplication, no ops — a sim
+/// configured with `FaultPlan::default()` is *bit-identical* to one with no
+/// plan at all (the fault fast path consumes nothing).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that a dissemination-plane frame (flood
+    /// gossip, Plumtree traffic) is dropped in flight. Applied per
+    /// transmission, per direction; membership frames ride TCP and are
+    /// exempt.
+    pub loss: f64,
+    /// Probability in `[0, 1]` that a dissemination-plane frame that
+    /// survived the loss draw is delivered twice (each copy draws its own
+    /// latency).
+    pub duplicate: f64,
+    /// Per-directed-link loss overrides `((from, to), probability)` —
+    /// checked before [`FaultPlan::loss`], first match wins. Node ids are
+    /// raw indices so a plan can be built before any node exists.
+    pub link_loss: Vec<((usize, usize), f64)>,
+    /// Timed partition/heal operations, applied in `at` order (ties apply
+    /// in push order).
+    pub ops: Vec<FaultOp>,
+}
+
+impl FaultPlan {
+    /// Sets the global per-frame loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
+        self.loss = p;
+        self
+    }
+
+    /// Sets the per-frame duplication probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "duplication probability must be in [0, 1]");
+        self.duplicate = p;
+        self
+    }
+
+    /// Overrides the loss probability of the directed link `from → to`
+    /// (asymmetric: the reverse direction keeps the global rate unless
+    /// overridden separately).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn with_link_loss(mut self, from: usize, to: usize, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
+        self.link_loss.push(((from, to), p));
+        self
+    }
+
+    /// Schedules a partition into `groups` (of node indices) at virtual
+    /// time `at`.
+    pub fn with_partition_at(mut self, groups: &[&[usize]], at: u64) -> Self {
+        let groups = groups.iter().map(|g| g.to_vec()).collect();
+        self.ops.push(FaultOp { at, kind: FaultOpKind::Partition(groups) });
+        self
+    }
+
+    /// Schedules a heal (partition removal) at virtual time `at`.
+    pub fn with_heal_at(mut self, at: u64) -> Self {
+        self.ops.push(FaultOp { at, kind: FaultOpKind::Heal });
+        self
+    }
+
+    /// Whether this plan can affect a run at all. The sim's per-frame
+    /// fault path short-circuits (consuming no fault randomness) when this
+    /// is `false` and no partition is active.
+    pub fn is_active(&self) -> bool {
+        self.loss > 0.0
+            || self.duplicate > 0.0
+            || !self.link_loss.is_empty()
+            || !self.ops.is_empty()
+    }
+
+    /// The loss probability of the directed link `from → to`: the first
+    /// matching override, else the global rate.
+    pub fn loss_for(&self, from: usize, to: usize) -> f64 {
+        self.link_loss
+            .iter()
+            .find(|((f, t), _)| *f == from && *t == to)
+            .map(|(_, p)| *p)
+            .unwrap_or(self.loss)
+    }
+}
+
+/// Hashes one fault decision into a uniform draw seed: SplitMix64
+/// finalizer over `(fault_seed, nonce)`. Mirrors `mix_link`, but keyed by
+/// a per-decision nonce instead of a link, so consecutive frames on the
+/// same link draw independently.
+pub(crate) fn mix_fault(fault_seed: u64, nonce: u64) -> u64 {
+    let mut x = fault_seed ^ nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a hash to a uniform draw in `[0, 1)` (top 53 bits, the standard
+/// bits-to-double construction).
+pub(crate) fn unit_draw(hash: u64) -> f64 {
+    (hash >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        assert_eq!(plan.loss_for(3, 7), 0.0);
+    }
+
+    #[test]
+    fn builders_chain_and_overrides_win() {
+        let plan = FaultPlan::default()
+            .with_loss(0.1)
+            .with_duplication(0.02)
+            .with_link_loss(1, 2, 0.9)
+            .with_partition_at(&[&[0], &[1]], 50)
+            .with_heal_at(100);
+        assert!(plan.is_active());
+        assert_eq!(plan.loss_for(1, 2), 0.9);
+        // Asymmetric: the reverse direction keeps the global rate.
+        assert_eq!(plan.loss_for(2, 1), 0.1);
+        assert_eq!(plan.ops.len(), 2);
+        assert_eq!(plan.ops[1], FaultOp { at: 100, kind: FaultOpKind::Heal });
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn out_of_range_loss_panics() {
+        let _ = FaultPlan::default().with_loss(1.5);
+    }
+
+    #[test]
+    fn draws_are_uniform_ish_and_deterministic() {
+        let n = 10_000u64;
+        let mean = (0..n).map(|i| unit_draw(mix_fault(42, i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean of uniform draws was {mean}");
+        assert_eq!(mix_fault(42, 7), mix_fault(42, 7));
+        assert_ne!(mix_fault(42, 7), mix_fault(42, 8));
+        assert_ne!(mix_fault(42, 7), mix_fault(43, 7));
+        let d = unit_draw(mix_fault(1, 1));
+        assert!((0.0..1.0).contains(&d));
+    }
+}

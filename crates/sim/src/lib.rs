@@ -20,12 +20,14 @@
 pub mod any;
 pub mod churn;
 pub mod event;
+pub mod fault;
 pub mod scenario;
 pub mod sim;
 
 pub use any::{AnySim, ProtocolConfigs};
 pub use churn::{run_churn, ChurnEpoch, ChurnPlan, ChurnReport};
 pub use event::{EventQueue, QueueBackend, Scheduled};
+pub use fault::{FaultOp, FaultOpKind, FaultPlan};
 pub use hyparview_plumtree::{BroadcastMode, PlumtreeConfig, PlumtreeStats, PlumtreeTimer};
 pub use scenario::{protocols, ContactPolicy, Scenario};
 pub use sim::{BurstReport, Latency, LatencyAssignment, LatencyModel, Sim, SimConfig, SimStats};

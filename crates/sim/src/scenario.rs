@@ -96,6 +96,13 @@ impl Scenario {
         self
     }
 
+    /// Sets the network fault plan (per-link loss, duplication, timed
+    /// partition/heal ops) — deterministic per scenario seed.
+    pub fn with_faults(mut self, faults: crate::fault::FaultPlan) -> Self {
+        self.sim_config.faults = faults;
+        self
+    }
+
     /// Sets the contact policy.
     pub fn with_contact(mut self, contact: ContactPolicy) -> Self {
         self.contact = contact;
@@ -285,15 +292,18 @@ mod tests {
 
     #[test]
     fn scenario_builders_chain() {
+        use crate::fault::FaultPlan;
         use crate::sim::Latency;
         let s = Scenario::new(10, 1)
             .with_fanout(5)
             .with_latency(Latency::uniform(1, 4).per_link())
             .with_contact(ContactPolicy::RandomExisting)
-            .with_stabilization_cycles(7);
+            .with_stabilization_cycles(7)
+            .with_faults(FaultPlan::default().with_loss(0.1));
         assert_eq!(s.sim_config.fanout, 5);
         assert_eq!(s.sim_config.latency, Latency::uniform(1, 4).per_link());
         assert_eq!(s.contact, ContactPolicy::RandomExisting);
         assert_eq!(s.stabilization_cycles, 7);
+        assert_eq!(s.sim_config.faults.loss, 0.1);
     }
 }

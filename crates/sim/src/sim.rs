@@ -14,6 +14,7 @@
 //! * everything is deterministic given the scenario seed.
 
 use crate::event::{EventQueue, QueueBackend};
+use crate::fault::{mix_fault, unit_draw, FaultOp, FaultOpKind, FaultPlan};
 use hyparview_core::SimId;
 use hyparview_gossip::{BroadcastReport, GossipState, Membership, Outbox};
 use hyparview_obsv::{
@@ -211,6 +212,9 @@ pub struct SimConfig {
     /// O(1), [`QueueBackend::Heap`] is the original heap kept for
     /// differential testing.
     pub queue: QueueBackend,
+    /// Deterministic network fault injection (loss / duplication / timed
+    /// partitions). The default plan is inert and costs nothing.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -223,6 +227,7 @@ impl Default for SimConfig {
             broadcast_mode: BroadcastMode::Flood,
             plumtree: PlumtreeConfig::default(),
             queue: QueueBackend::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -261,6 +266,12 @@ impl SimConfig {
     /// Selects the event-queue backend.
     pub fn with_queue_backend(mut self, queue: QueueBackend) -> Self {
         self.queue = queue;
+        self
+    }
+
+    /// Sets the network fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -310,6 +321,9 @@ struct SimCounters {
     frames_ihave_batch_anns: CounterId,
     delivered: CounterId,
     duplicates: CounterId,
+    faults_dropped: CounterId,
+    faults_partition_dropped: CounterId,
+    faults_duplicated: CounterId,
 }
 
 impl SimCounters {
@@ -330,6 +344,9 @@ impl SimCounters {
             frames_ihave_batch_anns: registry.counter(names::FRAMES_IHAVE_BATCH_ANNS_SENT),
             delivered: registry.counter(names::BROADCAST_DELIVERED),
             duplicates: registry.counter(names::BROADCAST_DUPLICATES),
+            faults_dropped: registry.counter(names::FAULTS_DROPPED),
+            faults_partition_dropped: registry.counter(names::FAULTS_PARTITION_DROPPED),
+            faults_duplicated: registry.counter(names::FAULTS_DUPLICATED),
         }
     }
 }
@@ -375,6 +392,7 @@ struct PerMsg {
     sent: usize,
     redundant: usize,
     to_dead: usize,
+    dropped: usize,
     control: usize,
     max_hops: u32,
 }
@@ -557,6 +575,19 @@ pub struct Sim<M: Membership<SimId>> {
     /// Memoized per-link draws — fixed for the run by definition, so each
     /// directed edge pays the seed-and-sample cost once.
     link_latency: HashMap<(SimId, SimId), u64>,
+    /// Seed of the fault-decision stream ([`FaultPlan`]). Like the link
+    /// seed, it is derived from the scenario seed and independent of the
+    /// sim RNG: fault draws never perturb crash sets or gossip targets.
+    fault_seed: u64,
+    /// Per-decision nonce of the fault-decision stream.
+    fault_nonce: u64,
+    /// Active partition: group index per node index (`None` = connected).
+    /// Frames between different groups are dropped at send time.
+    partition: Option<Vec<u32>>,
+    /// Timed fault operations from the plan, sorted by `at` (stable, so
+    /// same-time ops apply in plan order); `next_fault_op` is the cursor.
+    fault_ops: Vec<FaultOp>,
+    next_fault_op: usize,
 }
 
 impl<M: Membership<SimId>> Sim<M> {
@@ -571,6 +602,8 @@ impl<M: Membership<SimId>> Sim<M> {
         let queue = EventQueue::with_backend(config.queue);
         let mut metrics = Registry::new();
         let counters = SimCounters::register(&mut metrics);
+        let mut fault_ops = config.faults.ops.clone();
+        fault_ops.sort_by_key(|op| op.at);
         Sim {
             config,
             nodes: Vec::new(),
@@ -587,6 +620,11 @@ impl<M: Membership<SimId>> Sim<M> {
             factory_seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
             link_seed: seed ^ 0x7A7E_11C7_1A7E_11C7,
             link_latency: HashMap::new(),
+            fault_seed: seed ^ 0xFA17_FA17_FA17_FA17,
+            fault_nonce: 0,
+            partition: None,
+            fault_ops,
+            next_fault_op: 0,
         }
     }
 
@@ -604,6 +642,110 @@ impl<M: Membership<SimId>> Sim<M> {
                     let mut link_rng = StdRng::seed_from_u64(mix_link(link_seed, from, to));
                     model.sample(&mut link_rng)
                 })
+            }
+        }
+    }
+
+    /// Whether an active partition separates `from` and `to`. A crossing
+    /// frame is dropped silently — counted and traced at the sender, no
+    /// failure notification — exactly like packets into a severed WAN
+    /// path.
+    fn partition_cut(&mut self, from: SimId, to: SimId) -> bool {
+        let Some(groups) = &self.partition else { return false };
+        let group_of = |id: SimId| groups.get(id.index()).copied().unwrap_or(0);
+        if group_of(from) == group_of(to) {
+            return false;
+        }
+        self.metrics.inc(self.counters.faults_partition_dropped);
+        self.trace_event(from, TraceKind::FrameDropped { peer: to.index() as u64 });
+        true
+    }
+
+    /// Decides the fate of one outbound *broadcast-plane* frame
+    /// `from → to`: the number of copies to schedule. `0` means the frame
+    /// was dropped (partition boundary or loss draw), `2` means it was
+    /// duplicated.
+    ///
+    /// Loss and duplication apply only to dissemination traffic (flood
+    /// gossip and every Plumtree frame) — membership frames model TCP,
+    /// which HyParView's design assumes (§3), and go through
+    /// [`Sim::partition_cut`] alone. The fast path — no active plan, no
+    /// partition — returns 1 without consuming anything, so a sim with an
+    /// inert [`FaultPlan`] is bit-identical to one with no plan at all.
+    /// Fault draws come from a dedicated SplitMix64 stream keyed by
+    /// `(fault_seed, nonce)` and consume no sim RNG, mirroring the
+    /// per-link latency trick.
+    fn frame_copies(&mut self, from: SimId, to: SimId) -> usize {
+        if self.partition.is_none() && !self.config.faults.is_active() {
+            return 1;
+        }
+        if self.partition_cut(from, to) {
+            return 0;
+        }
+        let loss = self.config.faults.loss_for(from.index(), to.index());
+        if loss > 0.0 && self.fault_draw() < loss {
+            self.metrics.inc(self.counters.faults_dropped);
+            self.trace_event(from, TraceKind::FrameDropped { peer: to.index() as u64 });
+            return 0;
+        }
+        let duplicate = self.config.faults.duplicate;
+        if duplicate > 0.0 && self.fault_draw() < duplicate {
+            self.metrics.inc(self.counters.faults_duplicated);
+            return 2;
+        }
+        1
+    }
+
+    /// One uniform draw in `[0, 1)` from the fault-decision stream.
+    fn fault_draw(&mut self) -> f64 {
+        let nonce = self.fault_nonce;
+        self.fault_nonce += 1;
+        unit_draw(mix_fault(self.fault_seed, nonce))
+    }
+
+    /// Splits the network into the given groups: from now on every frame
+    /// between nodes of different groups is dropped at send time (frames
+    /// already in flight still arrive, like packets already on the wire).
+    /// Nodes not listed in any group form an implicit extra group. Drops
+    /// are silent — no failure notifications, exactly like real packet
+    /// loss — so membership views keep spanning the cut and dissemination
+    /// recovers on its own after [`Sim::heal_partitions`].
+    pub fn partition_network(&mut self, groups: &[Vec<SimId>]) {
+        let mut assign = vec![0u32; self.nodes.len()];
+        for (index, group) in groups.iter().enumerate() {
+            for id in group {
+                assign[id.index()] = index as u32 + 1;
+            }
+        }
+        self.partition = Some(assign);
+    }
+
+    /// Removes the active partition (no-op when the network is whole).
+    pub fn heal_partitions(&mut self) {
+        self.partition = None;
+    }
+
+    /// Whether a partition is currently in force.
+    pub fn partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// Applies every timed fault op whose `at` has been reached. Called
+    /// whenever virtual time advances, so partitions cut mid-drain, right
+    /// between two event deliveries.
+    fn apply_due_fault_ops(&mut self) {
+        while self.next_fault_op < self.fault_ops.len()
+            && self.fault_ops[self.next_fault_op].at <= self.time
+        {
+            let op = self.fault_ops[self.next_fault_op].clone();
+            self.next_fault_op += 1;
+            match op.kind {
+                FaultOpKind::Partition(groups) => {
+                    let groups: Vec<Vec<SimId>> =
+                        groups.iter().map(|g| g.iter().map(|&i| SimId::new(i)).collect()).collect();
+                    self.partition_network(&groups);
+                }
+                FaultOpKind::Heal => self.heal_partitions(),
             }
         }
     }
@@ -965,18 +1107,26 @@ impl<M: Membership<SimId>> Sim<M> {
                         self.nodes[origin.index()].memb.broadcast_targets(self.config.fanout, None);
                     if let Some(per) = track.per_mut(id) {
                         per.delivered += 1;
-                        per.sent += targets.len();
                     }
                     for &t in &targets {
-                        let latency = self.latency_of(origin, t);
-                        self.metrics.add(self.counters.frames_sent, 1);
-                        self.metrics.add(self.counters.frames_payload, 1);
-                        self.queue.push(
-                            self.time + latency,
-                            origin,
-                            t,
-                            Payload::Gossip { id, hops: 1 },
-                        );
+                        let copies = self.frame_copies(origin, t);
+                        self.metrics.add(self.counters.frames_sent, copies.max(1) as u64);
+                        self.metrics.add(self.counters.frames_payload, copies.max(1) as u64);
+                        if let Some(per) = track.per_mut(id) {
+                            per.sent += copies.max(1);
+                            if copies == 0 {
+                                per.dropped += 1;
+                            }
+                        }
+                        for _ in 0..copies {
+                            let latency = self.latency_of(origin, t);
+                            self.queue.push(
+                                self.time + latency,
+                                origin,
+                                t,
+                                Payload::Gossip { id, hops: 1 },
+                            );
+                        }
                     }
                     track.sent_by.record(origin.index(), id, targets);
                 }
@@ -1002,6 +1152,7 @@ impl<M: Membership<SimId>> Sim<M> {
                 sent: per.sent,
                 redundant: per.redundant,
                 to_dead: per.to_dead,
+                dropped: per.dropped,
                 control: 0,
                 max_hops: per.max_hops,
             })
@@ -1052,9 +1203,16 @@ impl<M: Membership<SimId>> Sim<M> {
 
     fn dispatch(&mut self, from: SimId, out: &mut Outbox<SimId, M::Message>) {
         for (to, message) in out.drain() {
-            let latency = self.latency_of(from, to);
+            // Membership traffic rides TCP (HyParView's stated transport
+            // assumption): exempt from loss and duplication, severed only
+            // by a partition. A cut frame was still *sent* — it left the
+            // sender before the network ate it.
+            let cut = self.partition_cut(from, to);
             self.metrics.inc(self.counters.frames_sent);
-            self.queue.push(self.time + latency, from, to, Payload::Membership(message));
+            if !cut {
+                let latency = self.latency_of(from, to);
+                self.queue.push(self.time + latency, from, to, Payload::Membership(message));
+            }
         }
     }
 
@@ -1068,6 +1226,9 @@ impl<M: Membership<SimId>> Sim<M> {
     }
 
     fn drain_with_track(&mut self, track: &mut Track) {
+        // Timed fault ops whose `at` has already passed apply up front, so
+        // a partition scheduled "now" governs this drain's first sends.
+        self.apply_due_fault_ops();
         let mut processed: u64 = 0;
         while let Some(event) = self.queue.pop() {
             processed += 1;
@@ -1078,6 +1239,9 @@ impl<M: Membership<SimId>> Sim<M> {
             );
             self.time = self.time.max(event.time);
             self.clock.advance_to(self.time);
+            if self.next_fault_op < self.fault_ops.len() {
+                self.apply_due_fault_ops();
+            }
             match event.payload {
                 Payload::Membership(message) => {
                     self.deliver_membership(event.from, event.to, message);
@@ -1205,37 +1369,43 @@ impl<M: Membership<SimId>> Sim<M> {
         track: &mut Track,
     ) {
         for (to, message) in out.outbox.drain() {
-            self.metrics.inc(self.counters.frames_sent);
+            let copies = self.frame_copies(node, to);
+            let sent = copies.max(1) as u64;
+            self.metrics.add(self.counters.frames_sent, sent);
             match &message {
                 PlumtreeMessage::Gossip { id, .. } => {
-                    self.metrics.inc(self.counters.frames_payload);
+                    self.metrics.add(self.counters.frames_payload, sent);
                     if let Some(per) = track.per_mut(*id as u64) {
-                        per.sent += 1;
+                        per.sent += sent as usize;
+                        if copies == 0 {
+                            per.dropped += 1;
+                        }
                     }
                 }
                 PlumtreeMessage::IHave { id, .. } => {
-                    self.metrics.inc(self.counters.frames_ihave);
+                    self.metrics.add(self.counters.frames_ihave, sent);
                     if let Some(per) = track.per_mut(*id as u64) {
-                        per.control += 1;
+                        per.control += sent as usize;
                     }
                 }
                 PlumtreeMessage::IHaveBatch { anns } => {
-                    self.metrics.inc(self.counters.frames_ihave_batch);
-                    self.metrics.add(self.counters.frames_ihave_batch_anns, anns.len() as u64);
+                    self.metrics.add(self.counters.frames_ihave_batch, sent);
+                    self.metrics
+                        .add(self.counters.frames_ihave_batch_anns, sent * anns.len() as u64);
                     // Batch-aware accounting: however many announcements it
                     // carries, a batch is *one* control frame — that is the
                     // entire point of lazy-link batching. It can span
                     // several tracked messages, so it lands in the burst's
                     // shared bucket.
                     if anns.iter().any(|a| track.matches(a.id)) {
-                        track.shared_control += 1;
+                        track.shared_control += sent as usize;
                     }
                 }
                 PlumtreeMessage::Graft { id: Some(id), .. } => {
                     let msg = *id as u64;
                     self.trace_event(node, TraceKind::GraftSent { peer: to.index() as u64, msg });
                     if let Some(per) = track.per_mut(msg) {
-                        per.control += 1;
+                        per.control += sent as usize;
                     }
                 }
                 PlumtreeMessage::Graft { id: None, .. } => {
@@ -1247,18 +1417,20 @@ impl<M: Membership<SimId>> Sim<M> {
                     // them to the burst whose dissemination provoked them
                     // (bursts are disseminated one at a time).
                     if track.active() {
-                        track.shared_control += 1;
+                        track.shared_control += sent as usize;
                     }
                 }
                 PlumtreeMessage::Prune => {
                     self.trace_event(node, TraceKind::PruneSent { peer: to.index() as u64 });
                     if track.active() {
-                        track.shared_control += 1;
+                        track.shared_control += sent as usize;
                     }
                 }
             }
-            let latency = self.latency_of(node, to);
-            self.queue.push(self.time + latency, node, to, Payload::Plumtree(message));
+            for _ in 0..copies {
+                let latency = self.latency_of(node, to);
+                self.queue.push(self.time + latency, node, to, Payload::Plumtree(message.clone()));
+            }
         }
         for delivery in out.deliveries.drain(..) {
             let first = self.nodes[node.index()].gossip.deliver(delivery.id as u64, delivery.round);
@@ -1324,13 +1496,21 @@ impl<M: Membership<SimId>> Sim<M> {
         if let Some(per) = track.per_mut(id) {
             per.delivered += 1;
             per.max_hops = per.max_hops.max(hops);
-            per.sent += targets.len();
         }
         for &t in &targets {
-            let latency = self.latency_of(to, t);
-            self.metrics.add(self.counters.frames_sent, 1);
-            self.metrics.add(self.counters.frames_payload, 1);
-            self.queue.push(self.time + latency, to, t, Payload::Gossip { id, hops: hops + 1 });
+            let copies = self.frame_copies(to, t);
+            self.metrics.add(self.counters.frames_sent, copies.max(1) as u64);
+            self.metrics.add(self.counters.frames_payload, copies.max(1) as u64);
+            if let Some(per) = track.per_mut(id) {
+                per.sent += copies.max(1);
+                if copies == 0 {
+                    per.dropped += 1;
+                }
+            }
+            for _ in 0..copies {
+                let latency = self.latency_of(to, t);
+                self.queue.push(self.time + latency, to, t, Payload::Gossip { id, hops: hops + 1 });
+            }
         }
         if track.matches(id as MsgId) {
             track.sent_by.record(to.index(), id, targets);
@@ -1395,13 +1575,19 @@ impl<M: Membership<SimId>> Sim<M> {
             return;
         };
         track.sent_by.record_one(sender.index(), id, replacement);
+        let copies = self.frame_copies(sender, replacement);
         if let Some(per) = track.per_mut(id) {
-            per.sent += 1;
+            per.sent += copies.max(1);
+            if copies == 0 {
+                per.dropped += 1;
+            }
         }
-        let latency = self.latency_of(sender, replacement);
-        self.metrics.add(self.counters.frames_sent, 1);
-        self.metrics.add(self.counters.frames_payload, 1);
-        self.queue.push(self.time + latency, sender, replacement, Payload::Gossip { id, hops });
+        self.metrics.add(self.counters.frames_sent, copies.max(1) as u64);
+        self.metrics.add(self.counters.frames_payload, copies.max(1) as u64);
+        for _ in 0..copies {
+            let latency = self.latency_of(sender, replacement);
+            self.queue.push(self.time + latency, sender, replacement, Payload::Gossip { id, hops });
+        }
     }
 }
 
@@ -1655,9 +1841,10 @@ mod tests {
         let report = sim.broadcast_random();
         assert_eq!(
             report.sent,
-            (report.delivered - 1) + report.redundant + report.to_dead,
+            (report.delivered - 1) + report.redundant + report.to_dead + report.dropped,
             "every payload send lands in exactly one bucket: {report:?}"
         );
+        assert_eq!(report.dropped, 0, "no faults injected");
     }
 
     #[test]
@@ -1982,5 +2169,181 @@ mod tests {
         assert!(kinds.iter().any(|k| matches!(k, TraceKind::TimerFired { .. })));
         // Ring stays bounded.
         assert!(ring.len() <= 4096);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    fn lossy_sim(
+        seed: u64,
+        plan: FaultPlan,
+        mode: BroadcastMode,
+    ) -> Sim<HyParViewMembership<SimId>> {
+        let config = SimConfig::default().with_broadcast_mode(mode).with_faults(plan);
+        Sim::new(config, seed, |id, seed| {
+            HyParViewMembership::new(id, Config::default(), seed).unwrap()
+        })
+    }
+
+    fn build_overlay(sim: &mut Sim<HyParViewMembership<SimId>>, n: usize) -> SimId {
+        let contact = sim.add_node();
+        for _ in 1..n {
+            let id = sim.add_node();
+            sim.join(id, contact);
+        }
+        sim.run_cycles(5);
+        contact
+    }
+
+    #[test]
+    fn zero_loss_plan_matches_the_faultless_run_exactly() {
+        let plan = FaultPlan::default().with_loss(0.0).with_duplication(0.0);
+        assert!(!plan.is_active(), "a zero plan must take the inert fast path");
+        let mut plain = hyparview_sim(40);
+        let mut faulted = lossy_sim(40, plan, BroadcastMode::Flood);
+        build_overlay(&mut plain, 40);
+        build_overlay(&mut faulted, 40);
+        for _ in 0..5 {
+            assert_eq!(plain.broadcast_random(), faulted.broadcast_random());
+        }
+        assert_eq!(plain.stats(), faulted.stats());
+        assert_eq!(plain.time(), faulted.time());
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_per_seed() {
+        let plan = FaultPlan::default().with_loss(0.1).with_duplication(0.05);
+        let mut a = lossy_sim(41, plan.clone(), BroadcastMode::Plumtree);
+        let mut b = lossy_sim(41, plan, BroadcastMode::Plumtree);
+        build_overlay(&mut a, 50);
+        build_overlay(&mut b, 50);
+        for _ in 0..8 {
+            assert_eq!(a.broadcast_random(), b.broadcast_random());
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(
+            a.metrics().value_by_name(names::FAULTS_DROPPED),
+            b.metrics().value_by_name(names::FAULTS_DROPPED)
+        );
+    }
+
+    #[test]
+    fn lossy_broadcasts_stay_quiescent_and_balance_their_accounting() {
+        for mode in [BroadcastMode::Flood, BroadcastMode::Plumtree] {
+            let plan = FaultPlan::default().with_loss(0.25);
+            let mut sim = lossy_sim(42, plan, mode);
+            build_overlay(&mut sim, 60);
+            let mut dropped = 0;
+            for _ in 0..10 {
+                let report = sim.broadcast_random();
+                assert_eq!(
+                    report.sent,
+                    (report.delivered - 1) + report.redundant + report.to_dead + report.dropped,
+                    "dropped frames land in their own bucket: {report:?}"
+                );
+                dropped += report.dropped;
+                assert!(sim.is_quiescent(), "drops must not strand pending events");
+                assert_eq!(sim.pending_events(), 0);
+            }
+            assert!(dropped > 0, "25% loss drops something across 10 broadcasts ({mode:?})");
+            assert!(sim.metrics().value_by_name(names::FAULTS_DROPPED).unwrap_or(0) > 0);
+        }
+    }
+
+    #[test]
+    fn duplication_is_counted_and_cannot_hurt_delivery() {
+        let plan = FaultPlan::default().with_duplication(0.3);
+        let mut sim = lossy_sim(43, plan, BroadcastMode::Flood);
+        let contact = build_overlay(&mut sim, 40);
+        let report = sim.broadcast_from(contact);
+        assert!(report.is_atomic(), "duplication alone never loses a frame");
+        assert_eq!(
+            report.sent,
+            (report.delivered - 1) + report.redundant + report.to_dead + report.dropped
+        );
+        assert!(sim.metrics().value_by_name(names::FAULTS_DUPLICATED).unwrap_or(0) > 0);
+        assert_eq!(sim.metrics().value_by_name(names::FAULTS_DROPPED), Some(0));
+    }
+
+    #[test]
+    fn per_link_loss_override_kills_exactly_that_direction() {
+        // Two nodes, the a→b direction always drops: a's broadcasts stop at
+        // a, while b's still reach everyone.
+        let plan = FaultPlan::default().with_link_loss(0, 1, 1.0);
+        let mut sim = lossy_sim(44, plan, BroadcastMode::Flood);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.join(b, a);
+        let from_a = sim.broadcast_from(a);
+        assert_eq!(from_a.delivered, 1, "a→b is severed: {from_a:?}");
+        assert_eq!(from_a.dropped, from_a.sent);
+        let from_b = sim.broadcast_from(b);
+        assert!(from_b.is_atomic(), "b→a keeps the global (zero) loss rate: {from_b:?}");
+    }
+
+    #[test]
+    fn partition_cuts_cross_group_frames_and_heal_restores_convergence() {
+        let mut sim = hyparview_sim(45);
+        let contact = build_overlay(&mut sim, 40);
+        let alive = sim.alive_ids();
+        let (left, right) = alive.split_at(alive.len() / 2);
+        sim.partition_network(&[left.to_vec(), right.to_vec()]);
+        assert!(sim.partitioned());
+        let cut = sim.broadcast_from(contact);
+        assert!(!cut.is_atomic(), "a partitioned flood cannot reach the far side");
+        assert!(cut.delivered <= left.len());
+        assert!(cut.dropped > 0, "cross-group frames drop: {cut:?}");
+        assert!(sim.is_quiescent());
+        let boundary_drops =
+            sim.metrics().value_by_name(names::FAULTS_PARTITION_DROPPED).unwrap_or(0);
+        assert!(boundary_drops > 0);
+        sim.heal_partitions();
+        assert!(!sim.partitioned());
+        let healed = sim.broadcast_from(contact);
+        assert!(healed.is_atomic(), "healing restores single-component convergence: {healed:?}");
+        assert_eq!(healed.dropped, 0);
+    }
+
+    #[test]
+    fn timed_partition_and_heal_apply_at_their_virtual_times() {
+        // Four nodes, halves split at t=2000 and rejoined at t=2012. The
+        // ops fire *mid-drain* as broadcasts push virtual time across the
+        // window; intra-group traffic keeps the clock moving throughout.
+        let plan =
+            FaultPlan::default().with_partition_at(&[&[0, 1], &[2, 3]], 2_000).with_heal_at(2_012);
+        let mut sim = lossy_sim(46, plan, BroadcastMode::Flood);
+        let contact = build_overlay(&mut sim, 4);
+        assert!(sim.time() < 2_000, "overlay built before the partition cue");
+        assert!(!sim.partitioned());
+        let mut saw_cut = false;
+        while sim.time() <= 2_030 {
+            let report = sim.broadcast_from(contact);
+            if !report.is_atomic() {
+                saw_cut = true;
+                assert!(
+                    sim.metrics().value_by_name(names::FAULTS_PARTITION_DROPPED).unwrap_or(0) > 0
+                );
+            }
+        }
+        assert!(saw_cut, "the partition window must cut at least one broadcast");
+        assert!(!sim.partitioned(), "the heal op fired");
+        assert!(sim.broadcast_from(contact).is_atomic());
+    }
+
+    #[test]
+    fn dropped_frames_are_traced_at_the_sender() {
+        let plan = FaultPlan::default().with_loss(0.5);
+        let mut sim = lossy_sim(47, plan, BroadcastMode::Flood);
+        let contact = build_overlay(&mut sim, 30);
+        sim.enable_tracing(4096);
+        for _ in 0..5 {
+            sim.broadcast_from(contact);
+        }
+        let ring = sim.trace().expect("tracing enabled");
+        assert!(
+            ring.events().any(|e| matches!(e.kind, TraceKind::FrameDropped { .. })),
+            "50% loss must trace FrameDropped"
+        );
     }
 }

@@ -251,4 +251,86 @@ proptest! {
         };
         prop_assert_eq!(run(QueueBackend::Bucket), run(QueueBackend::Heap));
     }
+
+    /// Fault injection is a pure function of the scenario seed: the same
+    /// loss/duplication plan at the same seed reproduces the identical
+    /// `BroadcastReport`, field for field, drops included.
+    #[test]
+    fn fault_injection_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        n in 20usize..70,
+        loss in 0.0f64..0.4,
+        duplicate in 0.0f64..0.2,
+    ) {
+        use hyparview_sim::FaultPlan;
+        let run = || {
+            let plan = FaultPlan::default().with_loss(loss).with_duplication(duplicate);
+            let scenario = Scenario::new(n, seed).with_faults(plan);
+            let mut sim = build_hyparview(&scenario, Config::default());
+            sim.run_cycles(2);
+            let report = sim.broadcast_random();
+            (report, sim.stats())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// A plan with zero loss and zero duplication reproduces the
+    /// fault-free run exactly — existing figures are unchanged by the
+    /// fault seam's mere existence.
+    #[test]
+    fn zero_rate_fault_plan_is_invisible(seed in any::<u64>(), n in 20usize..70) {
+        use hyparview_sim::FaultPlan;
+        let run = |plan: Option<FaultPlan>| {
+            let mut scenario = Scenario::new(n, seed);
+            if let Some(plan) = plan {
+                scenario = scenario.with_faults(plan);
+            }
+            let mut sim = build_hyparview(&scenario, Config::default());
+            sim.run_cycles(2);
+            let report = sim.broadcast_random();
+            (report, sim.stats(), sim.time())
+        };
+        let zeroed = FaultPlan::default().with_loss(0.0).with_duplication(0.0);
+        prop_assert_eq!(run(None), run(Some(zeroed)));
+    }
+
+    /// Lossy accounting still balances — dropped frames land in exactly
+    /// one bucket — and drops never strand the event queue.
+    #[test]
+    fn lossy_accounting_balances_and_stays_quiescent(
+        seed in any::<u64>(),
+        n in 20usize..80,
+        loss in 0.0f64..0.5,
+    ) {
+        use hyparview_sim::FaultPlan;
+        let scenario =
+            Scenario::new(n, seed).with_faults(FaultPlan::default().with_loss(loss));
+        let mut sim = build_hyparview(&scenario, Config::default());
+        sim.run_cycles(2);
+        let report = sim.broadcast_random();
+        prop_assert_eq!(
+            report.sent,
+            (report.delivered - 1) + report.redundant + report.to_dead + report.dropped,
+            "unbalanced lossy accounting: {:?}", report
+        );
+        prop_assert!(sim.is_quiescent(), "drops stranded {} events", sim.pending_events());
+    }
+
+    /// `heal_partitions` restores single-component convergence: after the
+    /// heal, a broadcast from any alive node is atomic again.
+    #[test]
+    fn heal_restores_single_component_convergence(seed in any::<u64>(), n in 20usize..70) {
+        let scenario = Scenario::new(n, seed);
+        let mut sim = build_hyparview(&scenario, Config::default());
+        sim.run_cycles(2);
+        let alive = sim.alive_ids();
+        let (left, right) = alive.split_at(alive.len() / 2);
+        sim.partition_network(&[left.to_vec(), right.to_vec()]);
+        let cut = sim.broadcast_from(alive[0]);
+        prop_assert!(!cut.is_atomic(), "a halved network cannot converge: {:?}", cut);
+        sim.heal_partitions();
+        let healed = sim.broadcast_from(alive[0]);
+        prop_assert!(healed.is_atomic(), "heal must restore convergence: {:?}", healed);
+        prop_assert_eq!(healed.dropped, 0);
+    }
 }
