@@ -10,6 +10,7 @@
 //! the perf sidecar ([`crate::measure::perf_artifact`]).
 
 use crate::experiments::adaptive::{AdaptiveCell, PathSummary, PhaseMetrics};
+use crate::experiments::attack::AttackCell;
 use crate::experiments::fig2::Fig2Row;
 use crate::experiments::latency::LatencyCell;
 use crate::experiments::plumtree::BroadcastCostRow;
@@ -224,11 +225,76 @@ pub fn plumtree_wan_artifact(
         .build()
 }
 
+/// The `hyparview_attack` results artifact. Cells are labeled by attacker
+/// model, fraction and defense (`variant` + `label`), so the diff
+/// flattener yields stable paths like
+/// `cells[eclipse.frac20.hardened].time_to_eclipse`.
+pub fn hyparview_attack_artifact(params: &Params, horizon: usize, cells: &[AttackCell]) -> String {
+    JsonObject::new()
+        .str("experiment", "hyparview_attack")
+        .str("params", &params.describe())
+        .int("horizon", horizon as u64)
+        .raw(
+            "cells",
+            array(cells.iter().map(|cell| {
+                JsonObject::new()
+                    .str("variant", cell.model)
+                    .str(
+                        "label",
+                        &format!("frac{}.{}", (cell.fraction * 100.0).round() as u64, cell.defense),
+                    )
+                    .num("fraction", cell.fraction)
+                    .int("colluders", cell.colluders as u64)
+                    .int("victims", cell.victims as u64)
+                    .int("time_to_eclipse", cell.time_to_eclipse)
+                    .int("eclipsed", cell.eclipsed as u64)
+                    .int("eclipsed_victims", cell.eclipsed_victims as u64)
+                    .num("capture_fraction", cell.capture_fraction)
+                    .num("indegree_capture", cell.indegree_capture)
+                    .num("honest_component", cell.honest_component)
+                    .num("honest_reliability", cell.honest_reliability)
+                    .int("joins_damped", cell.joins_damped)
+                    .int("neighbors_damped", cell.neighbors_damped)
+                    .int("tenure_swaps", cell.tenure_swaps)
+                    .int("shuffle_boosts", cell.shuffle_boosts)
+                    .int("neighbor_floods", cell.neighbor_floods)
+                    .int("rejoins", cell.rejoins)
+                    .int("shuffles_biased", cell.shuffles_biased)
+                    .int("events", cell.events)
+                    .build()
+            })),
+        )
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::json::parse;
     use hyparview_sim::protocols::ProtocolKind;
+
+    #[test]
+    fn attack_artifact_labels_cells_by_model_fraction_and_defense() {
+        let params = Params::smoke().with_messages(2);
+        let cell = crate::experiments::attack::attack_cell(
+            &params,
+            "eclipse",
+            hyparview_sim::AttackerModel::Eclipse,
+            0.20,
+            "open",
+            4,
+        );
+        let doc = hyparview_attack_artifact(&params, 4, std::slice::from_ref(&cell));
+        let parsed = parse(&doc).expect("valid JSON");
+        let flat = crate::diff::flatten(&parsed);
+        for metric in ["time_to_eclipse", "capture_fraction", "honest_reliability"] {
+            assert!(
+                flat.iter()
+                    .any(|(path, _)| path == &format!("cells[eclipse.frac20.open].{metric}")),
+                "missing {metric} in {flat:?}"
+            );
+        }
+    }
 
     #[test]
     fn fig2_artifact_is_valid_json_with_labeled_cells() {

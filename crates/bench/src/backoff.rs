@@ -1,0 +1,163 @@
+//! Bounded exponential backoff with deterministic, seeded jitter.
+//!
+//! The cluster harness retries bootstrap joins for nodes stranded by a
+//! join/churn race. A fixed retry cadence resonates: every stranded node
+//! re-joins at the same instant, the join wave displaces other members,
+//! and the next probe finds a *different* stranded set — at scale the loop
+//! can chase its own tail. Exponential backoff spreads the waves out, the
+//! bound keeps the worst-case wait useful, and the jitter (drawn from a
+//! dedicated SplitMix64 stream, so runs stay reproducible per seed)
+//! de-synchronizes retries without introducing wall-clock randomness.
+
+use std::time::Duration;
+
+/// SplitMix64 over `seed ^ f(nonce)` — the same construction the
+/// simulator's fault and attack streams use, kept private per consumer so
+/// stream identities never entangle.
+fn mix(seed: u64, nonce: u64) -> u64 {
+    let mut x = seed ^ nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Bounded exponential backoff: delays start at `base`, double per
+/// attempt, saturate at `cap`, and carry *equal jitter* — each delay is
+/// drawn uniformly from `[nominal/2, nominal]`, so consecutive retries
+/// never fully synchronize but the mean stays at 75% of nominal.
+///
+/// ```
+/// use hyparview_bench::backoff::Backoff;
+/// use std::time::Duration;
+///
+/// let mut backoff = Backoff::new(500, 8_000, 42);
+/// let first = backoff.next_delay();
+/// assert!(first >= Duration::from_millis(250) && first <= Duration::from_millis(500));
+/// backoff.reset();
+/// assert_eq!(backoff.attempt(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+    seed: u64,
+    nonce: u64,
+}
+
+impl Backoff {
+    /// A backoff starting at `base_ms`, capped at `cap_ms` (raised to
+    /// `base_ms` if smaller), with jitter seeded by `seed`.
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Self {
+        Backoff { base_ms, cap_ms: cap_ms.max(base_ms), attempt: 0, seed, nonce: 0 }
+    }
+
+    /// The nominal (pre-jitter) delay of the current attempt.
+    fn nominal_ms(&self) -> u64 {
+        let factor = 1u64.checked_shl(self.attempt).unwrap_or(u64::MAX);
+        self.base_ms.saturating_mul(factor).min(self.cap_ms)
+    }
+
+    /// The next delay in milliseconds, advancing the attempt counter and
+    /// the jitter stream.
+    pub fn next_delay_ms(&mut self) -> u64 {
+        let nominal = self.nominal_ms();
+        if nominal < self.cap_ms {
+            self.attempt += 1;
+        }
+        let draw = mix(self.seed, self.nonce);
+        self.nonce += 1;
+        let unit = (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let half = nominal / 2;
+        half + ((nominal - half) as f64 * unit) as u64
+    }
+
+    /// [`Backoff::next_delay_ms`] as a [`Duration`].
+    pub fn next_delay(&mut self) -> Duration {
+        Duration::from_millis(self.next_delay_ms())
+    }
+
+    /// Restarts the schedule at the base delay after a success. The jitter
+    /// stream keeps advancing — resetting must not replay old draws.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Completed attempts since the last reset (saturates at the cap).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_up_to_the_cap() {
+        let mut b = Backoff::new(100, 1_000, 7);
+        let mut nominals = Vec::new();
+        for _ in 0..8 {
+            nominals.push(b.nominal_ms());
+            b.next_delay_ms();
+        }
+        assert_eq!(nominals, vec![100, 200, 400, 800, 1_000, 1_000, 1_000, 1_000]);
+    }
+
+    #[test]
+    fn jitter_stays_within_equal_jitter_bounds() {
+        let mut b = Backoff::new(100, 1_000, 99);
+        for _ in 0..50 {
+            let nominal = b.nominal_ms();
+            let delay = b.next_delay_ms();
+            assert!(delay >= nominal / 2, "delay {delay} below half of nominal {nominal}");
+            assert!(delay <= nominal, "delay {delay} above nominal {nominal}");
+        }
+    }
+
+    #[test]
+    fn delays_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut b = Backoff::new(500, 8_000, seed);
+            (0..10).map(|_| b.next_delay_ms()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "different seeds must draw different jitter");
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule_without_replaying_jitter() {
+        let mut b = Backoff::new(100, 1_000, 3);
+        let first = b.next_delay_ms();
+        for _ in 0..4 {
+            b.next_delay_ms();
+        }
+        assert_eq!(b.nominal_ms(), 1_000);
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        assert_eq!(b.nominal_ms(), 100);
+        // Same nominal, fresh draw: the stream moved on.
+        let again = b.next_delay_ms();
+        assert!((50..=100).contains(&again));
+        let _ = (first, again);
+    }
+
+    #[test]
+    fn cap_below_base_is_raised_to_base() {
+        let mut b = Backoff::new(500, 100, 0);
+        assert_eq!(b.nominal_ms(), 500);
+        let delay = b.next_delay_ms();
+        assert!((250..=500).contains(&delay));
+    }
+
+    #[test]
+    fn duration_wrapper_matches_the_millisecond_schedule() {
+        let mut ms = Backoff::new(200, 2_000, 11);
+        let mut dur = Backoff::new(200, 2_000, 11);
+        for _ in 0..5 {
+            assert_eq!(Duration::from_millis(ms.next_delay_ms()), dur.next_delay());
+        }
+    }
+}

@@ -23,6 +23,7 @@
 //! reliability and connectivity are exact (counted from delivery
 //! counters), but frame counts vary run to run with socket timing.
 
+use hyparview_bench::backoff::Backoff;
 use hyparview_bench::json::JsonObject;
 use hyparview_bench::measure::{
     metrics_path, perf_artifact, perf_artifact_with_reactor, perf_path, timed, Throughput,
@@ -269,6 +270,11 @@ fn main() {
     let mut converged = false;
     let mut rejoins = 0usize;
     let mut stable = 0usize;
+    // Rejoin waves back off exponentially (bounded, seed-jittered): a
+    // fixed cadence re-issues joins that are still in flight, and the
+    // displacement churn of each synchronized wave strands a fresh set of
+    // nodes for the next probe to find.
+    let mut backoff = Backoff::new(1_000, 8_000, args.seed ^ 0xB0FF);
     loop {
         let stranded = unreachable(&nodes);
         if stranded.is_empty() {
@@ -280,6 +286,7 @@ fn main() {
                 converged = true;
                 break;
             }
+            backoff.reset();
             std::thread::sleep(Duration::from_millis(500));
             continue;
         }
@@ -292,9 +299,9 @@ fn main() {
             rejoins += 1;
         }
         // Give the join wave time to fully complete before re-probing —
-        // re-issuing a join that is still in flight only multiplies the
-        // displacement churn it causes.
-        std::thread::sleep(Duration::from_millis(1_500));
+        // waiting longer after each failed wave instead of hammering a
+        // fixed 1.5 s rhythm.
+        std::thread::sleep(backoff.next_delay());
     }
     let connected = connectivity(&nodes);
     obsv_info!(

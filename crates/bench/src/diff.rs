@@ -6,9 +6,12 @@
 //! documents into dotted metric paths (array elements are labeled by their
 //! string fields, so `cells[uniform.optimized].healed.mean_last_hop` stays
 //! stable across runs), and renders the deltas. Metrics with a known
-//! direction — reliability up, RMR / last-hop / control traffic / dead
-//! letters down — gate the build: a relative worsening beyond the
-//! threshold is a *regression* and yields a nonzero exit code.
+//! direction — reliability / time-to-eclipse up, RMR / last-hop / control
+//! traffic / dead letters / capture down — gate the build: a relative
+//! worsening beyond the threshold is a *regression* and yields a nonzero
+//! exit code. The raw `attack.*` counters stay informational, like the
+//! `faults.*` family: how often a defense fired is a property of the
+//! attack plan, not a quality signal.
 
 use crate::json::JsonValue;
 
@@ -35,7 +38,10 @@ fn metric_name(path: &str) -> String {
 /// families the experiments emit.
 pub fn direction(path: &str) -> Direction {
     let name = metric_name(path);
-    if name.contains("reliability") || name.contains("accuracy") || name.contains("events_per_sec")
+    if name.contains("reliability")
+        || name.contains("accuracy")
+        || name.contains("events_per_sec")
+        || name.contains("time_to_eclipse")
     {
         Direction::HigherIsBetter
     } else if name.contains("rmr")
@@ -43,6 +49,7 @@ pub fn direction(path: &str) -> Direction {
         || name.contains("control")
         || name.contains("dead_letter")
         || name.contains("time_to_heal")
+        || name.contains("capture")
         || name.contains("wall_ms")
     {
         Direction::LowerIsBetter
@@ -386,6 +393,35 @@ mod tests {
         assert_eq!(direction("cells[flood.loss5].duplicated"), Direction::Info);
         assert_eq!(direction("counters.faults.dropped"), Direction::Info);
         assert_eq!(direction("cells[static.loss0].converged"), Direction::Info);
+    }
+
+    #[test]
+    fn attack_metrics_classify_by_name() {
+        // Time-to-eclipse gates upward (defenses must keep delaying the
+        // attacker), capture fractions gate downward; the raw attack
+        // counters are informational like the faults family.
+        assert_eq!(
+            direction("cells[eclipse.frac20.hardened].time_to_eclipse"),
+            Direction::HigherIsBetter
+        );
+        assert!(gates("cells[eclipse.frac20.hardened].time_to_eclipse"));
+        assert_eq!(
+            direction("cells[infiltration.frac20.open].capture_fraction"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction("cells[infiltration.frac20.open].indegree_capture"),
+            Direction::LowerIsBetter
+        );
+        assert!(gates("cells[infiltration.frac20.open].capture_fraction"));
+        assert_eq!(
+            direction("cells[eclipse.frac10.open].honest_reliability"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(direction("counters.attack.joins_damped"), Direction::Info);
+        assert_eq!(direction("counters.attack.tenure_swaps"), Direction::Info);
+        assert_eq!(direction("cells[eclipse.frac20.open].neighbor_floods"), Direction::Info);
+        assert_eq!(direction("cells[eclipse.frac20.open].shuffles_biased"), Direction::Info);
     }
 
     #[test]

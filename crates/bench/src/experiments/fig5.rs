@@ -7,7 +7,7 @@
 //! node.
 
 use crate::params::Params;
-use hyparview_graph::{degree_histogram, degree_summary, in_degrees, DegreeSummary, Overlay};
+use hyparview_graph::{indegree_report, DegreeSummary, Overlay};
 use hyparview_sim::protocols::ProtocolKind;
 use hyparview_sim::AnySim;
 use std::collections::BTreeMap;
@@ -44,14 +44,8 @@ pub fn in_degree_distribution(params: &Params, kinds: &[ProtocolKind]) -> Vec<Fi
             let mut sim = AnySim::build(kind, &scenario, &params.configs);
             sim.run_cycles(params.stabilization_cycles);
             let overlay = Overlay::new(sim.out_views());
-            let degrees = in_degrees(&overlay);
-            let alive_degrees: Vec<usize> =
-                overlay.alive_nodes().into_iter().map(|v| degrees[v]).collect();
-            Fig5Row {
-                kind,
-                histogram: degree_histogram(&degrees, &overlay),
-                summary: degree_summary(&alive_degrees),
-            }
+            let report = indegree_report(&overlay);
+            Fig5Row { kind, histogram: report.histogram, summary: report.summary }
         })
         .collect()
 }

@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod adaptive;
+pub mod attack;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -24,6 +25,10 @@ pub use ablations::{
 pub use adaptive::{
     adaptive_cell, plumtree_adaptive, AdaptiveCell, AdaptiveVariant, PhaseMetrics,
     ADAPTIVE_VARIANTS,
+};
+pub use attack::{
+    attack_cell, attack_cell_for, default_horizon, defense_config, hyparview_attack, AttackCell,
+    ATTACK_FRACTIONS, ATTACK_MODELS, ATTACK_VICTIMS, DEFENSES,
 };
 pub use fig1::{fanout_sweep, Fig1Point};
 pub use fig2::{reliability_after_failures, Fig2Cell, Fig2Row};

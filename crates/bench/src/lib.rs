@@ -20,6 +20,8 @@
 //! * `plumtree_wan` — flood vs static vs adaptive Plumtree under WAN
 //!   conditions: deterministic per-link loss, duplication, and a
 //!   partition-and-heal cycle dated by the causal path tracer.
+//! * `hyparview_attack` — adversarial membership: eclipse/infiltration
+//!   colluders vs overlay defenses, headline time-to-eclipse.
 //! * `all_experiments` — everything above, in `EXPERIMENTS.md` format.
 //! * `bench_diff` — not an experiment: diffs two bench JSON artifacts into
 //!   a markdown trend table (the CI cross-run perf trajectory).
@@ -37,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod artifacts;
+pub mod backoff;
 pub mod diff;
 pub mod experiments;
 pub mod json;

@@ -9,7 +9,10 @@
 //!   `plumtree_latency` smoke shapes: runs are pure functions of their
 //!   seed and partials merge in seed order.
 
-use hyparview_bench::artifacts::{fig2_artifact, plumtree_latency_artifact, plumtree_wan_artifact};
+use hyparview_bench::artifacts::{
+    fig2_artifact, hyparview_attack_artifact, plumtree_latency_artifact, plumtree_wan_artifact,
+};
+use hyparview_bench::experiments::attack::hyparview_attack;
 use hyparview_bench::experiments::latency::plumtree_latency;
 use hyparview_bench::experiments::reliability_after_failures;
 use hyparview_bench::experiments::wan::plumtree_wan;
@@ -57,6 +60,25 @@ fn plumtree_latency_artifact_is_byte_identical_across_jobs() {
     assert_eq!(
         sequential, parallel,
         "--jobs 4 must not change a byte of the plumtree_latency artifact"
+    );
+}
+
+#[test]
+fn hyparview_attack_artifact_is_byte_identical_across_jobs() {
+    // Attacker draws come from their own seeded stream (per-colluder
+    // SplitMix64 roles), so every cell of the adversarial sweep is a pure
+    // function of the scenario seed — parallel execution must not change
+    // a byte.
+    let doc = |jobs: usize| {
+        let params = Params::smoke().with_messages(8).with_jobs(jobs);
+        let cells = hyparview_attack(&params, 10);
+        hyparview_attack_artifact(&params, 10, &cells)
+    };
+    let sequential = doc(1);
+    let parallel = doc(4);
+    assert_eq!(
+        sequential, parallel,
+        "--jobs 4 must not change a byte of the hyparview_attack artifact"
     );
 }
 

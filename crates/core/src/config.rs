@@ -90,6 +90,34 @@ pub struct Config {
     /// background half of the reactive repair described in §4.3 and is what
     /// lets isolated nodes rejoin without an explicit trigger.
     pub promote_on_shuffle: bool,
+    /// Admission damping (overlay defense, not in the paper): once a peer
+    /// is admitted into the active view via `JOIN` or a high-priority
+    /// `NEIGHBOR`, further such admissions of the *same* identifier are
+    /// rejected for this many membership cycles. `0` disables damping.
+    /// Damps the rapid re-`JOIN` / re-`NEIGHBOR` churn an eclipse attacker
+    /// uses to re-roll random evictions; first-time admissions are never
+    /// affected.
+    pub admission_cooldown: u64,
+    /// Per-cycle budget of *eviction-causing* high-priority `NEIGHBOR`
+    /// admissions (overlay defense). Once the budget is spent, further
+    /// high-priority requests that would evict an active member are
+    /// rejected until the next shuffle tick. `0` disables the budget
+    /// (the paper's always-accept rule). Requests that fill a free slot or
+    /// re-confirm an existing member are exempt.
+    pub neighbor_evict_budget: usize,
+    /// Bounded active-view tenure (overlay defense): at each shuffle tick,
+    /// if the longest-tenured active member has been in the view for at
+    /// least this many cycles *and* a passive-view replacement exists, it
+    /// is swapped out (disconnected into the passive view). Continuous
+    /// rotation caps how long a captured slot stays captured. `0` disables
+    /// forced swap-out.
+    pub max_active_tenure: u64,
+    /// Churn-triggered shuffle boost (overlay defense): when the previous
+    /// cycle saw active-view churn (evictions or transport failures), the
+    /// shuffle tick sends this many *extra* shuffle requests, diluting
+    /// attacker-biased passive views faster exactly when the view is under
+    /// pressure. `0` disables the boost.
+    pub churn_shuffle_boost: usize,
 }
 
 impl Default for Config {
@@ -103,6 +131,10 @@ impl Default for Config {
             shuffle_passive: 4,
             shuffle_ttl: 6,
             promote_on_shuffle: true,
+            admission_cooldown: 0,
+            neighbor_evict_budget: 0,
+            max_active_tenure: 0,
+            churn_shuffle_boost: 0,
         }
     }
 }
@@ -159,6 +191,44 @@ impl Config {
     pub fn with_promote_on_shuffle(mut self, enabled: bool) -> Self {
         self.promote_on_shuffle = enabled;
         self
+    }
+
+    /// Sets the per-peer admission cooldown in cycles (`0` = off).
+    pub fn with_admission_cooldown(mut self, cycles: u64) -> Self {
+        self.admission_cooldown = cycles;
+        self
+    }
+
+    /// Sets the per-cycle eviction-causing `NEIGHBOR` admission budget
+    /// (`0` = unlimited, the paper's rule).
+    pub fn with_neighbor_evict_budget(mut self, budget: usize) -> Self {
+        self.neighbor_evict_budget = budget;
+        self
+    }
+
+    /// Sets the maximum active-view tenure in cycles (`0` = off).
+    pub fn with_max_active_tenure(mut self, cycles: u64) -> Self {
+        self.max_active_tenure = cycles;
+        self
+    }
+
+    /// Sets the number of extra shuffles sent after a churn-heavy cycle
+    /// (`0` = off).
+    pub fn with_churn_shuffle_boost(mut self, extra: usize) -> Self {
+        self.churn_shuffle_boost = extra;
+        self
+    }
+
+    /// The paper's configuration with every overlay defense enabled at the
+    /// settings the adversarial-membership experiments use: long admission
+    /// cooldown, one eviction-admission per cycle, five-cycle tenure, and
+    /// one boost shuffle under churn.
+    pub fn hardened() -> Self {
+        Config::default()
+            .with_admission_cooldown(50)
+            .with_neighbor_evict_budget(1)
+            .with_max_active_tenure(5)
+            .with_churn_shuffle_boost(1)
     }
 
     /// Derives a configuration sized for a network of `n` nodes, following
@@ -254,6 +324,38 @@ mod tests {
         assert_eq!(c.shuffle_passive, 5);
         assert_eq!(c.shuffle_ttl, 3);
         assert!(!c.promote_on_shuffle);
+    }
+
+    #[test]
+    fn defenses_default_off_and_builders_apply() {
+        let c = Config::default();
+        assert_eq!(c.admission_cooldown, 0);
+        assert_eq!(c.neighbor_evict_budget, 0);
+        assert_eq!(c.max_active_tenure, 0);
+        assert_eq!(c.churn_shuffle_boost, 0);
+        let d = Config::default()
+            .with_admission_cooldown(10)
+            .with_neighbor_evict_budget(2)
+            .with_max_active_tenure(6)
+            .with_churn_shuffle_boost(3);
+        assert_eq!(d.admission_cooldown, 10);
+        assert_eq!(d.neighbor_evict_budget, 2);
+        assert_eq!(d.max_active_tenure, 6);
+        assert_eq!(d.churn_shuffle_boost, 3);
+        d.validate().expect("defended config must validate");
+    }
+
+    #[test]
+    fn hardened_enables_every_defense() {
+        let c = Config::hardened();
+        assert!(c.admission_cooldown > 0);
+        assert!(c.neighbor_evict_budget > 0);
+        assert!(c.max_active_tenure > 0);
+        assert!(c.churn_shuffle_boost > 0);
+        // Defenses never change the paper's view geometry.
+        assert_eq!(c.active_capacity, Config::default().active_capacity);
+        assert_eq!(c.passive_capacity, Config::default().passive_capacity);
+        c.validate().expect("hardened config must validate");
     }
 
     #[test]

@@ -66,5 +66,5 @@ pub use collections::RecentSet;
 pub use config::{Config, ConfigError};
 pub use id::{Identity, SimId};
 pub use message::{Message, MessageKind, Priority};
-pub use protocol::HyParView;
+pub use protocol::{DefenseEvent, HyParView};
 pub use stats::Stats;

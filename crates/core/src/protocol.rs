@@ -37,6 +37,38 @@ impl<I> Default for Repair<I> {
     }
 }
 
+/// A decision taken by one of the optional overlay-defense mechanisms
+/// (admission damping, eviction budget, bounded tenure, churn-triggered
+/// shuffle boost — none of which appear in the paper).
+///
+/// Events are buffered on the instance and drained by the embedding
+/// runtime via [`HyParView::take_defense_events`]. With every defense
+/// disabled (the default configuration) the buffer stays empty and the
+/// protocol behaves bit-for-bit like the undefended state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefenseEvent<I> {
+    /// A `JOIN` from `peer` was rejected because the same identifier was
+    /// admitted within the last [`Config::admission_cooldown`] cycles.
+    JoinDamped {
+        /// The damped joiner.
+        peer: I,
+    },
+    /// A high-priority `NEIGHBOR` from `peer` was rejected by admission
+    /// damping or by the per-cycle eviction budget.
+    NeighborDamped {
+        /// The damped requester.
+        peer: I,
+    },
+    /// `peer` was forcibly rotated out of the active view after exceeding
+    /// [`Config::max_active_tenure`] cycles of membership.
+    TenureSwapped {
+        /// The rotated-out member.
+        peer: I,
+    },
+    /// A churn-heavy previous cycle triggered an extra shuffle.
+    ShuffleBoosted,
+}
+
 /// A HyParView protocol instance for one node.
 ///
 /// # Driving the state machine
@@ -79,6 +111,25 @@ pub struct HyParView<I> {
     /// Identifiers sent in our last shuffle request; preferred eviction
     /// victims when the reply is integrated (§4.4).
     last_shuffle_sent: Vec<I>,
+    /// Membership cycle counter: one increment per [`HyParView::shuffle_tick`].
+    /// The clock the cooldown/tenure defenses measure against.
+    cycle: u64,
+    /// Cycle of each peer's last damped-path admission (`JOIN` or
+    /// high-priority `NEIGHBOR`). Maintained only while
+    /// [`Config::admission_cooldown`] is non-zero; pruned every tick.
+    admitted_at: Vec<(I, u64)>,
+    /// Admission cycle of current active members. Maintained only while
+    /// [`Config::max_active_tenure`] is non-zero; stale entries are pruned
+    /// lazily at each tick.
+    active_since: Vec<(I, u64)>,
+    /// Eviction-causing high-priority `NEIGHBOR` admissions since the last
+    /// tick (compared against [`Config::neighbor_evict_budget`]).
+    evict_admissions: usize,
+    /// Active-view churn (evictions + transport failures) since the last
+    /// tick; a non-zero value arms the shuffle boost.
+    churn_events: u32,
+    /// Buffered defense decisions awaiting [`HyParView::take_defense_events`].
+    defense_events: Vec<DefenseEvent<I>>,
 }
 
 impl<I: Identity> HyParView<I> {
@@ -101,6 +152,12 @@ impl<I: Identity> HyParView<I> {
             stats: Stats::new(),
             repair: Repair::default(),
             last_shuffle_sent: Vec::new(),
+            cycle: 0,
+            admitted_at: Vec::new(),
+            active_since: Vec::new(),
+            evict_admissions: 0,
+            churn_events: 0,
+            defense_events: Vec::new(),
             config,
         })
     }
@@ -139,6 +196,18 @@ impl<I: Identity> HyParView<I> {
     /// receive broadcasts and will issue high-priority `NEIGHBOR` requests.
     pub fn is_isolated(&self) -> bool {
         self.active.is_empty()
+    }
+
+    /// The number of shuffle ticks executed so far — the cycle clock the
+    /// cooldown and tenure defenses are measured against.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Drains the buffered overlay-defense decisions. Always empty unless
+    /// a defense knob in [`Config`] is enabled.
+    pub fn take_defense_events(&mut self) -> Vec<DefenseEvent<I>> {
+        std::mem::take(&mut self.defense_events)
     }
 
     /// The peers a broadcast layer should flood a message to: the entire
@@ -203,13 +272,42 @@ impl<I: Identity> HyParView<I> {
     }
 
     /// Periodic tick: performs the passive-view shuffle (§4.4) and, if the
-    /// active view is under-full, an opportunistic repair attempt.
+    /// active view is under-full, an opportunistic repair attempt. With
+    /// defenses enabled it also advances the cooldown clock, rotates
+    /// over-tenured members, and boosts the shuffle rate after churn.
     pub fn shuffle_tick(&mut self, actions: &mut Actions<I>) {
+        self.cycle += 1;
+        self.evict_admissions = 0;
+        let churned = std::mem::take(&mut self.churn_events) > 0;
+        if self.config.admission_cooldown > 0 {
+            let cycle = self.cycle;
+            let cooldown = self.config.admission_cooldown;
+            self.admitted_at.retain(|(_, at)| cycle.saturating_sub(*at) < cooldown);
+        }
+        if self.config.max_active_tenure > 0 {
+            self.tenure_swap(actions);
+        }
         if self.config.promote_on_shuffle && !self.active.is_full() {
             self.try_promote(actions);
         }
-        let Some(target) = self.active.choose(&mut self.rng) else {
+        if !self.send_shuffle(actions) {
             return;
+        }
+        if churned && self.config.churn_shuffle_boost > 0 {
+            for _ in 0..self.config.churn_shuffle_boost {
+                if self.send_shuffle(actions) {
+                    self.defense_events.push(DefenseEvent::ShuffleBoosted);
+                }
+            }
+        }
+    }
+
+    /// Sends one shuffle request to a random active peer, recording the
+    /// exchanged identifiers for reply integration (§4.4). Returns `false`
+    /// when the active view is empty.
+    fn send_shuffle(&mut self, actions: &mut Actions<I>) -> bool {
+        let Some(target) = self.active.choose(&mut self.rng) else {
+            return false;
         };
         self.stats.shuffles_started += 1;
         let mut nodes =
@@ -220,6 +318,74 @@ impl<I: Identity> HyParView<I> {
             target,
             Message::Shuffle { origin: self.me, ttl: self.config.shuffle_ttl, nodes },
         );
+        true
+    }
+
+    /// Forced swap-out: once the longest-tenured active member has been in
+    /// the view for [`Config::max_active_tenure`] cycles *and* the passive
+    /// view offers a replacement candidate, rotate it out (Disconnect into
+    /// the passive view, exactly like a capacity eviction). Continuous
+    /// rotation bounds how long a captured slot stays captured.
+    fn tenure_swap(&mut self, actions: &mut Actions<I>) {
+        let active = &self.active;
+        self.active_since.retain(|(p, _)| active.contains(p));
+        if self.passive.is_empty() {
+            return;
+        }
+        let Some((peer, since)) = self.active_since.iter().copied().min_by_key(|(_, at)| *at)
+        else {
+            return;
+        };
+        if self.cycle.saturating_sub(since) < self.config.max_active_tenure {
+            return;
+        }
+        if self.active.remove(&peer) {
+            self.active_since.retain(|(p, _)| *p != peer);
+            self.stats.active_evictions += 1;
+            actions.send(peer, Message::Disconnect);
+            actions.neighbor_down(peer);
+            self.passive.insert(peer, &mut self.rng);
+            self.defense_events.push(DefenseEvent::TenureSwapped { peer });
+        }
+    }
+
+    /// Whether an admission of `peer` through a damped path would be
+    /// rejected by the cooldown (a re-admission inside the window).
+    fn is_damped(&self, peer: &I) -> bool {
+        let cooldown = self.config.admission_cooldown;
+        cooldown > 0
+            && self
+                .admitted_at
+                .iter()
+                .any(|(p, at)| p == peer && self.cycle.saturating_sub(*at) < cooldown)
+    }
+
+    /// Records a damped-path admission of `peer` (no-op with damping off).
+    fn record_admission(&mut self, peer: I) {
+        if self.config.admission_cooldown == 0 {
+            return;
+        }
+        match self.admitted_at.iter_mut().find(|(p, _)| *p == peer) {
+            Some(entry) => entry.1 = self.cycle,
+            None => self.admitted_at.push((peer, self.cycle)),
+        }
+    }
+
+    /// Records when `peer` entered the active view (no-op with the tenure
+    /// bound off).
+    fn record_tenure(&mut self, peer: I) {
+        if self.config.max_active_tenure == 0 {
+            return;
+        }
+        match self.active_since.iter_mut().find(|(p, _)| *p == peer) {
+            Some(entry) => entry.1 = self.cycle,
+            None => self.active_since.push((peer, self.cycle)),
+        }
+    }
+
+    /// Whether admitting `peer` now would evict a current active member.
+    fn would_evict(&self, peer: &I) -> bool {
+        self.active.is_full() && !self.active.contains(peer)
     }
 
     /// Transport-level failure notification: the runtime could not reach
@@ -235,6 +401,7 @@ impl<I: Identity> HyParView<I> {
         self.passive.remove(&peer);
         if self.active.remove(&peer) {
             self.stats.peer_failures += 1;
+            self.churn_events = self.churn_events.saturating_add(1);
             actions.neighbor_down(peer);
         }
         self.try_promote(actions);
@@ -245,9 +412,16 @@ impl<I: Identity> HyParView<I> {
     // ------------------------------------------------------------------
 
     /// §4.2: a `JOIN` always lands in the active view, then fans out
-    /// `FORWARDJOIN` walks through every other active peer.
+    /// `FORWARDJOIN` walks through every other active peer. With admission
+    /// damping on, rapid re-`JOIN`s of an identifier admitted within the
+    /// cooldown window are dropped (no admission, no fan-out).
     fn on_join(&mut self, new_node: I, actions: &mut Actions<I>) {
         self.stats.joins_handled += 1;
+        if self.is_damped(&new_node) {
+            self.defense_events.push(DefenseEvent::JoinDamped { peer: new_node });
+            return;
+        }
+        self.record_admission(new_node);
         self.add_to_active(new_node, actions);
         let arwl = self.config.arwl;
         for peer in self.active.to_vec() {
@@ -298,12 +472,27 @@ impl<I: Identity> HyParView<I> {
 
     /// §4.3: high-priority requests are always accepted (evicting a random
     /// active peer if needed); low-priority ones only with a free slot.
+    /// The defenses narrow the high-priority rule: a re-admission inside
+    /// the cooldown window is rejected, and eviction-causing admissions
+    /// are limited to [`Config::neighbor_evict_budget`] per cycle.
     fn on_neighbor(&mut self, sender: I, priority: Priority, actions: &mut Actions<I>) {
         self.stats.neighbor_requests_received += 1;
+        let budget = self.config.neighbor_evict_budget;
         let accepted = match priority {
             Priority::High => {
-                self.add_to_active(sender, actions);
-                true
+                if self.is_damped(&sender)
+                    || (budget > 0 && self.would_evict(&sender) && self.evict_admissions >= budget)
+                {
+                    self.defense_events.push(DefenseEvent::NeighborDamped { peer: sender });
+                    false
+                } else {
+                    if self.would_evict(&sender) {
+                        self.evict_admissions += 1;
+                    }
+                    self.record_admission(sender);
+                    self.add_to_active(sender, actions);
+                    true
+                }
             }
             Priority::Low => {
                 if self.active.contains(&sender) {
@@ -410,6 +599,7 @@ impl<I: Identity> HyParView<I> {
         if self.active.is_full() {
             if let Some(dropped) = self.active.evict_random(&mut self.rng) {
                 self.stats.active_evictions += 1;
+                self.churn_events = self.churn_events.saturating_add(1);
                 actions.send(dropped, Message::Disconnect);
                 actions.neighbor_down(dropped);
                 self.passive.insert(dropped, &mut self.rng);
@@ -422,6 +612,7 @@ impl<I: Identity> HyParView<I> {
         let inserted = self.active.insert(peer);
         if inserted {
             actions.neighbor_up(peer);
+            self.record_tenure(peer);
         }
         inserted
     }
@@ -1021,6 +1212,173 @@ mod tests {
         let taken = c.stats_mut().take();
         assert!(taken.total_events() > 0);
         assert_eq!(c.stats().total_events(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Overlay defenses (all off by default)
+    // ------------------------------------------------------------------
+
+    fn defended(id: u32, config: Config) -> HyParView<u32> {
+        HyParView::new(id, config, u64::from(id) + 1).unwrap()
+    }
+
+    #[test]
+    fn defenses_off_buffer_no_events() {
+        let mut n = node(0);
+        let mut actions = Actions::new();
+        for peer in 1..=8 {
+            n.handle_message(peer, Message::Join, &mut actions);
+            n.handle_message(peer, Message::Join, &mut actions);
+            n.handle_message(peer, Message::Neighbor { priority: Priority::High }, &mut actions);
+        }
+        n.shuffle_tick(&mut actions);
+        assert!(n.take_defense_events().is_empty());
+        assert_eq!(n.cycle(), 1);
+    }
+
+    #[test]
+    fn admission_cooldown_damps_rapid_rejoins() {
+        let mut n = defended(0, Config::default().with_admission_cooldown(10));
+        let mut actions = Actions::new();
+        n.handle_message(1, Message::Join, &mut actions);
+        assert!(n.active_view().contains(&1), "first JOIN admitted normally");
+        actions.drain().count();
+        // The attacker churns and re-joins within the window.
+        n.handle_message(1, Message::Join, &mut actions);
+        assert!(actions.is_empty(), "damped JOIN produces no fan-out");
+        assert_eq!(n.take_defense_events(), vec![DefenseEvent::JoinDamped { peer: 1 }]);
+        // A different first-time joiner is unaffected.
+        n.handle_message(2, Message::Join, &mut actions);
+        assert!(n.active_view().contains(&2));
+        assert!(n.take_defense_events().is_empty());
+    }
+
+    #[test]
+    fn admission_cooldown_expires_after_window() {
+        let mut n = defended(0, Config::default().with_admission_cooldown(2));
+        let mut actions = Actions::new();
+        n.handle_message(1, Message::Join, &mut actions);
+        n.handle_message(2, Message::Join, &mut actions);
+        for _ in 0..3 {
+            n.shuffle_tick(&mut actions);
+        }
+        actions.drain().count();
+        n.handle_message(1, Message::Join, &mut actions);
+        assert!(n.take_defense_events().is_empty(), "cooldown expired: JOIN admitted again");
+    }
+
+    #[test]
+    fn cooldown_damps_high_priority_neighbor_readmission() {
+        let mut n = defended(0, Config::default().with_admission_cooldown(10));
+        let mut actions = Actions::new();
+        n.handle_message(1, Message::Neighbor { priority: Priority::High }, &mut actions);
+        assert!(n.active_view().contains(&1));
+        actions.drain().count();
+        n.handle_message(1, Message::Disconnect, &mut actions);
+        actions.drain().count();
+        n.handle_message(1, Message::Neighbor { priority: Priority::High }, &mut actions);
+        assert!(!n.active_view().contains(&1), "re-admission inside the window rejected");
+        assert!(sends(&actions).contains(&(1, Message::NeighborReply { accepted: false })));
+        assert_eq!(n.take_defense_events(), vec![DefenseEvent::NeighborDamped { peer: 1 }]);
+    }
+
+    #[test]
+    fn neighbor_evict_budget_limits_eviction_admissions_per_cycle() {
+        let mut n = defended(0, Config::default().with_neighbor_evict_budget(1));
+        let mut actions = Actions::new();
+        for peer in 1..=5 {
+            n.handle_message(peer, Message::Join, &mut actions);
+        }
+        assert!(n.active_view().is_full());
+        n.shuffle_tick(&mut actions);
+        actions.drain().count();
+        // First eviction-causing request spends the budget …
+        n.handle_message(50, Message::Neighbor { priority: Priority::High }, &mut actions);
+        assert!(n.active_view().contains(&50));
+        // … further ones are rejected until the next tick.
+        n.handle_message(51, Message::Neighbor { priority: Priority::High }, &mut actions);
+        assert!(!n.active_view().contains(&51));
+        assert!(sends(&actions).contains(&(51, Message::NeighborReply { accepted: false })));
+        assert_eq!(n.take_defense_events(), vec![DefenseEvent::NeighborDamped { peer: 51 }]);
+        n.shuffle_tick(&mut actions);
+        actions.drain().count();
+        n.handle_message(51, Message::Neighbor { priority: Priority::High }, &mut actions);
+        assert!(n.active_view().contains(&51), "budget resets at the tick");
+    }
+
+    #[test]
+    fn evict_budget_exempts_free_slots_and_existing_members() {
+        let mut n = defended(0, Config::default().with_neighbor_evict_budget(1));
+        let mut actions = Actions::new();
+        // Free slots: several high-priority admissions in one cycle, none
+        // evicting, all accepted.
+        for peer in 1..=4 {
+            n.handle_message(peer, Message::Neighbor { priority: Priority::High }, &mut actions);
+            assert!(n.active_view().contains(&peer));
+        }
+        // Re-confirming an existing member spends nothing either.
+        n.handle_message(1, Message::Neighbor { priority: Priority::High }, &mut actions);
+        assert!(n.take_defense_events().is_empty());
+    }
+
+    #[test]
+    fn tenure_swap_rotates_longest_tenured_member() {
+        let mut n = defended(0, Config::default().with_max_active_tenure(3));
+        let mut actions = Actions::new();
+        n.handle_message(1, Message::Join, &mut actions);
+        n.shuffle_tick(&mut actions); // cycle 1
+        n.handle_message(2, Message::Join, &mut actions);
+        // Provide a passive-view replacement candidate.
+        n.handle_message(2, Message::ShuffleReply { nodes: vec![100] }, &mut actions);
+        actions.drain().count();
+        n.shuffle_tick(&mut actions); // cycle 2: tenure(1) = 2 < 3, no swap yet
+        assert!(n.active_view().contains(&1));
+        actions.drain().count();
+        n.shuffle_tick(&mut actions); // cycle 3: tenure(1) = 3, swap fires
+        assert!(!n.active_view().contains(&1), "longest-tenured member rotated out");
+        assert!(n.passive_view().contains(&1), "swapped member lands in passive view");
+        assert!(sends(&actions).iter().any(|(to, m)| *to == 1 && *m == Message::Disconnect));
+        assert!(n.take_defense_events().contains(&DefenseEvent::TenureSwapped { peer: 1 }));
+    }
+
+    #[test]
+    fn tenure_swap_waits_for_replacement_candidates() {
+        let mut n = defended(0, Config::default().with_max_active_tenure(1));
+        let mut actions = Actions::new();
+        n.handle_message(1, Message::Join, &mut actions);
+        for _ in 0..5 {
+            n.shuffle_tick(&mut actions);
+        }
+        assert!(n.active_view().contains(&1), "no passive candidate: no swap-out");
+        assert!(n.take_defense_events().is_empty());
+    }
+
+    #[test]
+    fn churn_boost_sends_extra_shuffles() {
+        let mut n = defended(0, Config::default().with_churn_shuffle_boost(2));
+        let mut actions = Actions::new();
+        for peer in 1..=5 {
+            n.handle_message(peer, Message::Join, &mut actions);
+        }
+        // A sixth join evicts someone: churn observed this cycle.
+        n.handle_message(6, Message::Join, &mut actions);
+        actions.drain().count();
+        n.shuffle_tick(&mut actions);
+        let shuffles =
+            sends(&actions).iter().filter(|(_, m)| matches!(m, Message::Shuffle { .. })).count();
+        assert_eq!(shuffles, 3, "base shuffle plus two boost shuffles");
+        let boosts = n
+            .take_defense_events()
+            .iter()
+            .filter(|e| matches!(e, DefenseEvent::ShuffleBoosted))
+            .count();
+        assert_eq!(boosts, 2);
+        actions.drain().count();
+        // A calm cycle reverts to the base rate.
+        n.shuffle_tick(&mut actions);
+        let calm =
+            sends(&actions).iter().filter(|(_, m)| matches!(m, Message::Shuffle { .. })).count();
+        assert_eq!(calm, 1);
     }
 
     #[test]

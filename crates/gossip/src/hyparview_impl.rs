@@ -5,8 +5,11 @@
 //! only protocol in the evaluation whose gossip target selection is
 //! *deterministic*: it floods its entire (symmetric) active view.
 
-use crate::membership::{Membership, Outbox};
-use hyparview_core::{Action, Actions, Config, HyParView, Identity, Message};
+use crate::adversary::{AttackerModel, AttackerRole};
+use crate::membership::{Membership, MembershipEvent, Outbox};
+use hyparview_core::{
+    Action, Actions, Config, DefenseEvent, HyParView, Identity, Message, Priority,
+};
 
 /// HyParView wired up as a [`Membership`] protocol.
 ///
@@ -30,6 +33,10 @@ pub struct HyParViewMembership<I> {
     /// `fanout` random targets from the active view instead (the ablation
     /// §5.5 argues against).
     random_fanout: Option<rand::rngs::StdRng>,
+    /// `Some` makes this node a colluder running the configured attack.
+    attacker: Option<AttackerRole<I>>,
+    /// Defense/attack events buffered for [`Membership::take_events`].
+    events: Vec<MembershipEvent<I>>,
 }
 
 impl<I: Identity> HyParViewMembership<I> {
@@ -43,7 +50,22 @@ impl<I: Identity> HyParViewMembership<I> {
             inner: HyParView::new(me, config, seed)?,
             actions: Actions::new(),
             random_fanout: None,
+            attacker: None,
+            events: Vec::new(),
         })
+    }
+
+    /// Turns this node into a colluder running `role`'s attack. Honest
+    /// message handling still goes through the real protocol state machine;
+    /// the role only adds hostile traffic on top (see [`crate::adversary`]).
+    pub fn with_attacker(mut self, role: AttackerRole<I>) -> Self {
+        self.attacker = Some(role);
+        self
+    }
+
+    /// Whether this node was configured as a colluder.
+    pub fn is_attacker(&self) -> bool {
+        self.attacker.is_some()
     }
 
     /// Ablation: replaces the deterministic flood with random selection of
@@ -68,13 +90,80 @@ impl<I: Identity> HyParViewMembership<I> {
     }
 
     fn flush(&mut self, out: &mut Outbox<I, Message<I>>) {
-        for action in self.actions.drain() {
-            if let Action::Send { to, message } = action {
+        let mut actions = std::mem::take(&mut self.actions);
+        for action in actions.drain() {
+            if let Action::Send { to, mut message } = action {
+                if let Message::Shuffle { nodes, .. } | Message::ShuffleReply { nodes } =
+                    &mut message
+                {
+                    if self.bias_shuffle_payload(to, nodes) {
+                        self.events.push(MembershipEvent::ShuffleBiased);
+                    }
+                }
                 out.send(to, message);
             }
             // NeighborUp/NeighborDown are connection-management hints; the
             // simulator derives the overlay from `out_view()` directly.
         }
+        self.actions = actions;
+    }
+
+    /// Infiltration: rewrite an outgoing shuffle payload so every advertised
+    /// id is a colluder, poisoning the recipient's passive view. Returns
+    /// `true` when the payload was rewritten.
+    fn bias_shuffle_payload(&mut self, to: I, nodes: &mut [I]) -> bool {
+        let me = self.inner.me();
+        let Some(attacker) = self.attacker.as_mut() else { return false };
+        if attacker.model != AttackerModel::Infiltration || nodes.is_empty() {
+            return false;
+        }
+        let pool: Vec<I> =
+            attacker.colluders.iter().copied().filter(|c| *c != me && *c != to).collect();
+        if pool.is_empty() {
+            return false;
+        }
+        for slot in nodes.iter_mut() {
+            if let Some(colluder) = attacker.pick(&pool) {
+                *slot = colluder;
+            }
+        }
+        true
+    }
+
+    /// One attack cycle, replacing the honest periodic shuffle.
+    fn attacker_cycle(&mut self, out: &mut Outbox<I, Message<I>>) {
+        let Some(mut attacker) = self.attacker.take() else { return };
+        attacker.refill_upgrades();
+        match attacker.model {
+            AttackerModel::Eclipse => {
+                // Flood every victim with an eviction-grade request, every
+                // cycle: rejections cost the attacker nothing.
+                for &victim in attacker.victims.iter() {
+                    out.send(victim, Message::Neighbor { priority: Priority::High });
+                    self.events.push(MembershipEvent::NeighborFlood { victim });
+                }
+            }
+            AttackerModel::Infiltration => {
+                // Keep shuffling like an honest node — the payload is
+                // poisoned at flush time.
+                let mut actions = std::mem::take(&mut self.actions);
+                self.inner.shuffle_tick(&mut actions);
+                self.actions = actions;
+            }
+        }
+        // Churn: occasionally re-join through a victim to re-roll earlier
+        // rejections (and re-seed ForwardJoin walks from inside the honest
+        // overlay).
+        if attacker.churn_now() {
+            if let Some(contact) = attacker.pick_victim() {
+                let mut actions = std::mem::take(&mut self.actions);
+                self.inner.join(contact, &mut actions);
+                self.actions = actions;
+                self.events.push(MembershipEvent::AttackerRejoin { contact });
+            }
+        }
+        self.attacker = Some(attacker);
+        self.flush(out);
     }
 }
 
@@ -99,9 +188,20 @@ impl<I: Identity> Membership<I> for HyParViewMembership<I> {
     fn handle_message(
         &mut self,
         from: I,
-        message: Self::Message,
+        mut message: Self::Message,
         out: &mut Outbox<I, Self::Message>,
     ) {
+        // Colluders accept NEIGHBOR requests greedily: upgrading the incoming
+        // priority makes the (honest) state machine admit unconditionally.
+        // The per-cycle budget bounds the eviction cascade this causes (see
+        // `adversary::UPGRADES_PER_CYCLE`).
+        if let Some(attacker) = self.attacker.as_mut() {
+            if let Message::Neighbor { priority } = &mut message {
+                if attacker.take_upgrade() {
+                    *priority = Priority::High;
+                }
+            }
+        }
         let mut actions = std::mem::take(&mut self.actions);
         self.inner.handle_message(from, message, &mut actions);
         self.actions = actions;
@@ -109,6 +209,10 @@ impl<I: Identity> Membership<I> for HyParViewMembership<I> {
     }
 
     fn on_cycle(&mut self, out: &mut Outbox<I, Self::Message>) {
+        if self.attacker.is_some() {
+            self.attacker_cycle(out);
+            return;
+        }
         let mut actions = std::mem::take(&mut self.actions);
         self.inner.shuffle_tick(&mut actions);
         self.actions = actions;
@@ -135,6 +239,12 @@ impl<I: Identity> Membership<I> for HyParViewMembership<I> {
     }
 
     fn broadcast_targets(&mut self, fanout: usize, exclude: Option<I>) -> Vec<I> {
+        // Colluders black-hole gossip: they accept broadcasts but never
+        // forward them, so every active-view slot they capture is a slot
+        // that drops traffic.
+        if self.attacker.is_some() {
+            return Vec::new();
+        }
         let mut targets = self.inner.broadcast_targets(exclude);
         if let Some(rng) = self.random_fanout.as_mut() {
             use rand::seq::SliceRandom;
@@ -151,6 +261,22 @@ impl<I: Identity> Membership<I> for HyParViewMembership<I> {
 
     fn backup_view(&self) -> Vec<I> {
         self.inner.passive_view().to_vec()
+    }
+
+    fn take_events(&mut self) -> Vec<MembershipEvent<I>> {
+        let mut events: Vec<MembershipEvent<I>> = self
+            .inner
+            .take_defense_events()
+            .into_iter()
+            .map(|event| match event {
+                DefenseEvent::JoinDamped { peer } => MembershipEvent::JoinDamped { peer },
+                DefenseEvent::NeighborDamped { peer } => MembershipEvent::NeighborDamped { peer },
+                DefenseEvent::TenureSwapped { peer } => MembershipEvent::TenureSwapped { peer },
+                DefenseEvent::ShuffleBoosted => MembershipEvent::ShuffleBoosted,
+            })
+            .collect();
+        events.append(&mut self.events);
+        events
     }
 }
 
@@ -204,6 +330,140 @@ mod tests {
         out.drain().count();
         node.on_cycle(&mut out);
         assert!(out.as_slice().iter().any(|(_, m)| matches!(m, Message::Shuffle { .. })));
+    }
+
+    fn eclipse_role(rejoin: f64) -> AttackerRole<u32> {
+        use std::sync::Arc;
+        AttackerRole::new(
+            AttackerModel::Eclipse,
+            Arc::new(vec![90, 91]),
+            Arc::new(vec![0, 1]),
+            rejoin,
+            0xDEAD,
+        )
+    }
+
+    fn infiltration_role() -> AttackerRole<u32> {
+        use std::sync::Arc;
+        AttackerRole::new(
+            AttackerModel::Infiltration,
+            Arc::new(vec![90, 91, 92]),
+            Arc::new(vec![0, 1, 2]),
+            0.0,
+            0xBEEF,
+        )
+    }
+
+    #[test]
+    fn eclipse_attacker_floods_victims_each_cycle() {
+        let mut node = HyParViewMembership::new(90u32, Config::default(), 7)
+            .unwrap()
+            .with_attacker(eclipse_role(0.0));
+        assert!(node.is_attacker());
+        let mut out = Outbox::new();
+        node.on_cycle(&mut out);
+        let msgs: Vec<_> = out.drain().collect();
+        let floods: Vec<_> = msgs
+            .iter()
+            .filter(|(_, m)| matches!(m, Message::Neighbor { priority: Priority::High }))
+            .map(|(to, _)| *to)
+            .collect();
+        assert_eq!(floods, vec![0, 1], "one high-priority request per victim");
+        assert!(!msgs.iter().any(|(_, m)| matches!(m, Message::Shuffle { .. })));
+        let events = node.take_events();
+        assert_eq!(
+            events,
+            vec![
+                MembershipEvent::NeighborFlood { victim: 0 },
+                MembershipEvent::NeighborFlood { victim: 1 },
+            ]
+        );
+        assert!(node.take_events().is_empty(), "events drain once");
+    }
+
+    #[test]
+    fn eclipse_attacker_churns_with_certainty_one() {
+        let mut node = HyParViewMembership::new(90u32, Config::default(), 7)
+            .unwrap()
+            .with_attacker(eclipse_role(1.0));
+        let mut out = Outbox::new();
+        node.on_cycle(&mut out);
+        let joins = out.as_slice().iter().filter(|(_, m)| matches!(m, Message::Join)).count();
+        assert_eq!(joins, 1, "p = 1 churns every cycle");
+        assert!(node
+            .take_events()
+            .iter()
+            .any(|e| matches!(e, MembershipEvent::AttackerRejoin { .. })));
+    }
+
+    #[test]
+    fn attacker_upgrades_incoming_neighbor_priority() {
+        let mut node = HyParViewMembership::new(90u32, Config::default(), 7)
+            .unwrap()
+            .with_attacker(eclipse_role(0.0));
+        let mut out = Outbox::new();
+        // Fill the active view; a low-priority request would normally bounce.
+        for peer in 1..=5 {
+            node.handle_message(peer, Message::Join, &mut out);
+        }
+        out.drain().count();
+        node.handle_message(50, Message::Neighbor { priority: Priority::Low }, &mut out);
+        assert!(node.out_view().contains(&50), "colluder accepts unconditionally");
+        assert!(out
+            .as_slice()
+            .iter()
+            .any(|(to, m)| *to == 50 && *m == Message::NeighborReply { accepted: true }));
+    }
+
+    #[test]
+    fn infiltration_biases_shuffle_payloads_to_colluders() {
+        let mut node = HyParViewMembership::new(90u32, Config::default(), 7)
+            .unwrap()
+            .with_attacker(infiltration_role());
+        let mut out = Outbox::new();
+        for peer in 1..=5 {
+            node.handle_message(peer, Message::Join, &mut out);
+        }
+        out.drain().count();
+        node.on_cycle(&mut out);
+        let shuffles: Vec<_> = out
+            .as_slice()
+            .iter()
+            .filter_map(|(to, m)| match m {
+                Message::Shuffle { nodes, .. } => Some((*to, nodes.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(shuffles.len(), 1);
+        let (to, nodes) = &shuffles[0];
+        assert!(!nodes.is_empty());
+        for id in nodes {
+            assert!([90, 91, 92].contains(id), "payload advertises only colluders, got {id}");
+            assert_ne!(id, to, "never advertises the recipient to itself");
+        }
+        assert!(node.take_events().contains(&MembershipEvent::ShuffleBiased));
+    }
+
+    #[test]
+    fn attacker_black_holes_broadcasts() {
+        let mut node = HyParViewMembership::new(90u32, Config::default(), 7)
+            .unwrap()
+            .with_attacker(infiltration_role());
+        let mut out = Outbox::new();
+        for peer in 1..=5 {
+            node.handle_message(peer, Message::Join, &mut out);
+        }
+        assert!(node.broadcast_targets(3, None).is_empty());
+    }
+
+    #[test]
+    fn honest_node_surfaces_defense_events() {
+        let config = Config::default().with_admission_cooldown(10);
+        let mut node = HyParViewMembership::new(0u32, config, 7).unwrap();
+        let mut out = Outbox::new();
+        node.handle_message(1, Message::Join, &mut out);
+        node.handle_message(1, Message::Join, &mut out);
+        assert_eq!(node.take_events(), vec![MembershipEvent::JoinDamped { peer: 1 }]);
     }
 
     #[test]

@@ -17,10 +17,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod broadcast;
 pub mod hyparview_impl;
 pub mod membership;
 
+pub use adversary::{AttackerModel, AttackerRole};
 pub use broadcast::{BroadcastId, BroadcastReport, GossipState, ReliabilitySummary};
 pub use hyparview_impl::HyParViewMembership;
-pub use membership::{Membership, Outbox};
+pub use membership::{Membership, MembershipEvent, Outbox};

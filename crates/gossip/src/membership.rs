@@ -55,6 +55,51 @@ impl<I: Identity, M> Outbox<I, M> {
     }
 }
 
+/// An observable membership decision, drained via
+/// [`Membership::take_events`].
+///
+/// Covers both sides of the adversarial-membership experiments: defense
+/// decisions made by honest nodes (damping, tenure swaps, shuffle boosts)
+/// and attack actions taken by colluders (floods, churn re-joins, biased
+/// shuffles). The runtime turns these into `attack.*` registry counters and
+/// trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipEvent<I> {
+    /// A rapid re-`Join` from `peer` was rejected by admission damping.
+    JoinDamped {
+        /// The damped sender.
+        peer: I,
+    },
+    /// A high-priority `Neighbor` request from `peer` was rejected by the
+    /// admission cooldown or the per-cycle eviction budget.
+    NeighborDamped {
+        /// The damped sender.
+        peer: I,
+    },
+    /// `peer` exceeded the bounded active-view tenure and was swapped out.
+    TenureSwapped {
+        /// The rotated-out active-view member.
+        peer: I,
+    },
+    /// An extra shuffle was sent because churn was observed this cycle.
+    ShuffleBoosted,
+    /// This (colluding) node sent an unsolicited high-priority `Neighbor`
+    /// request at `victim`.
+    NeighborFlood {
+        /// The targeted node.
+        victim: I,
+    },
+    /// This (colluding) node churned: it re-`Join`ed through `contact` to
+    /// re-roll earlier rejections.
+    AttackerRejoin {
+        /// The join contact.
+        contact: I,
+    },
+    /// This (colluding) node rewrote an outgoing shuffle payload to
+    /// advertise only colluders.
+    ShuffleBiased,
+}
+
 /// A membership protocol (peer sampling service) as used by the paper's
 /// gossip broadcast protocol.
 ///
@@ -133,6 +178,13 @@ pub trait Membership<I: Identity> {
     /// The node's passive/backup view if the protocol keeps one (metrics
     /// and debugging only).
     fn backup_view(&self) -> Vec<I> {
+        Vec::new()
+    }
+
+    /// Drains membership events (defense decisions, attacker actions)
+    /// buffered since the last call. Metrics/tracing only — consuming or
+    /// ignoring them never changes protocol behaviour. Default: none.
+    fn take_events(&mut self) -> Vec<MembershipEvent<I>> {
         Vec::new()
     }
 }

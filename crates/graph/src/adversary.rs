@@ -1,0 +1,229 @@
+//! Adversarial overlay analyzers: how much of the overlay a colluding set
+//! has captured, and what remains of the honest overlay without them.
+//!
+//! The paper's §5.4 argues the overlay stays balanced under *random*
+//! failures; these metrics quantify the *coordinated* case. All functions
+//! take colluders as node indices into the [`Overlay`] snapshot — the
+//! analyzers are attack-model agnostic.
+
+use crate::metrics::{
+    connectivity, degree_histogram, degree_summary, in_degrees, ConnectivityReport, DegreeSummary,
+};
+use crate::overlay::Overlay;
+use std::collections::BTreeMap;
+
+/// In-degree distribution of one overlay snapshot: the Figure 5 analysis
+/// (histogram + summary) as a reusable value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndegreeReport {
+    /// `in-degree → node count` over alive nodes.
+    pub histogram: BTreeMap<usize, usize>,
+    /// Mean/min/max/stddev of the alive in-degree sequence.
+    pub summary: DegreeSummary,
+}
+
+impl IndegreeReport {
+    /// Fraction of alive nodes with exactly `degree` in-edges.
+    pub fn fraction_at(&self, degree: usize) -> f64 {
+        let total: usize = self.histogram.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.histogram.get(&degree).unwrap_or(&0) as f64 / total as f64
+    }
+}
+
+/// Computes the in-degree distribution of the overlay (histogram over alive
+/// nodes + summary statistics) — the analysis the Figure 5 experiments
+/// perform, extracted so attack experiments reuse it unchanged.
+pub fn indegree_report(overlay: &Overlay) -> IndegreeReport {
+    let degrees = in_degrees(overlay);
+    let alive_degrees: Vec<usize> = overlay.alive_nodes().into_iter().map(|v| degrees[v]).collect();
+    IndegreeReport {
+        histogram: degree_histogram(&degrees, overlay),
+        summary: degree_summary(&alive_degrees),
+    }
+}
+
+fn colluder_mask(overlay: &Overlay, colluders: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; overlay.len()];
+    for &c in colluders {
+        if c < mask.len() {
+            mask[c] = true;
+        }
+    }
+    mask
+}
+
+/// Mean colluder share of honest nodes' out-views: for every alive honest
+/// node with at least one alive out-neighbor, the fraction of those
+/// neighbors that collude, averaged over the honest population. `0.0` is an
+/// untouched overlay, `1.0` a fully captured one.
+pub fn capture_fraction(overlay: &Overlay, colluders: &[usize]) -> f64 {
+    let mask = colluder_mask(overlay, colluders);
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for v in overlay.alive_nodes() {
+        if mask[v] {
+            continue;
+        }
+        let mut alive_targets = 0usize;
+        let mut captured = 0usize;
+        for &t in overlay.out_neighbors(v) {
+            let t = t as usize;
+            if !overlay.is_alive(t) {
+                continue;
+            }
+            alive_targets += 1;
+            if mask[t] {
+                captured += 1;
+            }
+        }
+        if alive_targets > 0 {
+            total += captured as f64 / alive_targets as f64;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Colluders' share of the overlay's total in-degree mass (in-edges from
+/// alive nodes): how much of the overlay's "reachability" (Figure 5's
+/// metric) the colluding set has attracted to itself.
+pub fn indegree_capture(overlay: &Overlay, colluders: &[usize]) -> f64 {
+    let mask = colluder_mask(overlay, colluders);
+    let degrees = in_degrees(overlay);
+    let total: usize = overlay.alive_nodes().into_iter().map(|v| degrees[v]).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let captured: usize =
+        overlay.alive_nodes().into_iter().filter(|&v| mask[v]).map(|v| degrees[v]).sum();
+    captured as f64 / total as f64
+}
+
+/// The victims whose entire out-view consists of colluders — fully
+/// *eclipsed*: every broadcast they originate or relay dies at a colluder.
+/// Victims with empty views are not counted (isolation is a different
+/// failure, reported by [`ConnectivityReport::isolated`]).
+pub fn eclipsed_victims(overlay: &Overlay, victims: &[usize], colluders: &[usize]) -> Vec<usize> {
+    let mask = colluder_mask(overlay, colluders);
+    victims
+        .iter()
+        .copied()
+        .filter(|&v| {
+            v < overlay.len()
+                && overlay.is_alive(v)
+                && !overlay.out_neighbors(v).is_empty()
+                && overlay.out_neighbors(v).iter().all(|&t| mask[t as usize])
+        })
+        .collect()
+}
+
+/// The overlay restricted to honest nodes: colluders become dead nodes and
+/// every edge into them disappears — what the overlay would look like the
+/// instant the conspiracy walks away (or starts black-holing traffic).
+pub fn honest_subgraph(overlay: &Overlay, colluders: &[usize]) -> Overlay {
+    let mask = colluder_mask(overlay, colluders);
+    let views = (0..overlay.len())
+        .map(|v| {
+            if !overlay.is_alive(v) || mask[v] {
+                None
+            } else {
+                Some(
+                    overlay
+                        .out_neighbors(v)
+                        .iter()
+                        .map(|&t| t as usize)
+                        .filter(|&t| !mask[t])
+                        .collect(),
+                )
+            }
+        })
+        .collect();
+    Overlay::new(views)
+}
+
+/// Connectivity of the [`honest_subgraph`]: whether the honest population
+/// still forms one component once every colluder (and every link through
+/// one) is discounted.
+pub fn honest_connectivity(overlay: &Overlay, colluders: &[usize]) -> ConnectivityReport {
+    connectivity(&honest_subgraph(overlay, colluders))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 5 honest nodes in a ring, nodes 5–6 collude. Node 1's view is fully
+    /// captured; node 2 half-captured.
+    fn infiltrated() -> Overlay {
+        Overlay::new(vec![
+            Some(vec![1, 2]),    // 0: honest view
+            Some(vec![5, 6]),    // 1: fully eclipsed
+            Some(vec![3, 5]),    // 2: half captured
+            Some(vec![4]),       // 3
+            Some(vec![0]),       // 4
+            Some(vec![1, 2, 6]), // 5: colluder
+            Some(vec![1, 5]),    // 6: colluder
+        ])
+    }
+
+    #[test]
+    fn indegree_report_matches_manual_counts() {
+        let report = indegree_report(&infiltrated());
+        let total: usize = report.histogram.values().sum();
+        assert_eq!(total, 7, "every alive node appears once");
+        // Node 1 is held by 0, 5 and 6 → in-degree 3.
+        assert!(report.summary.max >= 3);
+        let spread: f64 = (0..=report.summary.max).map(|d| report.fraction_at(d)).sum();
+        assert!((spread - 1.0).abs() < 1e-9, "fractions sum to 1, got {spread}");
+    }
+
+    #[test]
+    fn capture_fraction_averages_honest_views() {
+        let o = infiltrated();
+        let colluders = [5, 6];
+        // Shares: node 0 → 0/2, node 1 → 2/2, node 2 → 1/2, node 3 → 0,
+        // node 4 → 0. Mean = (0 + 1 + 0.5 + 0 + 0) / 5 = 0.3.
+        let f = capture_fraction(&o, &colluders);
+        assert!((f - 0.3).abs() < 1e-9, "got {f}");
+        assert_eq!(capture_fraction(&o, &[]), 0.0);
+    }
+
+    #[test]
+    fn indegree_capture_is_colluder_share_of_total() {
+        let o = infiltrated();
+        let degrees = in_degrees(&o);
+        let total: usize = degrees.iter().sum();
+        let expected = (degrees[5] + degrees[6]) as f64 / total as f64;
+        assert!((indegree_capture(&o, &[5, 6]) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eclipsed_victims_require_full_capture() {
+        let o = infiltrated();
+        assert_eq!(eclipsed_victims(&o, &[0, 1, 2, 3], &[5, 6]), vec![1]);
+        // An empty view is isolation, not eclipse.
+        let empty = Overlay::new(vec![Some(vec![]), Some(vec![0])]);
+        assert!(eclipsed_victims(&empty, &[0], &[1]).is_empty());
+    }
+
+    #[test]
+    fn honest_connectivity_discounts_colluders() {
+        let o = infiltrated();
+        let report = honest_connectivity(&o, &[5, 6]);
+        // Honest subgraph: 0→{1,2}, 1→{}, 2→{3}, 3→{4}, 4→{0} — one
+        // component of 5.
+        assert_eq!(report.largest_component, 5);
+        assert!(report.is_connected());
+        // Cutting node 0's links instead splits the honest overlay.
+        let sub = honest_subgraph(&o, &[5, 6]);
+        assert_eq!(sub.alive_count(), 5);
+        assert_eq!(sub.out_neighbors(1), &[] as &[u32], "links into colluders removed");
+    }
+}

@@ -7,7 +7,10 @@
 //! * **clustering coefficient** — Table 1, the property behind HyParView's
 //!   resilience;
 //! * **average shortest path** — Table 1;
-//! * **connectivity** — components, largest component, isolated nodes.
+//! * **connectivity** — components, largest component, isolated nodes;
+//! * **adversarial capture** — colluder share of honest views, in-degree
+//!   capture, eclipsed victims, honest-component connectivity
+//!   ([`adversary`]).
 //!
 //! The crate is protocol-agnostic: it consumes plain adjacency snapshots
 //! (`Vec<Option<Vec<usize>>>`, `None` = crashed node) produced by
@@ -16,9 +19,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod metrics;
 pub mod overlay;
 
+pub use adversary::{
+    capture_fraction, eclipsed_victims, honest_connectivity, honest_subgraph, indegree_capture,
+    indegree_report, IndegreeReport,
+};
 pub use metrics::{
     bfs_distances, clustering_coefficient, connectivity, degree_assortativity, degree_histogram,
     degree_summary, distance_histogram, in_degrees, out_degrees, shortest_path_stats,

@@ -14,6 +14,8 @@
 //! | `hyparview.` | membership protocol counters               |
 //! | `plumtree.`  | broadcast tree counters                    |
 //! | `faults.`    | injected network faults (simulator only)   |
+//! | `attack.`    | adversarial membership: defense decisions  |
+//! |              | and attacker actions (simulator only)      |
 //! | `reactor.`   | epoll loop introspection gauges (warn-only |
 //! |              | in `bench_diff`: wall-clock noise)         |
 
@@ -59,6 +61,26 @@ pub const FAULTS_DROPPED: &str = "faults.dropped";
 pub const FAULTS_PARTITION_DROPPED: &str = "faults.partition_dropped";
 /// Frames delivered twice by injected duplication.
 pub const FAULTS_DUPLICATED: &str = "faults.duplicated";
+
+/// Rapid re-`Join`s rejected by admission damping. Like the `faults.*`
+/// family, the whole `attack.*` group is sim-only by design — not part of
+/// [`SHARED_TRANSPORT_NAMES`]: adversaries and defenses are exercised in
+/// simulation, the TCP runtime registers none of this.
+pub const ATTACK_JOINS_DAMPED: &str = "attack.joins_damped";
+/// High-priority `Neighbor` requests rejected by the admission cooldown or
+/// the per-cycle eviction budget.
+pub const ATTACK_NEIGHBORS_DAMPED: &str = "attack.neighbors_damped";
+/// Active-view members rotated out by the bounded-tenure defense.
+pub const ATTACK_TENURE_SWAPS: &str = "attack.tenure_swaps";
+/// Extra shuffles sent by the churn-triggered shuffle-rate boost.
+pub const ATTACK_SHUFFLE_BOOSTS: &str = "attack.shuffle_boosts";
+/// Unsolicited high-priority `Neighbor` requests sent by eclipse attackers.
+pub const ATTACK_NEIGHBOR_FLOODS: &str = "attack.neighbor_floods";
+/// Attacker churn re-`Join`s (re-rolling earlier rejections).
+pub const ATTACK_REJOINS: &str = "attack.rejoins";
+/// Shuffle payloads rewritten by infiltration attackers to advertise only
+/// colluders.
+pub const ATTACK_SHUFFLES_BIASED: &str = "attack.shuffles_biased";
 
 /// `poller.wait` calls made by the reactor loop.
 pub const REACTOR_EPOLL_WAITS: &str = "reactor.epoll_waits";

@@ -95,6 +95,18 @@ pub enum TraceKind {
         /// The peer the frame was addressed to.
         peer: u64,
     },
+    /// An admission request (`Join` or high-priority `Neighbor`) was
+    /// rejected by the per-peer damping defense.
+    AdmissionDamped {
+        /// The damped requester.
+        peer: u64,
+    },
+    /// The bounded-tenure defense rotated a long-lived active-view member
+    /// out (forced swap to the passive view).
+    TenureSwap {
+        /// The rotated-out member.
+        peer: u64,
+    },
 }
 
 /// One timestamped decision made by one node.
@@ -122,6 +134,8 @@ impl std::fmt::Display for TraceEvent {
             TraceKind::TempConnClose { peer } => write!(f, "temp_conn_close peer={peer}"),
             TraceKind::Delivered { msg, hops } => write!(f, "delivered msg={msg} hops={hops}"),
             TraceKind::FrameDropped { peer } => write!(f, "frame_dropped peer={peer}"),
+            TraceKind::AdmissionDamped { peer } => write!(f, "admission_damped peer={peer}"),
+            TraceKind::TenureSwap { peer } => write!(f, "tenure_swap peer={peer}"),
         }
     }
 }
@@ -225,5 +239,9 @@ mod tests {
         assert_eq!(fired.to_string(), "t=1 node=2 timer_fired timer=lazy_flush");
         let dropped = TraceEvent { time: 9, node: 5, kind: TraceKind::FrameDropped { peer: 6 } };
         assert_eq!(dropped.to_string(), "t=9 node=5 frame_dropped peer=6");
+        let damped = TraceEvent { time: 2, node: 0, kind: TraceKind::AdmissionDamped { peer: 8 } };
+        assert_eq!(damped.to_string(), "t=2 node=0 admission_damped peer=8");
+        let swap = TraceEvent { time: 3, node: 1, kind: TraceKind::TenureSwap { peer: 4 } };
+        assert_eq!(swap.to_string(), "t=3 node=1 tenure_swap peer=4");
     }
 }

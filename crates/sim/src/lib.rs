@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod any;
+pub mod attack;
 pub mod churn;
 pub mod event;
 pub mod fault;
@@ -25,9 +26,11 @@ pub mod scenario;
 pub mod sim;
 
 pub use any::{AnySim, ProtocolConfigs};
+pub use attack::AttackPlan;
 pub use churn::{run_churn, ChurnEpoch, ChurnPlan, ChurnReport};
 pub use event::{EventQueue, QueueBackend, Scheduled};
 pub use fault::{FaultOp, FaultOpKind, FaultPlan};
+pub use hyparview_gossip::{AttackerModel, AttackerRole, MembershipEvent};
 pub use hyparview_plumtree::{BroadcastMode, PlumtreeConfig, PlumtreeStats, PlumtreeTimer};
 pub use scenario::{protocols, ContactPolicy, Scenario};
 pub use sim::{BurstReport, Latency, LatencyAssignment, LatencyModel, Sim, SimConfig, SimStats};

@@ -103,6 +103,15 @@ impl Scenario {
         self
     }
 
+    /// Sets the adversarial membership plan (colluding fraction, attacker
+    /// model) — deterministic per scenario seed. Honored by
+    /// [`protocols::build_hyparview`], which wires the highest-indexed
+    /// nodes as colluders; an inert plan changes nothing.
+    pub fn with_attack(mut self, attack: crate::attack::AttackPlan) -> Self {
+        self.sim_config.attack = attack;
+        self
+    }
+
     /// Sets the contact policy.
     pub fn with_contact(mut self, contact: ContactPolicy) -> Self {
         self.contact = contact;
@@ -155,10 +164,41 @@ pub mod protocols {
     pub type ScampSim = Sim<Scamp<SimId>>;
 
     /// Builds a HyParView overlay (single contact node, like Cyclon).
+    ///
+    /// Honors the scenario's [`AttackPlan`](crate::AttackPlan): the
+    /// highest-indexed nodes (the last joiners) become colluders running
+    /// the plan's attacker model, drawing from a dedicated stream derived
+    /// from the scenario seed. With an inert plan the colluder set is
+    /// empty and the build is byte-identical to one without attack
+    /// support.
     pub fn build_hyparview(scenario: &Scenario, config: Config) -> HyParViewSim {
+        use hyparview_gossip::AttackerRole;
+        use std::sync::Arc;
+
+        let attack = scenario.sim_config.attack.clone();
+        let n = scenario.n;
+        let attack_seed = scenario.seed ^ 0xA77A_C4ED_5EED_C0DE;
+        let colluders: Arc<Vec<SimId>> =
+            Arc::new(attack.colluder_indices(n).into_iter().map(SimId::new).collect());
+        let victims: Arc<Vec<SimId>> =
+            Arc::new(attack.victim_indices(n).into_iter().map(SimId::new).collect());
         scenario.build_with(move |id, seed| {
-            HyParViewMembership::new(id, config.clone(), seed)
-                .expect("HyParView config must be valid")
+            let node = HyParViewMembership::new(id, config.clone(), seed)
+                .expect("HyParView config must be valid");
+            if colluders.contains(&id) {
+                // Per-colluder stream: colluders must not act in lockstep.
+                let role_seed =
+                    attack_seed ^ (id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                node.with_attacker(AttackerRole::new(
+                    attack.model,
+                    Arc::clone(&colluders),
+                    Arc::clone(&victims),
+                    attack.rejoin,
+                    role_seed,
+                ))
+            } else {
+                node
+            }
         })
     }
 
@@ -292,6 +332,7 @@ mod tests {
 
     #[test]
     fn scenario_builders_chain() {
+        use crate::attack::AttackPlan;
         use crate::fault::FaultPlan;
         use crate::sim::Latency;
         let s = Scenario::new(10, 1)
@@ -299,11 +340,96 @@ mod tests {
             .with_latency(Latency::uniform(1, 4).per_link())
             .with_contact(ContactPolicy::RandomExisting)
             .with_stabilization_cycles(7)
-            .with_faults(FaultPlan::default().with_loss(0.1));
+            .with_faults(FaultPlan::default().with_loss(0.1))
+            .with_attack(AttackPlan::eclipse(0.2, 2));
         assert_eq!(s.sim_config.fanout, 5);
         assert_eq!(s.sim_config.latency, Latency::uniform(1, 4).per_link());
         assert_eq!(s.contact, ContactPolicy::RandomExisting);
         assert_eq!(s.stabilization_cycles, 7);
         assert_eq!(s.sim_config.faults.loss, 0.1);
+        assert!(s.sim_config.attack.is_active());
+        assert_eq!(s.sim_config.attack.victims, 2);
+    }
+
+    // ------------------------------------------------------------------
+    // Adversarial membership
+    // ------------------------------------------------------------------
+
+    fn colluder_share(sim: &HyParViewSim, node: SimId, colluders: &[SimId]) -> f64 {
+        let view = sim.node(node).out_view();
+        if view.is_empty() {
+            return 0.0;
+        }
+        view.iter().filter(|p| colluders.contains(p)).count() as f64 / view.len() as f64
+    }
+
+    #[test]
+    fn inert_attack_plan_is_byte_identical_to_no_plan() {
+        let scenario = Scenario::new(40, 77);
+        assert!(!scenario.sim_config.attack.is_active());
+        // The pre-attack baseline: a plain factory without attacker wiring.
+        let mut plain = scenario
+            .build_with(|id, seed| HyParViewMembership::new(id, Config::default(), seed).unwrap());
+        let mut wired = build_hyparview(&scenario, Config::default());
+        plain.run_cycles(8);
+        wired.run_cycles(8);
+        for _ in 0..5 {
+            assert_eq!(plain.broadcast_random(), wired.broadcast_random());
+        }
+        assert_eq!(plain.stats(), wired.stats());
+        assert_eq!(plain.time(), wired.time());
+        assert_eq!(plain.out_views(), wired.out_views());
+        for name in [
+            hyparview_obsv::names::ATTACK_JOINS_DAMPED,
+            hyparview_obsv::names::ATTACK_NEIGHBOR_FLOODS,
+            hyparview_obsv::names::ATTACK_REJOINS,
+        ] {
+            assert_eq!(wired.metrics().value_by_name(name), Some(0), "{name} must stay zero");
+        }
+    }
+
+    #[test]
+    fn eclipse_attack_captures_undefended_victims() {
+        let plan = crate::attack::AttackPlan::eclipse(0.2, 2);
+        let scenario = Scenario::new(50, 21).with_attack(plan.clone());
+        let colluders: Vec<SimId> = plan.colluder_indices(50).into_iter().map(SimId::new).collect();
+        let mut sim = build_hyparview(&scenario, Config::default());
+        sim.run_cycles(10);
+        for victim in plan.victim_indices(50) {
+            let share = colluder_share(&sim, SimId::new(victim), &colluders);
+            assert!(
+                share >= 0.8,
+                "victim {victim} should be nearly eclipsed after 10 undefended cycles, got {share}"
+            );
+        }
+        let floods =
+            sim.metrics().value_by_name(hyparview_obsv::names::ATTACK_NEIGHBOR_FLOODS).unwrap_or(0);
+        assert!(floods > 0, "flood events must reach the attack.* counters");
+    }
+
+    #[test]
+    fn hardened_defenses_blunt_the_eclipse() {
+        let plan = crate::attack::AttackPlan::eclipse(0.2, 2);
+        let scenario = Scenario::new(50, 21).with_attack(plan.clone());
+        let colluders: Vec<SimId> = plan.colluder_indices(50).into_iter().map(SimId::new).collect();
+        let mut open = build_hyparview(&scenario, Config::default());
+        let mut hardened = build_hyparview(&scenario, Config::hardened());
+        open.run_cycles(10);
+        hardened.run_cycles(10);
+        let victims = plan.victim_indices(50);
+        let mean = |sim: &HyParViewSim| {
+            victims.iter().map(|&v| colluder_share(sim, SimId::new(v), &colluders)).sum::<f64>()
+                / victims.len() as f64
+        };
+        let (open_share, hard_share) = (mean(&open), mean(&hardened));
+        assert!(
+            hard_share < open_share,
+            "defenses must reduce capture: open {open_share} vs hardened {hard_share}"
+        );
+        let damped = hardened
+            .metrics()
+            .value_by_name(hyparview_obsv::names::ATTACK_NEIGHBORS_DAMPED)
+            .unwrap_or(0);
+        assert!(damped > 0, "hardened run must damp some flood requests");
     }
 }

@@ -13,10 +13,11 @@
 //!   is the simulator's model of TCP as a failure detector;
 //! * everything is deterministic given the scenario seed.
 
+use crate::attack::AttackPlan;
 use crate::event::{EventQueue, QueueBackend};
 use crate::fault::{mix_fault, unit_draw, FaultOp, FaultOpKind, FaultPlan};
 use hyparview_core::SimId;
-use hyparview_gossip::{BroadcastReport, GossipState, Membership, Outbox};
+use hyparview_gossip::{BroadcastReport, GossipState, Membership, MembershipEvent, Outbox};
 use hyparview_obsv::{
     names, CounterId, HopRecord, PathTracer, Registry, TimerKind, TraceEvent, TraceKind, TraceRing,
     TraceSink, VirtualClock,
@@ -215,6 +216,11 @@ pub struct SimConfig {
     /// Deterministic network fault injection (loss / duplication / timed
     /// partitions). The default plan is inert and costs nothing.
     pub faults: FaultPlan,
+    /// Adversarial membership plan (colluding fraction, attacker model).
+    /// Like the fault plan, the default is inert and costs nothing — the
+    /// plan only takes effect through scenario builders that wire attacker
+    /// roles (e.g. `protocols::build_hyparview`).
+    pub attack: AttackPlan,
 }
 
 impl Default for SimConfig {
@@ -228,6 +234,7 @@ impl Default for SimConfig {
             plumtree: PlumtreeConfig::default(),
             queue: QueueBackend::default(),
             faults: FaultPlan::default(),
+            attack: AttackPlan::default(),
         }
     }
 }
@@ -272,6 +279,12 @@ impl SimConfig {
     /// Sets the network fault plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the adversarial membership plan.
+    pub fn with_attack(mut self, attack: AttackPlan) -> Self {
+        self.attack = attack;
         self
     }
 }
@@ -324,6 +337,13 @@ struct SimCounters {
     faults_dropped: CounterId,
     faults_partition_dropped: CounterId,
     faults_duplicated: CounterId,
+    attack_joins_damped: CounterId,
+    attack_neighbors_damped: CounterId,
+    attack_tenure_swaps: CounterId,
+    attack_shuffle_boosts: CounterId,
+    attack_neighbor_floods: CounterId,
+    attack_rejoins: CounterId,
+    attack_shuffles_biased: CounterId,
 }
 
 impl SimCounters {
@@ -347,6 +367,13 @@ impl SimCounters {
             faults_dropped: registry.counter(names::FAULTS_DROPPED),
             faults_partition_dropped: registry.counter(names::FAULTS_PARTITION_DROPPED),
             faults_duplicated: registry.counter(names::FAULTS_DUPLICATED),
+            attack_joins_damped: registry.counter(names::ATTACK_JOINS_DAMPED),
+            attack_neighbors_damped: registry.counter(names::ATTACK_NEIGHBORS_DAMPED),
+            attack_tenure_swaps: registry.counter(names::ATTACK_TENURE_SWAPS),
+            attack_shuffle_boosts: registry.counter(names::ATTACK_SHUFFLE_BOOSTS),
+            attack_neighbor_floods: registry.counter(names::ATTACK_NEIGHBOR_FLOODS),
+            attack_rejoins: registry.counter(names::ATTACK_REJOINS),
+            attack_shuffles_biased: registry.counter(names::ATTACK_SHUFFLES_BIASED),
         }
     }
 }
@@ -812,6 +839,20 @@ impl<M: Membership<SimId>> Sim<M> {
         }
     }
 
+    /// Broadcast id the *next* broadcast will get — ids are sequential, so
+    /// the broadcast just performed has id `next_broadcast_id() - 1`.
+    pub fn next_broadcast_id(&self) -> u64 {
+        self.next_broadcast
+    }
+
+    /// Whether `node` has delivered broadcast `id` (works in flood and
+    /// Plumtree mode — both record first deliveries in the per-node gossip
+    /// bookkeeping). Lets experiments split reliability by node population,
+    /// e.g. honest-only reliability under an infiltration attack.
+    pub fn has_delivered(&self, node: SimId, id: u64) -> bool {
+        self.nodes[node.index()].gossip.has_delivered(id)
+    }
+
     /// The simulator's metric registry: `sim.*` event-loop counters plus
     /// the `frames.*` / `broadcast.*` transport vocabulary it shares with
     /// the TCP runtime ([`hyparview_obsv::names`]).
@@ -959,6 +1000,7 @@ impl<M: Membership<SimId>> Sim<M> {
         self.nodes[joiner.index()].memb.join(contact, &mut out);
         self.dispatch(joiner, &mut out);
         self.sync_plumtree(joiner.index());
+        self.collect_membership_events(joiner);
         self.drain();
     }
 
@@ -981,6 +1023,7 @@ impl<M: Membership<SimId>> Sim<M> {
                 self.nodes[id.index()].memb.on_cycle(&mut out);
                 self.dispatch(id, &mut out);
                 self.sync_plumtree(id.index());
+                self.collect_membership_events(id);
                 self.drain();
             }
         }
@@ -1257,6 +1300,7 @@ impl<M: Membership<SimId>> Sim<M> {
                         let to = event.to;
                         self.dispatch(to, &mut out);
                         self.sync_plumtree(to.index());
+                        self.collect_membership_events(to);
                     }
                 }
                 Payload::Plumtree(message) => {
@@ -1294,6 +1338,7 @@ impl<M: Membership<SimId>> Sim<M> {
         self.nodes[to.index()].memb.handle_message(from, message, &mut out);
         self.dispatch(to, &mut out);
         self.sync_plumtree(to.index());
+        self.collect_membership_events(to);
     }
 
     /// Delivers one Plumtree message, with per-broadcast accounting for the
@@ -1543,6 +1588,42 @@ impl<M: Membership<SimId>> Sim<M> {
         }
     }
 
+    /// Drains membership events (defense decisions, attacker actions)
+    /// buffered at `id` into the `attack.*` counters and the decision
+    /// trace. Called after every membership interaction; for protocols
+    /// without events the default [`Membership::take_events`] returns an
+    /// empty (non-allocating) vector, so the quiet path costs nothing.
+    fn collect_membership_events(&mut self, id: SimId) {
+        for event in self.nodes[id.index()].memb.take_events() {
+            match event {
+                MembershipEvent::JoinDamped { peer } => {
+                    self.metrics.inc(self.counters.attack_joins_damped);
+                    self.trace_event(id, TraceKind::AdmissionDamped { peer: peer.index() as u64 });
+                }
+                MembershipEvent::NeighborDamped { peer } => {
+                    self.metrics.inc(self.counters.attack_neighbors_damped);
+                    self.trace_event(id, TraceKind::AdmissionDamped { peer: peer.index() as u64 });
+                }
+                MembershipEvent::TenureSwapped { peer } => {
+                    self.metrics.inc(self.counters.attack_tenure_swaps);
+                    self.trace_event(id, TraceKind::TenureSwap { peer: peer.index() as u64 });
+                }
+                MembershipEvent::ShuffleBoosted => {
+                    self.metrics.inc(self.counters.attack_shuffle_boosts);
+                }
+                MembershipEvent::NeighborFlood { .. } => {
+                    self.metrics.inc(self.counters.attack_neighbor_floods);
+                }
+                MembershipEvent::AttackerRejoin { .. } => {
+                    self.metrics.inc(self.counters.attack_rejoins);
+                }
+                MembershipEvent::ShuffleBiased => {
+                    self.metrics.inc(self.counters.attack_shuffles_biased);
+                }
+            }
+        }
+    }
+
     fn notify_send_failure(&mut self, sender: SimId, dead: SimId) {
         if !self.nodes[sender.index()].alive {
             return;
@@ -1555,6 +1636,7 @@ impl<M: Membership<SimId>> Sim<M> {
         self.nodes[sender.index()].memb.on_send_failed(dead, &mut out);
         self.dispatch(sender, &mut out);
         self.sync_plumtree(sender.index());
+        self.collect_membership_events(sender);
     }
 
     /// Ack-based gossip retry (ablation, off by default): the failed
